@@ -1,0 +1,285 @@
+//! Splitting packets into fragments.
+//!
+//! Mirrors the paper's driver (Section 5): a packet of up to 64 KiB is
+//! split into a *packet introduction* (identifier, total length,
+//! checksum) followed by data fragments, each filled to the radio's
+//! frame limit. With the Radiometrix RPC's 27-byte frames and an 8-bit
+//! identifier, an 80-byte packet becomes an introduction plus four data
+//! fragments — the exact shape of the paper's experiment.
+
+use core::fmt;
+
+use retri::TransactionId;
+use retri_netsim::FramePayload;
+
+use crate::crc::crc16;
+use crate::wire::{Fragment, Truth, WireConfig, WireError};
+
+/// Errors from fragmentation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FragmentError {
+    /// The header scheme leaves no room for data in a frame this small.
+    NoDataCapacity {
+        /// The radio frame size that was too small.
+        max_frame_bytes: usize,
+    },
+    /// Packets must be 1..=65535 bytes.
+    BadPacketLength {
+        /// Offending length.
+        len: usize,
+    },
+    /// A wire-format error (e.g. field overflow).
+    Wire(WireError),
+}
+
+impl fmt::Display for FragmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FragmentError::NoDataCapacity { max_frame_bytes } => write!(
+                f,
+                "headers leave no data capacity in {max_frame_bytes}-byte frames"
+            ),
+            FragmentError::BadPacketLength { len } => {
+                write!(f, "packet length {len} outside 1..=65535 bytes")
+            }
+            FragmentError::Wire(err) => write!(f, "wire error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for FragmentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FragmentError::Wire(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for FragmentError {
+    fn from(err: WireError) -> Self {
+        FragmentError::Wire(err)
+    }
+}
+
+/// Splits packets into wire-format fragments sized for a radio.
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use retri::IdentifierSpace;
+/// use retri_aff::frag::Fragmenter;
+/// use retri_aff::wire::WireConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let space = IdentifierSpace::new(8)?;
+/// let fragmenter = Fragmenter::new(WireConfig::aff(space), 27)?;
+/// let id = space.sample(&mut StdRng::seed_from_u64(5));
+/// let fragments = fragmenter.fragment(&[0u8; 80], id, None)?;
+/// assert_eq!(fragments.len(), 5); // intro + 4 data (paper Section 5.1)
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fragmenter {
+    wire: WireConfig,
+    capacity: usize,
+}
+
+impl Fragmenter {
+    /// Creates a fragmenter for frames of `max_frame_bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FragmentError::NoDataCapacity`] if the configured
+    /// headers leave no payload room.
+    pub fn new(wire: WireConfig, max_frame_bytes: usize) -> Result<Self, FragmentError> {
+        let capacity = wire
+            .data_capacity(max_frame_bytes)
+            .ok_or(FragmentError::NoDataCapacity { max_frame_bytes })?;
+        Ok(Fragmenter { wire, capacity })
+    }
+
+    /// The wire configuration in use.
+    #[must_use]
+    pub fn wire(&self) -> &WireConfig {
+        &self.wire
+    }
+
+    /// Data bytes per data fragment.
+    #[must_use]
+    pub fn data_capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Fragments a packet will produce (introduction included).
+    #[must_use]
+    pub fn fragments_per_packet(&self, packet_len: usize) -> usize {
+        1 + packet_len.div_ceil(self.capacity)
+    }
+
+    /// Splits `packet` into encoded frame payloads keyed by `key`.
+    ///
+    /// The first payload is always the introduction. `truth` must be
+    /// `Some` exactly when the wire configuration is instrumented.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FragmentError::BadPacketLength`] for empty or oversized
+    /// packets.
+    pub fn fragment(
+        &self,
+        packet: &[u8],
+        key: TransactionId,
+        truth: Option<Truth>,
+    ) -> Result<Vec<FramePayload>, FragmentError> {
+        if packet.is_empty() || packet.len() > usize::from(u16::MAX) {
+            return Err(FragmentError::BadPacketLength { len: packet.len() });
+        }
+        let mut payloads = Vec::with_capacity(self.fragments_per_packet(packet.len()));
+        let intro = Fragment::Intro {
+            key,
+            total_len: packet.len() as u16,
+            checksum: crc16(packet),
+            truth,
+        };
+        payloads.push(self.wire.encode(&intro)?);
+        for (index, chunk) in packet.chunks(self.capacity).enumerate() {
+            let data = Fragment::Data {
+                key,
+                offset: (index * self.capacity) as u16,
+                payload: chunk.to_vec(),
+                truth,
+            };
+            payloads.push(self.wire.encode(&data)?);
+        }
+        Ok(payloads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retri::IdentifierSpace;
+
+    fn fragmenter(bits: u8, frame: usize) -> Fragmenter {
+        let space = IdentifierSpace::new(bits).unwrap();
+        Fragmenter::new(WireConfig::aff(space), frame).unwrap()
+    }
+
+    fn key(fragmenter: &Fragmenter, value: u64) -> TransactionId {
+        fragmenter.wire().space().id(value).unwrap()
+    }
+
+    #[test]
+    fn paper_shape_80_bytes_in_27_byte_frames() {
+        let f = fragmenter(8, 27);
+        let fragments = f
+            .fragment(&[0xAB; 80], key(&f, 1), None)
+            .unwrap();
+        assert_eq!(fragments.len(), 5);
+        assert_eq!(f.fragments_per_packet(80), 5);
+        // Every payload fits the radio.
+        assert!(fragments.iter().all(|p| p.byte_len() <= 27));
+    }
+
+    #[test]
+    fn all_bytes_covered_exactly_once() {
+        let f = fragmenter(9, 27);
+        let packet: Vec<u8> = (0..100u8).collect();
+        let fragments = f.fragment(&packet, key(&f, 7), None).unwrap();
+        let mut reconstructed = vec![None::<u8>; packet.len()];
+        for payload in &fragments[1..] {
+            match f.wire().decode(payload).unwrap() {
+                Fragment::Data { offset, payload, .. } => {
+                    for (i, byte) in payload.iter().enumerate() {
+                        let pos = offset as usize + i;
+                        assert!(reconstructed[pos].is_none(), "byte {pos} covered twice");
+                        reconstructed[pos] = Some(*byte);
+                    }
+                }
+                other => panic!("expected data fragment, got {other:?}"),
+            }
+        }
+        let bytes: Vec<u8> = reconstructed.into_iter().map(Option::unwrap).collect();
+        assert_eq!(bytes, packet);
+    }
+
+    #[test]
+    fn intro_carries_length_and_crc() {
+        let f = fragmenter(8, 27);
+        let packet = vec![0x5A; 33];
+        let fragments = f.fragment(&packet, key(&f, 3), None).unwrap();
+        match f.wire().decode(&fragments[0]).unwrap() {
+            Fragment::Intro {
+                total_len,
+                checksum,
+                ..
+            } => {
+                assert_eq!(total_len, 33);
+                assert_eq!(checksum, crc16(&packet));
+            }
+            other => panic!("expected introduction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_byte_packet_is_two_fragments() {
+        let f = fragmenter(8, 27);
+        let fragments = f.fragment(&[0x01], key(&f, 0), None).unwrap();
+        assert_eq!(fragments.len(), 2);
+    }
+
+    #[test]
+    fn max_size_packet_is_accepted() {
+        let f = fragmenter(8, 27);
+        let packet = vec![0u8; 65_535];
+        let fragments = f.fragment(&packet, key(&f, 0), None).unwrap();
+        assert_eq!(fragments.len(), f.fragments_per_packet(65_535));
+    }
+
+    #[test]
+    fn empty_and_oversized_packets_rejected() {
+        let f = fragmenter(8, 27);
+        assert_eq!(
+            f.fragment(&[], key(&f, 0), None),
+            Err(FragmentError::BadPacketLength { len: 0 })
+        );
+        let oversized = vec![0u8; 65_536];
+        assert_eq!(
+            f.fragment(&oversized, key(&f, 0), None),
+            Err(FragmentError::BadPacketLength { len: 65_536 })
+        );
+    }
+
+    #[test]
+    fn no_capacity_is_a_constructor_error() {
+        let space = IdentifierSpace::new(64).unwrap();
+        let wire = WireConfig::aff(space).with_instrumentation();
+        assert!(matches!(
+            Fragmenter::new(wire, 20),
+            Err(FragmentError::NoDataCapacity { max_frame_bytes: 20 })
+        ));
+    }
+
+    #[test]
+    fn wider_ids_shrink_capacity() {
+        let narrow = fragmenter(4, 27);
+        let wide = fragmenter(24, 27);
+        assert!(wide.data_capacity() < narrow.data_capacity());
+    }
+
+    #[test]
+    fn errors_display_nonempty() {
+        let errs = [
+            FragmentError::NoDataCapacity { max_frame_bytes: 5 },
+            FragmentError::BadPacketLength { len: 0 },
+        ];
+        for err in errs {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+}

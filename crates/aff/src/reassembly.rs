@@ -1,0 +1,409 @@
+//! Reassembling fragments into packets.
+//!
+//! The receiver keeps one buffer per reassembly key. A packet is
+//! delivered when the introduction has arrived, every byte of
+//! `0..total_len` is covered, and the CRC verifies. Everything else —
+//! missing fragments, interleaved fragments from an identifier
+//! collision, conflicting introductions — ends in silence or a checksum
+//! failure, exactly as the paper describes: *"Packets that suffer from
+//! identifier collisions are never delivered because of checksum
+//! failures or other inconsistencies."*
+
+use std::collections::HashMap;
+
+use retri::TransactionId;
+use retri_netsim::FramePayload;
+
+use crate::crc::crc16;
+use crate::wire::{Fragment, WireConfig, WireError};
+
+/// Counters kept by a [`Reassembler`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ReassemblyStats {
+    /// Packets delivered with a verified checksum.
+    pub delivered: u64,
+    /// Reassemblies that completed but failed the checksum (the
+    /// signature of an identifier collision).
+    pub checksum_failures: u64,
+    /// Reassemblies evicted incomplete after the timeout.
+    pub expired: u64,
+    /// Fragments accepted into buffers.
+    pub fragments_accepted: u64,
+    /// Fragments that merely re-covered bytes already present.
+    pub duplicate_fragments: u64,
+    /// Introductions that contradicted an existing introduction for the
+    /// same key (a visible identifier conflict; newest wins).
+    pub conflicting_intros: u64,
+}
+
+#[derive(Debug)]
+struct Pending {
+    total_len: Option<u16>,
+    checksum: Option<u16>,
+    buffer: Vec<u8>,
+    covered: Vec<bool>,
+    last_heard: u64,
+}
+
+impl Pending {
+    fn new(now: u64) -> Self {
+        Pending {
+            total_len: None,
+            checksum: None,
+            buffer: Vec::new(),
+            covered: Vec::new(),
+            last_heard: now,
+        }
+    }
+
+    fn ensure_len(&mut self, len: usize) {
+        if self.buffer.len() < len {
+            self.buffer.resize(len, 0);
+            self.covered.resize(len, false);
+        }
+    }
+
+    fn is_complete(&self) -> bool {
+        match self.total_len {
+            Some(total) => {
+                self.covered.len() >= total as usize
+                    && self.covered[..total as usize].iter().all(|&c| c)
+            }
+            None => false,
+        }
+    }
+}
+
+/// Reassembles fragments into packets, keyed by transaction identifier.
+///
+/// Works identically for AFF keys and for static `(address, sequence)`
+/// keys, since [`WireConfig::space`] folds both into [`TransactionId`]s.
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use retri::IdentifierSpace;
+/// use retri_aff::frag::Fragmenter;
+/// use retri_aff::reassembly::Reassembler;
+/// use retri_aff::wire::WireConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let space = IdentifierSpace::new(8)?;
+/// let wire = WireConfig::aff(space);
+/// let fragmenter = Fragmenter::new(wire.clone(), 27)?;
+/// let mut reassembler = Reassembler::new(wire, 1_000_000);
+///
+/// let id = space.sample(&mut StdRng::seed_from_u64(2));
+/// let packet = vec![7u8; 50];
+/// let mut delivered = None;
+/// for payload in fragmenter.fragment(&packet, id, None)? {
+///     if let Some(out) = reassembler.accept_payload(&payload, 0)? {
+///         delivered = Some(out);
+///     }
+/// }
+/// assert_eq!(delivered, Some(packet));
+/// assert_eq!(reassembler.stats().delivered, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Reassembler {
+    wire: WireConfig,
+    ttl: u64,
+    pending: HashMap<TransactionId, Pending>,
+    stats: ReassemblyStats,
+}
+
+impl Reassembler {
+    /// Creates a reassembler whose incomplete buffers expire `ttl` time
+    /// units after their last fragment.
+    #[must_use]
+    pub fn new(wire: WireConfig, ttl: u64) -> Self {
+        Reassembler {
+            wire,
+            ttl,
+            pending: HashMap::new(),
+            stats: ReassemblyStats::default(),
+        }
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> ReassemblyStats {
+        self.stats
+    }
+
+    /// Reassemblies currently in progress.
+    #[must_use]
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Decodes a frame payload and feeds it in.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`WireError`] if the payload does not parse; parse
+    /// failures do not disturb reassembly state.
+    pub fn accept_payload(
+        &mut self,
+        payload: &FramePayload,
+        now: u64,
+    ) -> Result<Option<Vec<u8>>, WireError> {
+        let fragment = self.wire.decode(payload)?;
+        Ok(self.accept(&fragment, now))
+    }
+
+    /// Feeds one decoded fragment; returns a completed, checksum-valid
+    /// packet if this fragment finished one. Collision notifications
+    /// carry no reassembly state and are ignored here — they are sender
+    /// signals, handled by [`crate::sender::AffSender`].
+    pub fn accept(&mut self, fragment: &Fragment, now: u64) -> Option<Vec<u8>> {
+        self.expire(now);
+        if matches!(fragment, Fragment::Notify { .. }) {
+            return None;
+        }
+        let key = fragment.key();
+        let entry = self
+            .pending
+            .entry(key)
+            .or_insert_with(|| Pending::new(now));
+        entry.last_heard = now;
+        self.stats.fragments_accepted += 1;
+        match fragment {
+            Fragment::Intro {
+                total_len,
+                checksum,
+                ..
+            } => {
+                let conflicting = matches!(
+                    (entry.total_len, entry.checksum),
+                    (Some(len), Some(sum)) if len != *total_len || sum != *checksum
+                );
+                if conflicting {
+                    // An identifier conflict made visible: a different
+                    // packet is claiming this key. Newest wins; the old
+                    // reassembly is lost.
+                    self.stats.conflicting_intros += 1;
+                    *entry = Pending::new(now);
+                }
+                entry.total_len = Some(*total_len);
+                entry.checksum = Some(*checksum);
+                entry.ensure_len(*total_len as usize);
+            }
+            Fragment::Data {
+                offset, payload, ..
+            } => {
+                let start = *offset as usize;
+                let end = start + payload.len();
+                entry.ensure_len(end);
+                let mut fresh = false;
+                for (i, byte) in payload.iter().enumerate() {
+                    if !entry.covered[start + i] {
+                        fresh = true;
+                    }
+                    entry.buffer[start + i] = *byte;
+                    entry.covered[start + i] = true;
+                }
+                if !fresh {
+                    self.stats.duplicate_fragments += 1;
+                }
+            }
+            Fragment::Notify { .. } => unreachable!("filtered above"),
+        }
+        if entry.is_complete() {
+            let entry = self.pending.remove(&key).expect("entry exists");
+            let total = entry.total_len.expect("complete implies intro") as usize;
+            let packet = &entry.buffer[..total];
+            if crc16(packet) == entry.checksum.expect("complete implies intro") {
+                self.stats.delivered += 1;
+                return Some(packet.to_vec());
+            }
+            self.stats.checksum_failures += 1;
+        }
+        None
+    }
+
+    /// Evicts reassemblies idle past the ttl; returns how many.
+    pub fn expire(&mut self, now: u64) -> usize {
+        let ttl = self.ttl;
+        let before = self.pending.len();
+        self.pending
+            .retain(|_, entry| now.saturating_sub(entry.last_heard) <= ttl);
+        let dropped = before - self.pending.len();
+        self.stats.expired += dropped as u64;
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frag::Fragmenter;
+    use retri::IdentifierSpace;
+
+    fn setup(bits: u8) -> (Fragmenter, Reassembler) {
+        let space = IdentifierSpace::new(bits).unwrap();
+        let wire = WireConfig::aff(space);
+        (
+            Fragmenter::new(wire.clone(), 27).unwrap(),
+            Reassembler::new(wire, 1_000_000),
+        )
+    }
+
+    fn key(f: &Fragmenter, v: u64) -> TransactionId {
+        f.wire().space().id(v).unwrap()
+    }
+
+    #[test]
+    fn in_order_reassembly_delivers() {
+        let (f, mut r) = setup(8);
+        let packet: Vec<u8> = (0..80).collect();
+        let mut delivered = None;
+        for payload in f.fragment(&packet, key(&f, 1), None).unwrap() {
+            if let Some(out) = r.accept_payload(&payload, 0).unwrap() {
+                delivered = Some(out);
+            }
+        }
+        assert_eq!(delivered, Some(packet));
+        assert_eq!(r.stats().delivered, 1);
+        assert_eq!(r.pending_len(), 0);
+    }
+
+    #[test]
+    fn out_of_order_reassembly_delivers() {
+        let (f, mut r) = setup(8);
+        let packet: Vec<u8> = (0..80).rev().collect();
+        let mut payloads = f.fragment(&packet, key(&f, 2), None).unwrap();
+        payloads.reverse(); // intro arrives last
+        let mut delivered = None;
+        for payload in &payloads {
+            if let Some(out) = r.accept_payload(payload, 0).unwrap() {
+                delivered = Some(out);
+            }
+        }
+        assert_eq!(delivered, Some(packet));
+    }
+
+    #[test]
+    fn missing_fragment_never_delivers() {
+        let (f, mut r) = setup(8);
+        let packet = vec![9u8; 80];
+        let payloads = f.fragment(&packet, key(&f, 3), None).unwrap();
+        for (i, payload) in payloads.iter().enumerate() {
+            if i == 2 {
+                continue; // drop one data fragment
+            }
+            assert_eq!(r.accept_payload(payload, 0).unwrap(), None);
+        }
+        assert_eq!(r.stats().delivered, 0);
+        assert_eq!(r.pending_len(), 1);
+    }
+
+    #[test]
+    fn duplicates_are_harmless_and_counted() {
+        let (f, mut r) = setup(8);
+        let packet = vec![4u8; 40];
+        let payloads = f.fragment(&packet, key(&f, 4), None).unwrap();
+        // intro, d0, d0 again (a retransmission), then the rest.
+        let mut order = vec![&payloads[0], &payloads[1], &payloads[1]];
+        order.extend(&payloads[2..]);
+        let mut delivered = 0;
+        for payload in order {
+            if r.accept_payload(payload, 0).unwrap().is_some() {
+                delivered += 1;
+            }
+        }
+        assert_eq!(delivered, 1);
+        assert_eq!(r.stats().duplicate_fragments, 1);
+    }
+
+    #[test]
+    fn interleaved_same_id_packets_fail_checksum() {
+        // The collision scenario: two senders picked the same identifier
+        // and their fragments interleave at the receiver.
+        let (f, mut r) = setup(8);
+        let shared = key(&f, 5);
+        let packet_a = vec![0xAA; 80];
+        let packet_b = vec![0xBB; 80];
+        let frags_a = f.fragment(&packet_a, shared, None).unwrap();
+        let frags_b = f.fragment(&packet_b, shared, None).unwrap();
+        // Interleave: intro A, intro B (same len; CRC differs ->
+        // conflicting intro, newest wins), then alternating data.
+        let mut delivered = 0;
+        let order = [
+            &frags_a[0], &frags_b[0], &frags_a[1], &frags_b[2], &frags_a[3], &frags_b[4],
+        ];
+        for payload in order {
+            if r.accept_payload(payload, 0).unwrap().is_some() {
+                delivered += 1;
+            }
+        }
+        assert_eq!(delivered, 0, "mixed packets must never be delivered");
+        assert!(r.stats().conflicting_intros >= 1);
+    }
+
+    #[test]
+    fn corrupted_byte_fails_checksum() {
+        let (f, mut r) = setup(8);
+        let packet = vec![1u8; 50];
+        let payloads = f.fragment(&packet, key(&f, 6), None).unwrap();
+        // Re-encode the final data fragment with a flipped byte.
+        let mut fragments: Vec<Fragment> = payloads
+            .iter()
+            .map(|p| f.wire().decode(p).unwrap())
+            .collect();
+        if let Fragment::Data { payload, .. } = fragments.last_mut().unwrap() {
+            payload[0] ^= 0xFF;
+        }
+        let mut delivered = 0;
+        for fragment in &fragments {
+            if r.accept(fragment, 0).is_some() {
+                delivered += 1;
+            }
+        }
+        assert_eq!(delivered, 0);
+        assert_eq!(r.stats().checksum_failures, 1);
+        assert_eq!(r.pending_len(), 0, "failed reassembly must be discarded");
+    }
+
+    #[test]
+    fn timeout_evicts_incomplete_reassemblies() {
+        let (f, mut r) = setup(8);
+        let payloads = f.fragment(&[7u8; 80], key(&f, 7), None).unwrap();
+        let _ = r.accept_payload(&payloads[0], 0).unwrap();
+        assert_eq!(r.pending_len(), 1);
+        assert_eq!(r.expire(2_000_000), 1);
+        assert_eq!(r.stats().expired, 1);
+        assert_eq!(r.pending_len(), 0);
+    }
+
+    #[test]
+    fn key_reuse_after_delivery_is_a_fresh_packet() {
+        let (f, mut r) = setup(8);
+        let shared = key(&f, 8);
+        for round in 0..3u8 {
+            let packet = vec![round; 30];
+            let mut delivered = None;
+            for payload in f.fragment(&packet, shared, None).unwrap() {
+                if let Some(out) = r.accept_payload(&payload, u64::from(round)).unwrap() {
+                    delivered = Some(out);
+                }
+            }
+            assert_eq!(delivered, Some(packet), "round {round}");
+        }
+        assert_eq!(r.stats().delivered, 3);
+    }
+
+    #[test]
+    fn undecodable_payload_is_an_error_without_state_change() {
+        let (_, mut r) = setup(8);
+        let junk = FramePayload::from_bits(vec![0xFF], 3).unwrap();
+        assert!(r.accept_payload(&junk, 0).is_err());
+        assert_eq!(r.pending_len(), 0);
+        assert_eq!(r.stats().fragments_accepted, 0);
+    }
+}

@@ -1,0 +1,322 @@
+//! The embeddable fragmentation service.
+//!
+//! [`AffSender`]/[`AffReceiver`] reproduce the paper's *experiment*;
+//! [`AffService`] is the *driver* a downstream application embeds — the
+//! equivalent of the paper's kernel fragmentation driver that "accepts
+//! packets of up to 64 Kbytes from applications, fragments them ...
+//! watches for fragments coming in from the radio, reassembles them,
+//! and delivers successfully reconstructed packets" (Section 5).
+//!
+//! An application's [`retri_netsim::Protocol`] owns an `AffService` and
+//! forwards its radio callbacks:
+//!
+//! ```
+//! use retri::IdentifierSpace;
+//! use retri_aff::service::AffService;
+//! use retri_aff::{SelectorPolicy, WireConfig};
+//! use retri_netsim::prelude::*;
+//!
+//! struct MyApp {
+//!     aff: AffService,
+//! }
+//!
+//! impl Protocol for MyApp {
+//!     fn on_start(&mut self, ctx: &mut Context<'_>) {
+//!         self.aff
+//!             .send(ctx, b"a situation report longer than one frame....")
+//!             .unwrap();
+//!     }
+//!     fn on_frame(&mut self, ctx: &mut Context<'_>, frame: &Frame) {
+//!         self.aff.handle_frame(ctx, frame);
+//!         while let Some(packet) = self.aff.poll_delivered() {
+//!             // application logic on the reassembled packet
+//!             assert!(!packet.is_empty());
+//!         }
+//!     }
+//!     fn on_timer(&mut self, _ctx: &mut Context<'_>, _timer: Timer) {}
+//! }
+//!
+//! # let wire = WireConfig::aff(IdentifierSpace::new(8).unwrap());
+//! # let _ = MyApp { aff: AffService::new(wire, 27, SelectorPolicy::Uniform).unwrap() };
+//! ```
+//!
+//! [`AffSender`]: crate::sender::AffSender
+//! [`AffReceiver`]: crate::receiver::AffReceiver
+
+use std::collections::VecDeque;
+
+use retri::TransactionId;
+use retri_netsim::{Context, Frame};
+
+use crate::frag::{FragmentError, Fragmenter};
+use crate::reassembly::{Reassembler, ReassemblyStats};
+use crate::sender::{PolicySelector, SelectorPolicy};
+use crate::wire::{Fragment, WireConfig};
+
+/// Default reassembly timeout: a few transaction durations on the
+/// paper's radio.
+const DEFAULT_REASSEMBLY_TTL_MICROS: u64 = 300_000;
+
+/// Counters kept by an [`AffService`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ServiceStats {
+    /// Packets accepted from the application.
+    pub packets_sent: u64,
+    /// Fragments queued at the radio.
+    pub fragments_sent: u64,
+    /// Packets reassembled and delivered to the application.
+    pub packets_delivered: u64,
+    /// Frames that did not parse as fragments of this wire.
+    pub decode_errors: u64,
+}
+
+/// A bidirectional address-free fragmentation endpoint.
+///
+/// See the [module documentation](self) for the embedding pattern.
+#[derive(Debug)]
+pub struct AffService {
+    fragmenter: Fragmenter,
+    selector: PolicySelector,
+    reassembler: Reassembler,
+    inbox: VecDeque<Vec<u8>>,
+    stats: ServiceStats,
+}
+
+impl AffService {
+    /// Creates a service endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FragmentError::NoDataCapacity`] if the wire's headers
+    /// leave no payload room in `max_frame_bytes` frames.
+    pub fn new(
+        wire: WireConfig,
+        max_frame_bytes: usize,
+        policy: SelectorPolicy,
+    ) -> Result<Self, FragmentError> {
+        let space = wire.space();
+        Ok(AffService {
+            fragmenter: Fragmenter::new(wire.clone(), max_frame_bytes)?,
+            selector: PolicySelector::build(policy, space),
+            reassembler: Reassembler::new(wire, DEFAULT_REASSEMBLY_TTL_MICROS),
+            inbox: VecDeque::new(),
+            stats: ServiceStats::default(),
+        })
+    }
+
+    /// Changes the reassembly timeout (µs of inactivity before an
+    /// incomplete packet is discarded).
+    #[must_use]
+    pub fn with_reassembly_ttl(mut self, ttl_micros: u64) -> Self {
+        let wire = self.fragmenter.wire().clone();
+        self.reassembler = Reassembler::new(wire, ttl_micros);
+        self
+    }
+
+    /// The wire configuration in use.
+    #[must_use]
+    pub fn wire(&self) -> &WireConfig {
+        self.fragmenter.wire()
+    }
+
+    /// Service counters.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        self.stats
+    }
+
+    /// Reassembly counters (checksum failures reveal identifier
+    /// collisions).
+    #[must_use]
+    pub fn reassembly_stats(&self) -> ReassemblyStats {
+        self.reassembler.stats()
+    }
+
+    /// Fragments `packet` under a fresh ephemeral identifier and queues
+    /// every fragment at the radio. Returns the identifier used.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FragmentError::BadPacketLength`] for empty or >64 KiB
+    /// packets.
+    pub fn send(
+        &mut self,
+        ctx: &mut Context<'_>,
+        packet: &[u8],
+    ) -> Result<TransactionId, FragmentError> {
+        let now = ctx.now().as_micros();
+        let id = self.selector.select(ctx.rng(), now);
+        let payloads = self.fragmenter.fragment(packet, id, None)?;
+        for payload in payloads {
+            ctx.send(payload)
+                .expect("fragmenter respects the radio frame limit");
+            self.stats.fragments_sent += 1;
+        }
+        self.stats.packets_sent += 1;
+        Ok(id)
+    }
+
+    /// Feeds a received radio frame through the service. Completed
+    /// packets become available from [`AffService::poll_delivered`].
+    pub fn handle_frame(&mut self, ctx: &mut Context<'_>, frame: &Frame) {
+        let now = ctx.now().as_micros();
+        match self.wire().decode(&frame.payload) {
+            Ok(Fragment::Notify { key, .. }) => {
+                // Avoid identifiers a receiver reported as collided.
+                self.selector.observe(key, now);
+            }
+            Ok(fragment) => {
+                self.selector.observe(fragment.key(), now);
+                if let Some(packet) = self.reassembler.accept(&fragment, now) {
+                    self.inbox.push_back(packet);
+                    self.stats.packets_delivered += 1;
+                }
+            }
+            Err(_) => {
+                self.stats.decode_errors += 1;
+            }
+        }
+    }
+
+    /// Pops the next fully reassembled, checksum-verified packet, if
+    /// any.
+    pub fn poll_delivered(&mut self) -> Option<Vec<u8>> {
+        self.inbox.pop_front()
+    }
+
+    /// Packets reassembled but not yet polled.
+    #[must_use]
+    pub fn pending_deliveries(&self) -> usize {
+        self.inbox.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retri::IdentifierSpace;
+    use retri_netsim::node::ContextHarness;
+    use retri_netsim::{NodeId, SimTime};
+
+    fn service(bits: u8) -> AffService {
+        let wire = WireConfig::aff(IdentifierSpace::new(bits).unwrap());
+        AffService::new(wire, 27, SelectorPolicy::Listening { window: 8 }).unwrap()
+    }
+
+    #[test]
+    fn loopback_send_and_deliver() {
+        let mut alice = service(8);
+        let mut bob = service(8);
+        let mut harness = ContextHarness::new(1);
+
+        let packet: Vec<u8> = (0..100).collect();
+        {
+            let mut ctx = harness.context(NodeId(0));
+            alice.send(&mut ctx, &packet).unwrap();
+        }
+
+        let payloads: Vec<_> = harness
+            .sent_payloads()
+            .into_iter()
+            .cloned()
+            .collect();
+        assert!(payloads.len() >= 2);
+        let mut rx_harness = ContextHarness::new(2);
+        for payload in &payloads {
+            let mut ctx = rx_harness.context(NodeId(1));
+            bob.handle_frame(&mut ctx, &retri_netsim::Frame::new(NodeId(0), payload.clone()));
+        }
+        assert_eq!(bob.poll_delivered(), Some(packet));
+        assert_eq!(bob.poll_delivered(), None);
+        assert_eq!(bob.stats().packets_delivered, 1);
+        assert_eq!(alice.stats().packets_sent, 1);
+    }
+
+    #[test]
+    fn send_validates_packet_length() {
+        let mut svc = service(8);
+        let mut harness = ContextHarness::new(3);
+        let mut ctx = harness.context(NodeId(0));
+        assert!(matches!(
+            svc.send(&mut ctx, &[]),
+            Err(FragmentError::BadPacketLength { len: 0 })
+        ));
+        let oversized = vec![0u8; 70_000];
+        assert!(svc.send(&mut ctx, &oversized).is_err());
+    }
+
+    #[test]
+    fn fresh_identifier_per_packet() {
+        // The defining RETRI behavior: consecutive sends use (almost
+        // surely) different identifiers.
+        let mut svc = service(16);
+        let mut harness = ContextHarness::new(4);
+        let mut ids = std::collections::HashSet::new();
+        for _ in 0..20 {
+            let mut ctx = harness.context(NodeId(0));
+            ids.insert(svc.send(&mut ctx, &[1, 2, 3]).unwrap());
+        }
+        assert!(ids.len() >= 19, "ephemeral ids must be fresh per packet");
+    }
+
+    #[test]
+    fn listening_service_avoids_heard_identifiers() {
+        let mut svc = service(4);
+        let wire = svc.wire().clone();
+        let space = wire.space();
+        let mut harness = ContextHarness::new(5);
+        // Overhear another node's introduction using id 5.
+        let heard = Fragment::Intro {
+            key: space.id(5).unwrap(),
+            total_len: 10,
+            checksum: 0,
+            truth: None,
+        };
+        let payload = wire.encode(&heard).unwrap();
+        {
+            let mut ctx = harness.context(NodeId(0));
+            svc.handle_frame(&mut ctx, &retri_netsim::Frame::new(NodeId(9), payload));
+        }
+        for _ in 0..50 {
+            let mut ctx = harness.context(NodeId(0));
+            let id = svc.send(&mut ctx, &[7; 4]).unwrap();
+            assert_ne!(id.value(), 5, "service must avoid the heard identifier");
+        }
+    }
+
+    #[test]
+    fn decode_errors_counted_not_fatal() {
+        let mut svc = service(8);
+        let mut harness = ContextHarness::new(6);
+        let junk = retri_netsim::FramePayload::from_bits(vec![0xFF], 3).unwrap();
+        let mut ctx = harness.context(NodeId(0));
+        svc.handle_frame(&mut ctx, &retri_netsim::Frame::new(NodeId(1), junk));
+        assert_eq!(svc.stats().decode_errors, 1);
+    }
+
+    #[test]
+    fn reassembly_ttl_expires_partials() {
+        let wire = WireConfig::aff(IdentifierSpace::new(8).unwrap());
+        let mut svc = AffService::new(wire.clone(), 27, SelectorPolicy::Uniform)
+            .unwrap()
+            .with_reassembly_ttl(1_000);
+        let fragmenter = Fragmenter::new(wire, 27).unwrap();
+        let id = fragmenter.wire().space().id(9).unwrap();
+        let payloads = fragmenter.fragment(&[1u8; 60], id, None).unwrap();
+        let mut harness = ContextHarness::new(7);
+        // First fragment at t=0...
+        {
+            let mut ctx = harness.context(NodeId(0));
+            svc.handle_frame(&mut ctx, &retri_netsim::Frame::new(NodeId(1), payloads[0].clone()));
+        }
+        // ...the rest far past the ttl: the packet must NOT assemble
+        // from the stale intro.
+        harness.set_now(SimTime::from_secs(10));
+        for payload in &payloads[1..] {
+            let mut ctx = harness.context(NodeId(0));
+            svc.handle_frame(&mut ctx, &retri_netsim::Frame::new(NodeId(1), payload.clone()));
+        }
+        assert_eq!(svc.poll_delivered(), None);
+    }
+}

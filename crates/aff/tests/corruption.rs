@@ -1,0 +1,151 @@
+//! Fault injection: the receiving stack must survive arbitrary frame
+//! corruption and never deliver a corrupted packet.
+//!
+//! The simulator models RF collisions as whole-frame losses, but a
+//! production receiver also faces bit-flipped and truncated frames from
+//! marginal links. These tests feed adversarially mangled frames
+//! through the decoder and reassembler: the required behavior is "parse
+//! error or silence or checksum rejection" — never a panic, and never a
+//! delivered packet that differs from one actually sent.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use retri::IdentifierSpace;
+use retri_aff::reassembly::Reassembler;
+use retri_aff::wire::WireConfig;
+use retri_aff::Fragmenter;
+use retri_netsim::FramePayload;
+
+fn stack(bits: u8, notifications: bool) -> (Fragmenter, Reassembler) {
+    let space = IdentifierSpace::new(bits).unwrap();
+    let wire = if notifications {
+        WireConfig::aff(space).with_notifications()
+    } else {
+        WireConfig::aff(space)
+    };
+    (
+        Fragmenter::new(wire.clone(), 27).unwrap(),
+        Reassembler::new(wire, 1_000_000),
+    )
+}
+
+proptest! {
+    /// Arbitrary byte soup never panics the decoder or reassembler and
+    /// never produces a delivered packet.
+    #[test]
+    fn random_frames_never_deliver(
+        bits in 1u8..=16,
+        notifications in any::<bool>(),
+        frames in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..=27),
+            1..50
+        ),
+    ) {
+        let (_, mut reassembler) = stack(bits, notifications);
+        let mut delivered = 0;
+        for (i, bytes) in frames.iter().enumerate() {
+            let payload = FramePayload::from_bytes(bytes.clone()).unwrap();
+            if let Ok(Some(_)) = reassembler.accept_payload(&payload, i as u64) {
+                delivered += 1;
+            }
+        }
+        // Random bytes would need a consistent intro + full coverage +
+        // matching CRC16: astronomically unlikely, and any such freak
+        // event would still be a *valid* packet by construction. Assert
+        // no delivery to catch systematic weaknesses.
+        prop_assert_eq!(delivered, 0);
+    }
+
+    /// Single-bit corruption of a real fragment stream never delivers a
+    /// packet different from the original.
+    #[test]
+    fn bit_flips_never_forge_packets(
+        bits in 2u8..=12,
+        packet in proptest::collection::vec(any::<u8>(), 30..150),
+        flip_frame in any::<prop::sample::Index>(),
+        flip_bit in any::<prop::sample::Index>(),
+    ) {
+        let (fragmenter, mut reassembler) = stack(bits, false);
+        let key = fragmenter.wire().space().id(1 & fragmenter.wire().space().mask()).unwrap();
+        let mut payloads = fragmenter.fragment(&packet, key, None).unwrap();
+        // Corrupt one bit of one frame.
+        let frame_index = flip_frame.index(payloads.len());
+        let target = &payloads[frame_index];
+        let bit = flip_bit.index(target.bits() as usize);
+        let mut bytes = target.bytes().to_vec();
+        bytes[bit / 8] ^= 1 << (7 - (bit % 8));
+        payloads[frame_index] = FramePayload::from_bits(bytes, target.bits()).unwrap();
+
+        let mut outcomes = Vec::new();
+        for payload in &payloads {
+            if let Ok(Some(out)) = reassembler.accept_payload(payload, 0) {
+                outcomes.push(out);
+            }
+        }
+        for out in outcomes {
+            prop_assert_eq!(&out, &packet, "a forged packet was delivered");
+        }
+    }
+
+    /// Truncating frames at arbitrary bit boundaries is handled as a
+    /// clean error or ignored fragment.
+    #[test]
+    fn truncation_is_never_fatal(
+        bits in 2u8..=12,
+        packet in proptest::collection::vec(any::<u8>(), 30..100),
+        cut_frame in any::<prop::sample::Index>(),
+        cut_at in any::<prop::sample::Index>(),
+    ) {
+        let (fragmenter, mut reassembler) = stack(bits, false);
+        let key = fragmenter.wire().space().id(0).unwrap();
+        let payloads = fragmenter.fragment(&packet, key, None).unwrap();
+        let index = cut_frame.index(payloads.len());
+        let original = &payloads[index];
+        let keep_bits = 1 + cut_at.index(original.bits() as usize - 1) as u32;
+        let keep_bytes = (keep_bits as usize).div_ceil(8);
+        let cut = FramePayload::from_bits(
+            original.bytes()[..keep_bytes].to_vec(),
+            keep_bits,
+        )
+        .unwrap();
+        // Feeding the truncated frame must not panic; a parse error is
+        // fine, a short-but-valid parse is fine too.
+        let _ = reassembler.accept_payload(&cut, 0);
+    }
+}
+
+#[test]
+fn sustained_garbage_storm_is_stable() {
+    // A long adversarial run mixing valid traffic with garbage: state
+    // must stay bounded (expiry works) and valid packets keep flowing.
+    let (fragmenter, mut reassembler) = stack(8, false);
+    let space = fragmenter.wire().space();
+    let mut rng = StdRng::seed_from_u64(0xBAD);
+    let mut delivered = 0u64;
+    for round in 0..500u64 {
+        let now = round * 10_000;
+        // One valid packet...
+        let key = space.sample(&mut rng);
+        let packet: Vec<u8> = (0..40).map(|_| rng.gen()).collect();
+        for payload in fragmenter.fragment(&packet, key, None).unwrap() {
+            if let Ok(Some(out)) = reassembler.accept_payload(&payload, now) {
+                assert_eq!(out, packet);
+                delivered += 1;
+            }
+        }
+        // ...and a burst of garbage frames.
+        for _ in 0..5 {
+            let len = rng.gen_range(1..=27);
+            let bytes: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+            let payload = FramePayload::from_bytes(bytes).unwrap();
+            let _ = reassembler.accept_payload(&payload, now);
+        }
+    }
+    assert!(delivered >= 490, "valid traffic survived: {delivered}/500");
+    assert!(
+        reassembler.pending_len() < 300,
+        "expiry must bound garbage-created state: {}",
+        reassembler.pending_len()
+    );
+}

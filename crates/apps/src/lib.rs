@@ -1,0 +1,33 @@
+//! RETRI in other contexts (paper Section 6).
+//!
+//! Address-free fragmentation is one use of random ephemeral
+//! identifiers; Section 6 sketches two more, both implemented here over
+//! the same simulator:
+//!
+//! - [`reinforcement`] — **interest reinforcement**: sensors tag their
+//!   periodic readings with an ephemeral stream identifier; sinks send
+//!   feedback of the form *"whoever just sent data with identifier 4,
+//!   send more of that"* — no addresses involved. An identifier
+//!   collision occasionally reinforces the wrong sensor; the ephemeral
+//!   re-pick bounds the damage to one epoch.
+//! - [`compression`] — **attribute-based name compression**: long,
+//!   recurring attribute/value lists are bound to short random codes
+//!   via a codebook. Collisions surface as codebook conflicts and are
+//!   healed by rebinding, instead of being prevented by an expensive
+//!   conflict-free allocation protocol.
+//! - [`diffusion`] — **address-free directed diffusion**: multi-hop
+//!   data dissemination in the SCADDS style the paper assumes as its
+//!   surrounding architecture, with RETRI identifiers naming interests
+//!   and samples and a scalar gradient (hop height) replacing
+//!   per-neighbor state.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compression;
+pub mod diffusion;
+pub mod reinforcement;
+
+pub use compression::{CompressionNode, CompressionStats};
+pub use diffusion::{DiffusionConfig, DiffusionNode, DiffusionRole, DiffusionStats};
+pub use reinforcement::{ReinforcementNode, SensorStats, SinkStats};

@@ -1,0 +1,65 @@
+//! Criterion benchmarks that exercise each figure's regeneration path.
+//!
+//! These benchmark the *harness* (model sweeps and a scaled-down
+//! Figure 4 simulation), demonstrating that regenerating the paper's
+//! evaluation is cheap enough to run routinely. The actual figures are
+//! produced by the `fig1`..`fig4` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use retri_aff::{SelectorPolicy, Testbed};
+use retri_bench::figures;
+use retri_netsim::SimTime;
+
+fn bench_fig1(c: &mut Criterion) {
+    c.bench_function("fig1_model_sweep", |b| {
+        b.iter(|| {
+            figures::efficiency_vs_width(
+                black_box(16),
+                &[16, 256, 65536],
+                &[16, 32],
+                32,
+            )
+        });
+    });
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    c.bench_function("fig2_model_sweep", |b| {
+        b.iter(|| {
+            figures::efficiency_vs_width(
+                black_box(128),
+                &[16, 256, 65536],
+                &[16, 32],
+                32,
+            )
+        });
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    c.bench_function("fig3_load_sweep", |b| {
+        b.iter(|| {
+            figures::efficiency_vs_load(black_box(16), &[9, 12, 16], &[5, 8, 16], 1 << 20)
+        });
+    });
+}
+
+fn bench_fig4_trial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("one_5s_trial_h8_random", |b| {
+        let mut testbed = Testbed::paper(8, SelectorPolicy::Uniform);
+        testbed.workload.stop = SimTime::from_secs(5);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(testbed.run(seed))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1, bench_fig2, bench_fig3, bench_fig4_trial);
+criterion_main!(benches);

@@ -1,0 +1,663 @@
+//! Ablation studies for the design choices called out in DESIGN.md.
+
+use retri_aff::sender::{Workload, WorkloadMode};
+use retri_aff::{AffNode, AffReceiver, AffSender, SelectorPolicy, Testbed, WireConfig};
+use retri_baselines::dynamic_alloc::{run_mesh, DynamicAddrConfig};
+use retri_baselines::StaticAllocator;
+use retri_model::lengths::{DurationClass, MixedLengthModel};
+use retri_model::stats::Summary;
+use retri_model::{p_collision, Density, IdBits};
+use retri_netsim::prelude::*;
+use retri_netsim::topology::Topology;
+
+use crate::EffortLevel;
+
+/// How a node participates in a custom AFF scenario.
+#[derive(Debug, Clone, Copy)]
+pub enum Role {
+    /// Saturating transmitter of fixed-size packets.
+    Sender {
+        /// Packet size, bytes.
+        packet_bytes: usize,
+    },
+    /// Designated receiver.
+    Receiver,
+}
+
+/// One node of a custom AFF scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeSpec {
+    /// Where the node sits.
+    pub position: Position,
+    /// What it does.
+    pub role: Role,
+}
+
+/// Builds and runs an arbitrary AFF scenario; returns the simulator for
+/// inspection.
+///
+/// # Panics
+///
+/// Panics on invalid identifier widths (caller-fixed constants).
+#[must_use]
+pub fn run_aff_scenario(
+    specs: &[NodeSpec],
+    id_bits: u8,
+    policy: SelectorPolicy,
+    mode: WorkloadMode,
+    stop: SimTime,
+    seed: u64,
+) -> Simulator<AffNode> {
+    let wire = WireConfig::aff(retri::IdentifierSpace::new(id_bits).expect("valid width"));
+    let radio = RadioConfig::radiometrix_rpc();
+    let specs_owned: Vec<NodeSpec> = specs.to_vec();
+    let wire_for_factory = wire.clone();
+    let mut sim = SimBuilder::new(seed)
+        .radio(radio)
+        .mac(MacConfig::csma())
+        .range(100.0)
+        .build(move |id: NodeId| match specs_owned[id.index()].role {
+            Role::Sender { packet_bytes } => {
+                let workload = Workload {
+                    packet_bytes,
+                    start: SimTime::ZERO,
+                    stop,
+                    mode,
+                };
+                AffNode::Sender(
+                    AffSender::new(
+                        wire_for_factory.clone(),
+                        radio.max_frame_bytes,
+                        policy,
+                        workload,
+                        None,
+                    )
+                    .expect("wire fits the radio"),
+                )
+            }
+            Role::Receiver => AffNode::Receiver(AffReceiver::new(
+                wire_for_factory.clone(),
+                300_000,
+            )),
+        });
+    for spec in specs {
+        sim.add_node_at(spec.position);
+    }
+    sim.run_until(stop + SimDuration::from_secs(2));
+    sim
+}
+
+fn receiver_loss(sim: &Simulator<AffNode>, receiver: NodeId) -> f64 {
+    sim.protocol(receiver)
+        .as_receiver()
+        .expect("node is the receiver")
+        .collision_loss_rate()
+        .unwrap_or(0.0)
+}
+
+// ---------------------------------------------------------------------
+// Ablation 1: listening-window size
+// ---------------------------------------------------------------------
+
+/// One window size's measured collision rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowPoint {
+    /// Avoidance window, in observations (0 = uniform selection).
+    pub window: usize,
+    /// Observed collision rates across trials.
+    pub observed: Summary,
+}
+
+/// Sweeps the listening window at a fixed marginal identifier width
+/// (4 bits, where T = 5 makes collisions common).
+#[must_use]
+pub fn listening_window(level: EffortLevel) -> Vec<WindowPoint> {
+    let windows = [0usize, 5, 10, 20, 80];
+    windows
+        .iter()
+        .map(|&window| {
+            let policy = if window == 0 {
+                SelectorPolicy::Uniform
+            } else {
+                SelectorPolicy::Listening { window }
+            };
+            let mut testbed = Testbed::paper(4, policy);
+            testbed.workload.stop = SimTime::from_secs(level.trial_secs());
+            let rates: Vec<f64> = (0..level.trials())
+                .map(|trial| testbed.run(0xAB0 + trial).collision_loss_rate)
+                .collect();
+            WindowPoint {
+                window,
+                observed: Summary::of(&rates),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Ablation 2: hidden terminals
+// ---------------------------------------------------------------------
+
+/// Fully-connected vs. hidden-terminal geometry at the same offered
+/// load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HiddenTerminalResult {
+    /// Identifier-collision loss with both senders in range of each
+    /// other.
+    pub connected_loss: Summary,
+    /// Identifier-collision loss with the senders hidden from each
+    /// other.
+    pub hidden_loss: Summary,
+    /// RF-collision counts (medium level) for the connected geometry.
+    pub connected_rf: Summary,
+    /// RF-collision counts for the hidden geometry.
+    pub hidden_rf: Summary,
+}
+
+/// Two senders, one receiver, a *paced* workload (one 40-byte packet
+/// every ~100 ms) so the channel is loaded but not saturated. In the
+/// connected geometry carrier sense avoids RF collisions and listening
+/// avoids identifier collisions; hidden terminals defeat both — RF
+/// collisions rise and identifier collisions return toward the blind
+/// rate, the limitation the paper concedes in Section 3.2.
+#[must_use]
+pub fn hidden_terminal(level: EffortLevel) -> HiddenTerminalResult {
+    let stop = SimTime::from_secs(level.trial_secs());
+    let policy = SelectorPolicy::Listening { window: 8 };
+    let id_bits = 2; // narrow space so identifier collisions are visible
+    let mode = WorkloadMode::Periodic {
+        period: SimDuration::from_millis(100),
+    };
+    let sender = |x: f64| NodeSpec {
+        position: Position::new(x, 0.0),
+        role: Role::Sender { packet_bytes: 40 },
+    };
+    let receiver = NodeSpec {
+        position: Position::new(0.0, 0.0),
+        role: Role::Receiver,
+    };
+    let connected = [sender(-30.0), receiver, sender(30.0)];
+    let hidden = [sender(-90.0), receiver, sender(90.0)];
+
+    let mut connected_loss = Vec::new();
+    let mut hidden_loss = Vec::new();
+    let mut connected_rf = Vec::new();
+    let mut hidden_rf = Vec::new();
+    for trial in 0..level.trials() {
+        let sim = run_aff_scenario(&connected, id_bits, policy, mode, stop, 0xC0 + trial);
+        connected_loss.push(receiver_loss(&sim, NodeId(1)));
+        connected_rf.push(sim.stats().rf_collisions as f64);
+        let sim = run_aff_scenario(&hidden, id_bits, policy, mode, stop, 0xC0 + trial);
+        hidden_loss.push(receiver_loss(&sim, NodeId(1)));
+        hidden_rf.push(sim.stats().rf_collisions as f64);
+    }
+    HiddenTerminalResult {
+        connected_loss: Summary::of(&connected_loss),
+        hidden_loss: Summary::of(&hidden_loss),
+        connected_rf: Summary::of(&connected_rf),
+        hidden_rf: Summary::of(&hidden_rf),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ablation 3: non-uniform transaction lengths
+// ---------------------------------------------------------------------
+
+/// Measured vs. modeled collision rates under mixed packet sizes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixedLengthResult {
+    /// Observed aggregate collision rate.
+    pub observed: Summary,
+    /// The equal-length Eq. 4 prediction at the same density.
+    pub eq4_prediction: f64,
+    /// The mixed-length extension's prediction.
+    pub mixed_prediction: f64,
+}
+
+/// Five senders with packet sizes 20/20/80/80/200 bytes (short flows
+/// competing with a long one — the Section 4.1 caveat), 6-bit
+/// identifiers.
+///
+/// # Panics
+///
+/// Panics if the simulation produces no transactions (cannot happen at
+/// the configured workloads).
+#[must_use]
+pub fn mixed_lengths(level: EffortLevel) -> MixedLengthResult {
+    let id_bits = 6u8;
+    let sizes = [20usize, 20, 80, 80, 200];
+    let stop = SimTime::from_secs(level.trial_secs());
+    let mut specs: Vec<NodeSpec> = Vec::new();
+    let topo = Topology::full_mesh(sizes.len() + 1, 100.0);
+    for (i, &packet_bytes) in sizes.iter().enumerate() {
+        specs.push(NodeSpec {
+            position: topo.position(NodeId(i as u32)),
+            role: Role::Sender { packet_bytes },
+        });
+    }
+    specs.push(NodeSpec {
+        position: topo.position(NodeId(sizes.len() as u32)),
+        role: Role::Receiver,
+    });
+    let receiver = NodeId(sizes.len() as u32);
+
+    let mut rates = Vec::new();
+    let mut offered_per_size: Vec<f64> = vec![0.0; sizes.len()];
+    for trial in 0..level.trials() {
+        let sim = run_aff_scenario(
+            &specs,
+            id_bits,
+            SelectorPolicy::Uniform,
+            WorkloadMode::Saturate {
+                poll: SimDuration::from_millis(2),
+            },
+            stop,
+            0xD00 + trial,
+        );
+        rates.push(receiver_loss(&sim, receiver));
+        for (i, _) in sizes.iter().enumerate() {
+            offered_per_size[i] += sim
+                .protocol(NodeId(i as u32))
+                .as_sender()
+                .expect("sender node")
+                .stats()
+                .packets_sent as f64;
+        }
+    }
+
+    // Duration of a transaction is proportional to its fragment count;
+    // class weights are the measured shares of offered transactions.
+    let wire = WireConfig::aff(retri::IdentifierSpace::new(id_bits).expect("valid"));
+    let fragmenter = retri_aff::Fragmenter::new(wire, 27).expect("fits the radio");
+    let classes: Vec<DurationClass> = sizes
+        .iter()
+        .zip(&offered_per_size)
+        .map(|(&bytes, &count)| DurationClass {
+            weight: count.max(1e-9),
+            duration: fragmenter.fragments_per_packet(bytes) as f64,
+        })
+        .collect();
+    let mixed_model = MixedLengthModel::new(classes).expect("valid distribution");
+    let h = IdBits::new(id_bits).expect("valid width");
+    let t = Density::new(sizes.len() as u64).expect("positive");
+    MixedLengthResult {
+        observed: Summary::of(&rates),
+        eq4_prediction: p_collision(h, t),
+        mixed_prediction: mixed_model.p_collision(h, t),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ablation 4: dynamic local allocation under churn
+// ---------------------------------------------------------------------
+
+/// One churn rate's overhead accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnPoint {
+    /// Mean time between one node's death-rebirth cycles, seconds
+    /// (`u64::MAX` encodes "no churn").
+    pub churn_period_secs: u64,
+    /// Allocation-protocol bits per node over the run.
+    pub control_bits: u64,
+    /// Application data bits per node over the run.
+    pub data_bits: u64,
+    /// Control overhead per data bit.
+    pub overhead_ratio: f64,
+}
+
+/// Sweeps churn for an 8-node mesh running the dynamic local-address
+/// allocation protocol with the paper's low-rate sensor workload.
+///
+/// The comparison number for AFF is analytic and constant: an H-bit
+/// ephemeral identifier on D data bits costs exactly `H / D` overhead
+/// per data bit, churn or no churn — re-derived by the caller from the
+/// model. The dynamic protocol's overhead grows with churn, which is
+/// the paper's Section 2.3 argument.
+#[must_use]
+pub fn dynamic_churn(level: EffortLevel) -> Vec<ChurnPoint> {
+    let nodes = 8usize;
+    let run_secs = (level.trial_secs() * 10).max(120);
+    let periods: Vec<Option<u64>> = vec![None, Some(120), Some(60), Some(30)];
+    periods
+        .into_iter()
+        .map(|churn| {
+            let config = DynamicAddrConfig::default();
+            let sim = if let Some(period) = churn {
+                let mut sim = {
+                    let mut sim = SimBuilder::new(0xE0)
+                        .radio(RadioConfig::radiometrix_rpc())
+                        .mac(MacConfig::csma())
+                        .range(100.0)
+                        .build(move |_| {
+                            retri_baselines::DynamicAddrNode::new(config)
+                        });
+                    let topo = Topology::full_mesh(nodes, 100.0);
+                    for id in topo.node_ids() {
+                        sim.add_node_at(topo.position(id));
+                    }
+                    sim
+                };
+                // Stagger deaths round-robin across nodes.
+                let mut at = period;
+                let mut victim = 0u32;
+                while at + 5 < run_secs {
+                    sim.schedule_set_alive(SimTime::from_secs(at), NodeId(victim), false);
+                    sim.schedule_set_alive(SimTime::from_secs(at + 5), NodeId(victim), true);
+                    victim = (victim + 1) % nodes as u32;
+                    at += period / nodes as u64 + 1;
+                }
+                sim.run_until(SimTime::from_secs(run_secs));
+                sim
+            } else {
+                run_mesh(nodes, config, SimDuration::from_secs(run_secs), 0xE0)
+            };
+            let mut control = 0u64;
+            let mut data = 0u64;
+            for id in sim.node_ids() {
+                let stats = sim.protocol(id).stats();
+                control += stats.control_bits_sent;
+                data += stats.data_bits_sent;
+            }
+            ChurnPoint {
+                churn_period_secs: churn.unwrap_or(u64::MAX),
+                control_bits: control,
+                data_bits: data,
+                overhead_ratio: if data == 0 {
+                    f64::INFINITY
+                } else {
+                    control as f64 / data as f64
+                },
+            }
+        })
+        .collect()
+}
+
+/// The centralized (WINS-style) comparator at the same churn levels:
+/// a controller assigns addresses on request.
+#[must_use]
+pub fn central_churn(level: EffortLevel) -> Vec<ChurnPoint> {
+    use retri_baselines::central_alloc::{run_cluster, CentralAllocConfig, CentralAllocNode};
+    let clients = 7usize; // 8 nodes total, matching the dynamic mesh
+    let run_secs = (level.trial_secs() * 10).max(120);
+    let periods: Vec<Option<u64>> = vec![None, Some(120), Some(60), Some(30)];
+    periods
+        .into_iter()
+        .map(|churn| {
+            let config = CentralAllocConfig::default();
+            let sim = if let Some(period) = churn {
+                let mut sim = SimBuilder::new(0xE1)
+                    .radio(RadioConfig::radiometrix_rpc())
+                    .mac(MacConfig::csma())
+                    .range(100.0)
+                    .build(move |id: NodeId| {
+                        if id.index() == 0 {
+                            CentralAllocNode::controller(config)
+                        } else {
+                            CentralAllocNode::client(config)
+                        }
+                    });
+                let topo = Topology::full_mesh(clients + 1, 100.0);
+                for id in topo.node_ids() {
+                    sim.add_node_at(topo.position(id));
+                }
+                // Same staggered churn pattern as the dynamic mesh, but
+                // never killing the controller (that would be the
+                // single-point-of-failure experiment, shown separately).
+                let mut at = period;
+                let mut victim = 1u32;
+                while at + 5 < run_secs {
+                    sim.schedule_set_alive(SimTime::from_secs(at), NodeId(victim), false);
+                    sim.schedule_set_alive(SimTime::from_secs(at + 5), NodeId(victim), true);
+                    victim = victim % clients as u32 + 1;
+                    at += period / (clients + 1) as u64 + 1;
+                }
+                sim.run_until(SimTime::from_secs(run_secs));
+                sim
+            } else {
+                run_cluster(clients, config, SimDuration::from_secs(run_secs), 0xE1)
+            };
+            let mut control = 0u64;
+            let mut data = 0u64;
+            for id in sim.node_ids() {
+                let stats = sim.protocol(id).stats();
+                control += stats.control_bits_sent;
+                data += stats.data_bits_sent;
+            }
+            ChurnPoint {
+                churn_period_secs: churn.unwrap_or(u64::MAX),
+                control_bits: control,
+                data_bits: data,
+                overhead_ratio: if data == 0 {
+                    f64::INFINITY
+                } else {
+                    control as f64 / data as f64
+                },
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Ablation 5: density scaling
+// ---------------------------------------------------------------------
+
+/// One network size's scaling comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingPoint {
+    /// Independent clusters in the network.
+    pub clusters: usize,
+    /// Total nodes in the network.
+    pub total_nodes: usize,
+    /// Mean identifier-collision loss across cluster receivers
+    /// (constant: density does not grow with the network).
+    pub observed_loss: Summary,
+    /// Address bits a globally unique static allocation needs at this
+    /// size (grows with the network).
+    pub static_bits_required: u8,
+    /// The AFF identifier width in use (constant).
+    pub aff_bits: u8,
+}
+
+/// Grows a network by adding far-apart clusters of 3 senders + 1
+/// receiver. Every cluster reuses the same 6-bit identifier space; the
+/// per-cluster collision rate stays flat while the static address
+/// requirement grows logarithmically with the node count — the paper's
+/// central scaling claim (Section 4.3).
+#[must_use]
+pub fn density_scaling(level: EffortLevel) -> Vec<ScalingPoint> {
+    let aff_bits = 6u8;
+    let stop = SimTime::from_secs(level.trial_secs());
+    [1usize, 2, 4, 8]
+        .iter()
+        .map(|&clusters| {
+            let mut specs = Vec::new();
+            let mut receivers = Vec::new();
+            for c in 0..clusters {
+                // Clusters 10 km apart: mutually silent.
+                let base = c as f64 * 10_000.0;
+                let cluster_topo = Topology::full_mesh(4, 100.0);
+                for i in 0..3u32 {
+                    let p = cluster_topo.position(NodeId(i));
+                    specs.push(NodeSpec {
+                        position: Position::new(base + p.x, p.y),
+                        role: Role::Sender { packet_bytes: 80 },
+                    });
+                }
+                let p = cluster_topo.position(NodeId(3));
+                receivers.push(specs.len());
+                specs.push(NodeSpec {
+                    position: Position::new(base + p.x, p.y),
+                    role: Role::Receiver,
+                });
+            }
+            let mut losses = Vec::new();
+            for trial in 0..level.trials() {
+                let sim = run_aff_scenario(
+                    &specs,
+                    aff_bits,
+                    SelectorPolicy::Uniform,
+                    WorkloadMode::Saturate {
+                        poll: SimDuration::from_millis(2),
+                    },
+                    stop,
+                    0xF00 + trial,
+                );
+                for &r in &receivers {
+                    losses.push(receiver_loss(&sim, NodeId(r as u32)));
+                }
+            }
+            ScalingPoint {
+                clusters,
+                total_nodes: specs.len(),
+                observed_loss: Summary::of(&losses),
+                static_bits_required: StaticAllocator::bits_required(specs.len() as u64),
+                aff_bits,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Ablation 6: MAC robustness
+// ---------------------------------------------------------------------
+
+/// One (MAC, width) cell of the MAC-robustness study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacPoint {
+    /// MAC label ("CSMA" / "ALOHA").
+    pub mac: &'static str,
+    /// Identifier width.
+    pub id_bits: u8,
+    /// Identifier-collision loss among delivered packets.
+    pub id_loss: Summary,
+    /// Ground-truth packets delivered per trial (shows the MAC's RF
+    /// cost).
+    pub delivered: Summary,
+}
+
+/// Runs the testbed under CSMA and pure ALOHA at a paced (60% duty)
+/// load. The claim under test: identifier collisions are a property of
+/// identifier selection and concurrency, not of the MAC — the id-loss
+/// columns should roughly agree even though ALOHA loses far more frames
+/// to RF collisions.
+#[must_use]
+pub fn mac_robustness(level: EffortLevel) -> Vec<MacPoint> {
+    let mut points = Vec::new();
+    for (label, mac) in [("CSMA", MacConfig::csma()), ("ALOHA", MacConfig::aloha())] {
+        for bits in [3u8, 4, 6] {
+            let mut testbed = Testbed::paper(bits, SelectorPolicy::Uniform);
+            testbed.mac = mac;
+            // Paced load: each sender offers a packet every 300 ms
+            // (~35 ms of airtime each, 5 senders ≈ 60% channel duty).
+            testbed.workload.mode = retri_aff::sender::WorkloadMode::Periodic {
+                period: SimDuration::from_millis(300),
+            };
+            testbed.workload.stop = SimTime::from_secs(level.trial_secs());
+            let mut losses = Vec::new();
+            let mut delivered = Vec::new();
+            for trial in 0..level.trials() {
+                let result = testbed.run(0x3AC0 + trial);
+                losses.push(result.collision_loss_rate);
+                delivered.push(result.truth_delivered as f64);
+            }
+            points.push(MacPoint {
+                mac: label,
+                id_bits: bits,
+                id_loss: Summary::of(&losses),
+                delivered: Summary::of(&delivered),
+            });
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listening_window_monotone_improvement() {
+        let points = listening_window(EffortLevel::Quick);
+        assert_eq!(points.len(), 5);
+        let blind = &points[0];
+        let widest = points.last().unwrap();
+        assert!(widest.observed.mean < blind.observed.mean);
+    }
+
+    #[test]
+    fn hidden_terminals_hurt() {
+        let result = hidden_terminal(EffortLevel::Quick);
+        assert!(
+            result.hidden_rf.mean > result.connected_rf.mean,
+            "hidden geometry must produce more RF collisions: {result:?}"
+        );
+        assert!(
+            result.hidden_loss.mean >= result.connected_loss.mean,
+            "listening cannot work across hidden terminals: {result:?}"
+        );
+    }
+
+    #[test]
+    fn mixed_lengths_predictions_are_finite() {
+        let result = mixed_lengths(EffortLevel::Quick);
+        assert!(result.observed.mean >= 0.0 && result.observed.mean <= 1.0);
+        assert!(result.eq4_prediction > 0.0);
+        assert!(result.mixed_prediction > 0.0);
+        assert!(
+            (result.mixed_prediction - result.eq4_prediction).abs() > 1e-6,
+            "the mixed model must differ from the equal-length assumption"
+        );
+    }
+
+    #[test]
+    fn churn_increases_overhead() {
+        let points = dynamic_churn(EffortLevel::Quick);
+        let stable = &points[0];
+        let churned = points.last().unwrap();
+        assert!(
+            churned.overhead_ratio > stable.overhead_ratio,
+            "churn must raise allocation overhead: {points:?}"
+        );
+    }
+
+    #[test]
+    fn mac_choice_does_not_create_or_hide_id_collisions() {
+        let points = mac_robustness(EffortLevel::Quick);
+        for bits in [3u8, 4, 6] {
+            let csma = points
+                .iter()
+                .find(|p| p.mac == "CSMA" && p.id_bits == bits)
+                .unwrap();
+            let aloha = points
+                .iter()
+                .find(|p| p.mac == "ALOHA" && p.id_bits == bits)
+                .unwrap();
+            // ALOHA delivers (far) fewer packets...
+            assert!(aloha.delivered.mean < csma.delivered.mean);
+            // ...but the identifier-collision rate among what does get
+            // through stays in the same regime (within 0.15 absolute at
+            // Quick effort).
+            assert!(
+                (aloha.id_loss.mean - csma.id_loss.mean).abs() < 0.15,
+                "H={bits}: ALOHA {:?} vs CSMA {:?}",
+                aloha.id_loss,
+                csma.id_loss
+            );
+        }
+    }
+
+    #[test]
+    fn scaling_keeps_local_loss_flat_while_static_grows() {
+        let points = density_scaling(EffortLevel::Quick);
+        let first = &points[0];
+        let last = points.last().unwrap();
+        assert!(last.static_bits_required > first.static_bits_required);
+        assert_eq!(first.aff_bits, last.aff_bits);
+        // Loss stays in the same ballpark (no growth with network size):
+        // allow generous slack for sampling noise at Quick effort.
+        assert!(
+            (last.observed_loss.mean - first.observed_loss.mean).abs() < 0.15,
+            "per-cluster loss should not grow with network size: {points:?}"
+        );
+    }
+}

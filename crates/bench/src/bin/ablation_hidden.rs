@@ -1,0 +1,50 @@
+//! Ablation: hidden terminals.
+//!
+//! Section 3.2 concedes that listening "is not guaranteed to work
+//! perfectly: two nodes that are not in range of each other might pick
+//! the same identifier when trying to communicate with a receiver that
+//! lies in between them." This experiment puts two senders at the edge
+//! of the receiver's range, mutually inaudible, and compares against
+//! the same load fully connected.
+//!
+//! Usage: `ablation_hidden [--quick | --paper]`.
+
+use retri_bench::ablations;
+use retri_bench::table::{self, f};
+use retri_bench::EffortLevel;
+
+fn main() {
+    let level = EffortLevel::from_args();
+    println!(
+        "Ablation: hidden terminals, 2 senders + middle receiver, 2-bit ids, listening on\n\
+         ({} trials x {} s)\n",
+        level.trials(),
+        level.trial_secs()
+    );
+    let result = ablations::hidden_terminal(level);
+    let rows = vec![
+        vec![
+            "fully connected".to_string(),
+            f(result.connected_loss.mean),
+            f(result.connected_loss.std_dev),
+            f(result.connected_rf.mean),
+        ],
+        vec![
+            "hidden terminals".to_string(),
+            f(result.hidden_loss.mean),
+            f(result.hidden_loss.std_dev),
+            f(result.hidden_rf.mean),
+        ],
+    ];
+    print!(
+        "{}",
+        table::render(
+            &["geometry", "id-collision loss", "std_dev", "RF collisions"],
+            &rows,
+        )
+    );
+    println!(
+        "\nHidden senders defeat carrier sense (more RF collisions) and\n\
+         listening (identifier collisions return toward the blind rate)."
+    );
+}

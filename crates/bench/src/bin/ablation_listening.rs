@@ -1,0 +1,37 @@
+//! Ablation: listening-window size.
+//!
+//! Section 5.1 adaptively sizes the avoidance window to the `2T` most
+//! recent transactions. This sweep varies the window at a fixed
+//! marginal identifier width (4 bits, T = 5) from no listening through
+//! 16T, showing the diminishing returns the paper predicts ("listening
+//! is usually not as helpful as making the identifier pool larger").
+//!
+//! Usage: `ablation_listening [--quick | --paper]`.
+
+use retri_bench::ablations;
+use retri_bench::table::{self, f};
+use retri_bench::EffortLevel;
+
+fn main() {
+    let level = EffortLevel::from_args();
+    println!(
+        "Ablation: listening window at 4-bit identifiers, T=5 ({} trials x {} s)\n",
+        level.trials(),
+        level.trial_secs()
+    );
+    let points = ablations::listening_window(level);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            let label = match p.window {
+                0 => "0 (uniform)".to_string(),
+                w => format!("{w} (≈{}T)", w / 5),
+            };
+            vec![label, f(p.observed.mean), f(p.observed.std_dev)]
+        })
+        .collect();
+    print!(
+        "{}",
+        table::render(&["window", "collision loss", "std_dev"], &rows)
+    );
+}

@@ -1,0 +1,76 @@
+//! Ablation: explicit collision notifications (paper Section 3.2).
+//!
+//! "To help alleviate this problem, the receiver could try to send an
+//! explicit 'identifier collision notification' to the two senders."
+//! This experiment enables exactly that: the receiver broadcasts a
+//! notification when two introductions conflict on one identifier, and
+//! senders retransmit the collided packet once under a fresh
+//! identifier. The mechanism costs one extra kind bit on every fragment
+//! plus the notification frames themselves; the benefit is recovered
+//! deliveries at narrow identifier widths.
+//!
+//! Usage: `ablation_notification [--quick | --paper]`.
+
+use retri_aff::{SelectorPolicy, Testbed};
+use retri_bench::table::{self, f};
+use retri_bench::EffortLevel;
+use retri_model::stats::Summary;
+use retri_netsim::SimTime;
+
+fn main() {
+    let level = EffortLevel::from_args();
+    println!(
+        "Ablation: collision notifications + fresh-id retransmission, T=5\n\
+         ({} trials x {} s per point)\n",
+        level.trials(),
+        level.trial_secs()
+    );
+    let mut rows = Vec::new();
+    for bits in [2u8, 3, 4, 5, 6, 8] {
+        for notifications in [false, true] {
+            let mut testbed = Testbed::paper(bits, SelectorPolicy::Uniform);
+            if notifications {
+                testbed = testbed.with_notifications();
+            }
+            testbed.workload.stop = SimTime::from_secs(level.trial_secs());
+            let mut ratios = Vec::new();
+            let mut retransmissions = 0u64;
+            let mut extra_bits = 0i64;
+            for trial in 0..level.trials() {
+                let result = testbed.run(0x9070 + trial);
+                ratios.push(result.delivery_ratio());
+                retransmissions += result.retransmissions;
+                extra_bits += result.total_bits_sent as i64;
+            }
+            let ratio = Summary::of(&ratios);
+            rows.push(vec![
+                bits.to_string(),
+                if notifications { "on" } else { "off" }.to_string(),
+                f(ratio.mean),
+                f(ratio.std_dev),
+                retransmissions.to_string(),
+                (extra_bits / level.trials() as i64).to_string(),
+            ]);
+        }
+    }
+    print!(
+        "{}",
+        table::render(
+            &[
+                "id_bits",
+                "notify",
+                "delivery ratio",
+                "std_dev",
+                "retransmits",
+                "bits/trial",
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "\nNotifications recover deliveries where collisions are common\n\
+         (narrow identifiers) and idle where they are rare — but every\n\
+         fragment pays one extra kind bit, so at well-provisioned widths\n\
+         the plain wire is strictly cheaper."
+    );
+}

@@ -1,0 +1,51 @@
+//! Runs the complete evaluation: every figure, the measured-efficiency
+//! comparison, and every ablation, in order, at the chosen effort.
+//!
+//! Usage: `all_experiments [--quick | --paper]` — flags are forwarded
+//! to each experiment binary.
+//!
+//! This is what regenerates the numbers recorded in EXPERIMENTS.md.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "efficiency_measured",
+    "ablation_listening",
+    "ablation_hidden",
+    "ablation_lengths",
+    "ablation_dynamic_addr",
+    "ablation_scaling",
+    "ablation_notification",
+    "ablation_duty_cycle",
+    "ablation_energy",
+    "ablation_mac",
+    "ablation_density",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .expect("current executable path")
+        .parent()
+        .expect("executable lives in a directory")
+        .to_path_buf();
+    for (index, name) in EXPERIMENTS.iter().enumerate() {
+        println!(
+            "\n======================================================================\n\
+             [{}/{}] {name}\n\
+             ======================================================================",
+            index + 1,
+            EXPERIMENTS.len()
+        );
+        let status = Command::new(exe_dir.join(name))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|err| panic!("failed to launch {name}: {err}"));
+        assert!(status.success(), "{name} exited with {status}");
+    }
+    println!("\nAll {} experiments completed.", EXPERIMENTS.len());
+}

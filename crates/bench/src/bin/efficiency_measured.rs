@@ -1,0 +1,70 @@
+//! Measured end-to-end efficiency: AFF vs. static addressing on the
+//! same simulated radios.
+//!
+//! Figures 1–3 are analytic; this experiment closes the loop by
+//! *measuring* Eq. 1 (useful bits received / total bits transmitted) on
+//! the simulator for both schemes under the identical five-transmitter
+//! workload. Protocol framing (fragment kind, offsets, lengths,
+//! checksums, preamble) affects both schemes alike, so absolute values
+//! sit below the analytic curves, but the ordering — who wins at which
+//! identifier width — is the paper's claim under test.
+//!
+//! Usage: `efficiency_measured [--quick | --paper]`.
+
+use retri_aff::{SelectorPolicy, Testbed};
+use retri_baselines::StaticTestbed;
+use retri_bench::table::{self, f};
+use retri_bench::EffortLevel;
+use retri_netsim::SimTime;
+
+fn main() {
+    let level = EffortLevel::from_args();
+    let packet_bits = 80.0 * 8.0;
+    println!(
+        "Measured efficiency, 80-byte packets, 5 transmitters -> 1 receiver ({} trials x {} s)\n",
+        level.trials(),
+        level.trial_secs()
+    );
+
+    let mut rows = Vec::new();
+    for bits in [4u8, 6, 8, 10, 12, 16] {
+        let mut testbed = Testbed::paper(bits, SelectorPolicy::Uniform);
+        testbed.workload.stop = SimTime::from_secs(level.trial_secs());
+        let mut eff = 0.0;
+        let mut loss = 0.0;
+        for trial in 0..level.trials() {
+            let result = testbed.run(0xAFF0 + trial);
+            eff += result.aff_delivered as f64 * packet_bits / result.total_bits_sent as f64;
+            loss += result.collision_loss_rate;
+        }
+        let n = level.trials() as f64;
+        rows.push(vec![
+            format!("AFF {bits}-bit"),
+            f(eff / n),
+            f(loss / n),
+        ]);
+    }
+    for bits in [16u8, 32, 48] {
+        let mut testbed = StaticTestbed::paper(bits);
+        testbed.workload.stop = SimTime::from_secs(level.trial_secs());
+        let mut eff = 0.0;
+        for trial in 0..level.trials() {
+            let result = testbed.run(0x5AA0 + trial);
+            eff += result.measured_efficiency();
+        }
+        rows.push(vec![
+            format!("static {bits}-bit (+8-bit seq)"),
+            f(eff / level.trials() as f64),
+            f(0.0),
+        ]);
+    }
+    print!(
+        "{}",
+        table::render(&["scheme", "measured efficiency", "collision loss"], &rows)
+    );
+    println!(
+        "\nPaper check: mid-width AFF beats every static width; very narrow\n\
+         AFF loses to collisions, very wide AFF converges to static of the\n\
+         same width (Figure 1's shape, measured)."
+    );
+}

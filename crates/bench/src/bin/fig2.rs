@@ -1,0 +1,55 @@
+//! Figure 2: Efficiency of AFF vs. static allocation for 128-bit data.
+//!
+//! Same sweep as Figure 1 with larger data: static allocation amortizes
+//! better and the AFF optimum shifts to more bits (collisions waste
+//! more data, so suppressing them is worth more header).
+
+use retri_bench::figures;
+use retri_bench::table::{self, f};
+
+fn main() {
+    let json = retri_bench::json_path_from_args();
+    const DATA_BITS: u32 = 128;
+    const DENSITIES: [u64; 3] = [16, 256, 65536];
+    const STATICS: [u8; 2] = [16, 32];
+
+    println!("Figure 2: Efficiency of AFF vs. static allocation, {DATA_BITS}-bit data\n");
+    let rows = figures::efficiency_vs_width(DATA_BITS, &DENSITIES, &STATICS, 32);
+    if let Some(path) = &json {
+        retri_bench::write_json(path, &rows);
+    }
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            let mut cells = vec![row.id_bits.to_string()];
+            cells.extend(row.aff.iter().map(|&e| f(e)));
+            cells.extend(row.static_lines.iter().map(|&e| f(e)));
+            cells
+        })
+        .collect();
+    print!(
+        "{}",
+        table::render(
+            &[
+                "id_bits",
+                "AFF T=16",
+                "AFF T=256",
+                "AFF T=65536",
+                "static 16-bit",
+                "static 32-bit",
+            ],
+            &printable,
+        )
+    );
+
+    println!("\nOptimal identifier sizes (curve peaks):");
+    for (t, bits, eff) in figures::optima(DATA_BITS, &DENSITIES) {
+        println!("  T={t:<6} optimum at {bits:>2} bits, efficiency {}", f(eff));
+    }
+    let small = figures::optima(16, &DENSITIES);
+    let large = figures::optima(DATA_BITS, &DENSITIES);
+    println!("\nPaper check: every optimum sits at more bits than with 16-bit data:");
+    for (s, l) in small.iter().zip(&large) {
+        println!("  T={:<6} {} bits -> {} bits", s.0, s.1, l.1);
+    }
+}

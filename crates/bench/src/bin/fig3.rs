@@ -1,0 +1,52 @@
+//! Figure 3: Efficiency vs. load for 16-bit data.
+//!
+//! Shows the paper's load perspective: statically assigned identifiers
+//! hold constant efficiency until the address space is exhausted, after
+//! which they are undefined (the line ends); AFF degrades gracefully
+//! and keeps working past that point — though "networks should never be
+//! so severely underprovisioned by design".
+
+use retri_bench::figures;
+use retri_bench::table::{self, f, opt};
+
+fn main() {
+    let json = retri_bench::json_path_from_args();
+    const DATA_BITS: u32 = 16;
+    const AFF_BITS: [u8; 3] = [9, 12, 16];
+    const STATIC_BITS: [u8; 3] = [5, 8, 16];
+
+    println!("Figure 3: Efficiency vs. load (transaction density), {DATA_BITS}-bit data\n");
+    let rows = figures::efficiency_vs_load(DATA_BITS, &AFF_BITS, &STATIC_BITS, 1 << 20);
+    if let Some(path) = &json {
+        retri_bench::write_json(path, &rows);
+    }
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            let mut cells = vec![row.density.to_string()];
+            cells.extend(row.aff.iter().map(|&e| f(e)));
+            cells.extend(row.static_lines.iter().map(|&e| opt(e)));
+            cells
+        })
+        .collect();
+    print!(
+        "{}",
+        table::render(
+            &[
+                "T",
+                "AFF 9-bit",
+                "AFF 12-bit",
+                "AFF 16-bit",
+                "static 5-bit",
+                "static 8-bit",
+                "static 16-bit",
+            ],
+            &printable,
+        )
+    );
+    println!(
+        "\n'-' marks loads where a static space has fewer addresses than\n\
+         concurrent transactions: the scheme is undefined there, while\n\
+         every AFF column is defined at every load."
+    );
+}

@@ -1,0 +1,291 @@
+//! Data generation for the paper's four evaluation figures.
+
+use retri_aff::{SelectorPolicy, Testbed};
+use retri_model::stats::Summary;
+use retri_model::sweep;
+use retri_model::{p_collision, DataBits, Density, IdBits};
+use retri_netsim::SimTime;
+
+use crate::EffortLevel;
+
+/// One row of Figures 1–2: AFF efficiency per density, plus the static
+/// flat lines, at one identifier width.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct EfficiencyRow {
+    /// Identifier width (x-axis).
+    pub id_bits: u8,
+    /// AFF efficiency per requested density, in input order.
+    pub aff: Vec<f64>,
+    /// Static efficiency per requested address width, in input order
+    /// (constant down the column).
+    pub static_lines: Vec<f64>,
+}
+
+/// Figures 1–2: efficiency vs. identifier bits.
+///
+/// Figure 1 is `data_bits = 16`; Figure 2 is `data_bits = 128`. Both
+/// use `densities = [16, 256, 65536]` and static comparators of 16 and
+/// 32 bits.
+///
+/// # Panics
+///
+/// Panics on invalid parameter values (these are fixed by the callers).
+#[must_use]
+pub fn efficiency_vs_width(
+    data_bits: u32,
+    densities: &[u64],
+    static_bits: &[u8],
+    max_width: u8,
+) -> Vec<EfficiencyRow> {
+    let data = DataBits::new(data_bits).expect("positive data size");
+    (1..=max_width)
+        .map(|h| {
+            let id = IdBits::new(h).expect("valid width");
+            EfficiencyRow {
+                id_bits: h,
+                aff: densities
+                    .iter()
+                    .map(|&t| {
+                        retri_model::aff_efficiency(
+                            data,
+                            id,
+                            Density::new(t).expect("positive density"),
+                        )
+                        .get()
+                    })
+                    .collect(),
+                static_lines: static_bits
+                    .iter()
+                    .map(|&bits| {
+                        retri_model::static_efficiency(
+                            data,
+                            IdBits::new(bits).expect("valid width"),
+                        )
+                        .get()
+                    })
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+/// The per-density optimum annotations of Figures 1–2.
+#[must_use]
+pub fn optima(data_bits: u32, densities: &[u64]) -> Vec<(u64, u8, f64)> {
+    let data = DataBits::new(data_bits).expect("positive data size");
+    densities
+        .iter()
+        .map(|&t| {
+            let opt =
+                retri_model::optimal_id_bits(data, Density::new(t).expect("positive density"));
+            (t, opt.id_bits.get(), opt.efficiency.get())
+        })
+        .collect()
+}
+
+/// One row of Figure 3: efficiency vs. load.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct LoadRow {
+    /// Transaction density (x-axis).
+    pub density: u64,
+    /// AFF efficiency per requested identifier width.
+    pub aff: Vec<f64>,
+    /// Static efficiency per requested address width; `None` once the
+    /// space is exhausted (the line simply ends, as in the paper).
+    pub static_lines: Vec<Option<f64>>,
+}
+
+/// Figure 3: efficiency vs. load for 16-bit data.
+///
+/// # Panics
+///
+/// Panics on invalid parameter values.
+#[must_use]
+pub fn efficiency_vs_load(
+    data_bits: u32,
+    aff_bits: &[u8],
+    static_bits: &[u8],
+    max_load: u64,
+) -> Vec<LoadRow> {
+    let data = DataBits::new(data_bits).expect("positive data size");
+    let loads = sweep::geometric_loads(max_load);
+    loads
+        .iter()
+        .map(|&t| LoadRow {
+            density: t.get(),
+            aff: aff_bits
+                .iter()
+                .map(|&bits| {
+                    retri_model::aff_efficiency(
+                        data,
+                        IdBits::new(bits).expect("valid width"),
+                        t,
+                    )
+                    .get()
+                })
+                .collect(),
+            static_lines: static_bits
+                .iter()
+                .map(|&bits| {
+                    let id = IdBits::new(bits).expect("valid width");
+                    if u128::from(t.get()) <= id.space_len() {
+                        Some(retri_model::static_efficiency(data, id).get())
+                    } else {
+                        None
+                    }
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// One point of Figure 4: a (policy, identifier-width) cell.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct CollisionPoint {
+    /// Identifier width under test.
+    pub id_bits: u8,
+    /// Human-readable policy name ("random" / "listening").
+    pub policy: &'static str,
+    /// Collision rates over the trials.
+    pub observed: Summary,
+    /// The Eq. 4 model prediction at T = 5.
+    pub predicted: f64,
+}
+
+/// The two selection policies of Figure 4.
+#[must_use]
+pub fn fig4_policies() -> Vec<(&'static str, SelectorPolicy)> {
+    vec![
+        ("random", SelectorPolicy::Uniform),
+        (
+            "listening",
+            SelectorPolicy::AdaptiveListening {
+                concurrency_ttl_micros: 400_000,
+            },
+        ),
+    ]
+}
+
+/// Figure 4: collision rate predicted vs. observed, five transmitters
+/// to one receiver, over a range of identifier sizes, for both
+/// policies. Trials run in parallel across OS threads.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+#[must_use]
+pub fn fig4_series(level: EffortLevel, id_sizes: &[u8]) -> Vec<CollisionPoint> {
+    let density = Density::new(5).expect("five transmitters");
+    let mut jobs = Vec::new();
+    for (name, policy) in fig4_policies() {
+        for &bits in id_sizes {
+            jobs.push((name, policy, bits));
+        }
+    }
+    let results = std::sync::Mutex::new(Vec::new());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(jobs.len());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&(name, policy, bits)) = jobs.get(index) else {
+                    break;
+                };
+                let mut testbed = Testbed::paper(bits, policy);
+                testbed.workload.stop = SimTime::from_secs(level.trial_secs());
+                let rates: Vec<f64> = (0..level.trials())
+                    .map(|trial| {
+                        // Seeds disjoint across cells but stable across
+                        // runs.
+                        let seed =
+                            (u64::from(bits) << 32) ^ (trial << 8) ^ name.len() as u64;
+                        testbed.run(seed).collision_loss_rate
+                    })
+                    .collect();
+                let point = CollisionPoint {
+                    id_bits: bits,
+                    policy: name,
+                    observed: Summary::of(&rates),
+                    predicted: p_collision(
+                        IdBits::new(bits).expect("valid width"),
+                        density,
+                    ),
+                };
+                results.lock().expect("no poisoned lock").push(point);
+            });
+        }
+    });
+    let mut points = results.into_inner().expect("threads joined");
+    points.sort_by_key(|p| (p.policy, p.id_bits));
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_rows_cover_widths_and_flat_lines() {
+        let rows = efficiency_vs_width(16, &[16, 256, 65536], &[16, 32], 32);
+        assert_eq!(rows.len(), 32);
+        for row in &rows {
+            assert_eq!(row.aff.len(), 3);
+            assert!((row.static_lines[0] - 0.5).abs() < 1e-12);
+            assert!((row.static_lines[1] - 1.0 / 3.0).abs() < 1e-12);
+        }
+        // Peak of the T=16 curve at 9 bits (paper Section 4.2).
+        let peak = rows
+            .iter()
+            .max_by(|a, b| a.aff[0].partial_cmp(&b.aff[0]).unwrap())
+            .unwrap();
+        assert_eq!(peak.id_bits, 9);
+    }
+
+    #[test]
+    fn fig2_larger_data_moves_optimum_right() {
+        let o16 = optima(16, &[16]);
+        let o128 = optima(128, &[16]);
+        assert!(o128[0].1 > o16[0].1);
+    }
+
+    #[test]
+    fn fig3_static_line_ends_at_exhaustion() {
+        let rows = efficiency_vs_load(16, &[9], &[8], 1 << 12);
+        for row in &rows {
+            if row.density <= 256 {
+                assert!(row.static_lines[0].is_some());
+            } else {
+                assert!(row.static_lines[0].is_none(), "T={}", row.density);
+            }
+        }
+    }
+
+    #[test]
+    fn fig4_quick_run_matches_model_shape() {
+        let points = fig4_series(EffortLevel::Quick, &[3, 8]);
+        assert_eq!(points.len(), 4);
+        for point in &points {
+            assert!(point.observed.mean >= 0.0 && point.observed.mean <= 1.0);
+        }
+        // Collisions drop with width for the random policy.
+        let random3 = points
+            .iter()
+            .find(|p| p.policy == "random" && p.id_bits == 3)
+            .unwrap();
+        let random8 = points
+            .iter()
+            .find(|p| p.policy == "random" && p.id_bits == 8)
+            .unwrap();
+        assert!(random3.observed.mean > random8.observed.mean);
+        // Listening helps at the narrow width.
+        let listening3 = points
+            .iter()
+            .find(|p| p.policy == "listening" && p.id_bits == 3)
+            .unwrap();
+        assert!(listening3.observed.mean < random3.observed.mean);
+    }
+}

@@ -1,0 +1,112 @@
+//! Experiment harness for the RETRI reproduction.
+//!
+//! One module per evaluation artifact:
+//!
+//! - [`figures`] — data generation for the paper's Figures 1–4. Each
+//!   `figN_*` function returns plain data; the `src/bin/figN` binaries
+//!   print it as the table the figure plots.
+//! - [`ablations`] — the design-choice studies listed in DESIGN.md:
+//!   listening-window size, hidden terminals, non-uniform transaction
+//!   lengths, dynamic-allocation churn overhead, and density scaling.
+//! - [`table`] — plain-text table formatting shared by the binaries.
+//!
+//! Every experiment takes an [`EffortLevel`] so the same code serves
+//! quick CI smoke runs, the standard reproduction, and the paper's full
+//! parameters (ten 2-minute trials per point).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod figures;
+pub mod table;
+
+/// How much simulation to spend per experiment point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EffortLevel {
+    /// 2 trials × 15 simulated seconds — smoke test / CI.
+    Quick,
+    /// 5 trials × 60 simulated seconds — the default reproduction.
+    Standard,
+    /// 10 trials × 120 simulated seconds — the paper's exact protocol
+    /// (Section 5.1).
+    Paper,
+}
+
+impl EffortLevel {
+    /// Trials per experiment point.
+    #[must_use]
+    pub fn trials(self) -> u64 {
+        match self {
+            EffortLevel::Quick => 2,
+            EffortLevel::Standard => 5,
+            EffortLevel::Paper => 10,
+        }
+    }
+
+    /// Simulated seconds per trial.
+    #[must_use]
+    pub fn trial_secs(self) -> u64 {
+        match self {
+            EffortLevel::Quick => 15,
+            EffortLevel::Standard => 60,
+            EffortLevel::Paper => 120,
+        }
+    }
+
+    /// Parses `--quick` / `--paper` from argv; anything else is the
+    /// standard effort.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut level = EffortLevel::Standard;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--quick" => level = EffortLevel::Quick,
+                "--paper" => level = EffortLevel::Paper,
+                _ => {}
+            }
+        }
+        level
+    }
+}
+
+/// Parses `--json <path>` from argv: where to additionally write the
+/// experiment's data as JSON for plotting pipelines.
+#[must_use]
+pub fn json_path_from_args() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+    }
+    None
+}
+
+/// Serializes `data` as pretty JSON to `path`, reporting success on
+/// stderr so it does not pollute the table output.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written — a misspelled `--json` path
+/// should fail loudly, not silently drop the data.
+pub fn write_json<T: serde::Serialize>(path: &std::path::Path, data: &T) {
+    let file = std::fs::File::create(path)
+        .unwrap_or_else(|err| panic!("cannot create {}: {err}", path.display()));
+    serde_json::to_writer_pretty(file, data)
+        .unwrap_or_else(|err| panic!("cannot serialize to {}: {err}", path.display()));
+    eprintln!("wrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effort_levels_are_ordered() {
+        assert!(EffortLevel::Quick.trials() < EffortLevel::Paper.trials());
+        assert!(EffortLevel::Quick.trial_secs() < EffortLevel::Paper.trial_secs());
+        assert_eq!(EffortLevel::Paper.trials(), 10);
+        assert_eq!(EffortLevel::Paper.trial_secs(), 120);
+    }
+}

@@ -1,0 +1,92 @@
+//! Plain-text table formatting for experiment output.
+
+/// Renders a table with right-aligned columns.
+///
+/// # Examples
+///
+/// ```
+/// use retri_bench::table::render;
+///
+/// let out = render(
+///     &["H", "efficiency"],
+///     &[vec!["9".to_string(), "0.604".to_string()]],
+/// );
+/// assert!(out.contains('H'));
+/// assert!(out.contains("0.604"));
+/// ```
+#[must_use]
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let columns = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), columns, "row width must match headers");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |cells: Vec<String>| {
+        let mut parts = Vec::with_capacity(columns);
+        for (i, cell) in cells.iter().enumerate() {
+            parts.push(format!("{cell:>width$}", width = widths[i]));
+        }
+        format!("{}\n", parts.join("  "))
+    };
+    out.push_str(&line(headers.iter().map(|h| h.to_string()).collect()));
+    let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&line(rule));
+    for row in rows {
+        out.push_str(&line(row.clone()));
+    }
+    out
+}
+
+/// Formats a float with 4 decimal places (the resolution the paper's
+/// figures can be read to).
+#[must_use]
+pub fn f(value: f64) -> String {
+    format!("{value:.4}")
+}
+
+/// Formats an optional float, with `-` for undefined points (e.g. the
+/// exhausted static address space in Figure 3).
+#[must_use]
+pub fn opt(value: Option<f64>) -> String {
+    match value {
+        Some(v) => f(v),
+        None => "-".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_align() {
+        let out = render(
+            &["a", "longer"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["100".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let width = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == width));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_rows_panic() {
+        let _ = render(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.5), "0.5000");
+        assert_eq!(opt(None), "-");
+        assert_eq!(opt(Some(1.0)), "1.0000");
+    }
+}

@@ -1,0 +1,226 @@
+//! Estimating the local transaction density `T`.
+//!
+//! The paper's adaptive listening rule needs each node to know roughly
+//! how many transactions it sees concurrently: *"each node can estimate
+//! T based on the number of concurrent transactions it observes"*
+//! (Section 5.1), and Section 8 lists better `T` estimation as ongoing
+//! work. [`DensityEstimator`] is that estimator: it counts distinct
+//! transaction identifiers heard within a sliding time horizon and
+//! optionally smooths the count with an exponentially weighted moving
+//! average.
+
+use std::collections::HashMap;
+
+use retri_model::Density;
+
+/// A node's running estimate of the transaction density it observes.
+///
+/// Time is an opaque `u64` in whatever unit the caller uses consistently
+/// (the simulator uses microseconds). A transaction counts as
+/// *concurrent* if any of its packets was heard within the last
+/// `ttl` time units.
+///
+/// # Examples
+///
+/// ```
+/// use retri::density::DensityEstimator;
+///
+/// let mut est = DensityEstimator::new(1_000);
+/// est.observe(0xA, 10);
+/// est.observe(0xB, 500);
+/// est.observe(0xA, 700); // same transaction again: still one
+///
+/// // Two concurrent foreign transactions plus this node itself.
+/// assert_eq!(est.estimated_density(800).get(), 3);
+///
+/// // After the horizon passes, the estimate relaxes to just this node.
+/// assert_eq!(est.estimated_density(10_000).get(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DensityEstimator {
+    ttl: u64,
+    alpha: f64,
+    last_seen: HashMap<u64, u64>,
+    smoothed: Option<f64>,
+}
+
+impl DensityEstimator {
+    /// Creates an estimator with a concurrency horizon of `ttl` time
+    /// units and no smoothing (the estimate is the instantaneous count).
+    #[must_use]
+    pub fn new(ttl: u64) -> Self {
+        DensityEstimator {
+            ttl,
+            alpha: 1.0,
+            last_seen: HashMap::new(),
+            smoothed: None,
+        }
+    }
+
+    /// Creates an estimator that smooths the concurrent count with an
+    /// EWMA: `estimate ← alpha · count + (1 - alpha) · estimate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha <= 1`.
+    #[must_use]
+    pub fn with_smoothing(ttl: u64, alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "smoothing factor {alpha} outside (0, 1]"
+        );
+        DensityEstimator {
+            ttl,
+            alpha,
+            last_seen: HashMap::new(),
+            smoothed: None,
+        }
+    }
+
+    /// The concurrency horizon.
+    #[must_use]
+    pub fn ttl(&self) -> u64 {
+        self.ttl
+    }
+
+    /// Records that transaction identifier `key` was heard at `now`.
+    pub fn observe(&mut self, key: u64, now: u64) {
+        self.last_seen
+            .entry(key)
+            .and_modify(|t| *t = (*t).max(now))
+            .or_insert(now);
+        let count = self.active_count(now) as f64;
+        self.smoothed = Some(match self.smoothed {
+            Some(prev) => self.alpha * count + (1.0 - self.alpha) * prev,
+            None => count,
+        });
+    }
+
+    /// Number of distinct foreign transactions heard within the horizon,
+    /// pruning expired entries.
+    pub fn active_count(&mut self, now: u64) -> usize {
+        let ttl = self.ttl;
+        self.last_seen
+            .retain(|_, &mut seen| now.saturating_sub(seen) <= ttl);
+        self.last_seen.len()
+    }
+
+    /// The density estimate `T̂`: concurrent foreign transactions plus
+    /// one for this node's own transaction. Always at least one.
+    pub fn estimated_density(&mut self, now: u64) -> Density {
+        let current = self.active_count(now) as f64;
+        let smoothed = match self.smoothed {
+            // The smoothed value can lag a quiet period; never report
+            // more than the live count plus the smoothing memory allows,
+            // and decay toward the live count.
+            Some(prev) => {
+                let blended = self.alpha * current + (1.0 - self.alpha) * prev;
+                self.smoothed = Some(blended);
+                blended
+            }
+            None => current,
+        };
+        let t = smoothed.round() as u64 + 1;
+        Density::new(t.max(1)).expect("t >= 1 by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lone_node_estimates_density_one() {
+        let mut est = DensityEstimator::new(100);
+        assert_eq!(est.estimated_density(0).get(), 1);
+    }
+
+    #[test]
+    fn distinct_ids_accumulate() {
+        let mut est = DensityEstimator::new(100);
+        for key in 0..4u64 {
+            est.observe(key, 10);
+        }
+        assert_eq!(est.active_count(10), 4);
+        assert_eq!(est.estimated_density(10).get(), 5);
+    }
+
+    #[test]
+    fn repeated_id_counts_once() {
+        let mut est = DensityEstimator::new(100);
+        est.observe(7, 1);
+        est.observe(7, 2);
+        est.observe(7, 3);
+        assert_eq!(est.active_count(3), 1);
+    }
+
+    #[test]
+    fn entries_expire_after_ttl() {
+        let mut est = DensityEstimator::new(50);
+        est.observe(1, 0);
+        est.observe(2, 10);
+        assert_eq!(est.active_count(40), 2);
+        assert_eq!(est.active_count(55), 1); // id 1 heard at 0 expired
+        assert_eq!(est.active_count(200), 0);
+    }
+
+    #[test]
+    fn reobservation_refreshes_expiry() {
+        let mut est = DensityEstimator::new(50);
+        est.observe(1, 0);
+        est.observe(1, 40);
+        assert_eq!(est.active_count(80), 1, "refreshed at 40, alive until 90");
+    }
+
+    #[test]
+    fn estimate_tracks_paper_testbed() {
+        // Five transmitters continuously sending: a receiver that hears
+        // all five within the horizon estimates T=6 (five foreign plus
+        // itself); a transmitter hearing the other four estimates T=5.
+        let mut est = DensityEstimator::new(1_000);
+        for key in 0..4u64 {
+            est.observe(key, key * 10);
+        }
+        assert_eq!(est.estimated_density(50).get(), 5);
+    }
+
+    #[test]
+    fn smoothing_damps_spikes() {
+        let mut smooth = DensityEstimator::with_smoothing(100, 0.2);
+        let mut raw = DensityEstimator::new(100);
+        for key in 0..10u64 {
+            smooth.observe(key, 5);
+            raw.observe(key, 5);
+        }
+        // Raw sees all 10 instantly; the smoothed estimate lags below.
+        assert_eq!(raw.estimated_density(5).get(), 11);
+        assert!(smooth.estimated_density(5).get() < 11);
+    }
+
+    #[test]
+    fn smoothed_estimate_decays_during_silence() {
+        let mut est = DensityEstimator::with_smoothing(100, 0.5);
+        for key in 0..8u64 {
+            est.observe(key, 0);
+        }
+        let busy = est.estimated_density(50).get();
+        // Long silence: repeated queries decay toward 1.
+        let mut quiet = 0;
+        for step in 0..20 {
+            quiet = est.estimated_density(1_000 + step).get();
+        }
+        assert!(quiet < busy);
+        assert_eq!(quiet, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn smoothing_rejects_zero_alpha() {
+        let _ = DensityEstimator::with_smoothing(10, 0.0);
+    }
+
+    #[test]
+    fn ttl_accessor() {
+        assert_eq!(DensityEstimator::new(123).ttl(), 123);
+    }
+}

@@ -1,0 +1,338 @@
+//! Transaction identifiers and the spaces they are drawn from.
+//!
+//! A RETRI identifier has no inherent meaning — no topology, no node
+//! identity. It is only a *probabilistically unique* tag providing
+//! continuity among the packets of one transaction, and it is only
+//! meaningful relative to the [`IdentifierSpace`] (a width in bits) it
+//! was drawn from.
+
+use core::fmt;
+
+use rand::RngCore;
+use retri_model::{IdBits, ModelError};
+
+/// A pool of `2^H` transaction identifiers for a fixed width `H`.
+///
+/// The width is the paper's central tuning knob: it should scale with the
+/// network's *transaction density*, not its total size (Section 3.2).
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use retri::IdentifierSpace;
+///
+/// # fn main() -> Result<(), retri::ModelError> {
+/// let space = IdentifierSpace::new(9)?; // the paper's optimum at T=16
+/// assert_eq!(space.len(), 512);
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let id = space.sample(&mut rng);
+/// assert!(space.contains(id));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct IdentifierSpace {
+    bits: IdBits,
+}
+
+impl IdentifierSpace {
+    /// Creates a space of `bits`-wide identifiers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::IdBitsOutOfRange`] unless `bits` is in
+    /// `1..=64`.
+    pub fn new(bits: u8) -> Result<Self, ModelError> {
+        Ok(IdentifierSpace {
+            bits: IdBits::new(bits)?,
+        })
+    }
+
+    /// Creates a space from an already validated width.
+    #[must_use]
+    pub fn from_bits(bits: IdBits) -> Self {
+        IdentifierSpace { bits }
+    }
+
+    /// The identifier width.
+    #[must_use]
+    pub fn bits(self) -> IdBits {
+        self.bits
+    }
+
+    /// Number of distinct identifiers, `2^H`.
+    #[must_use]
+    pub fn len(self) -> u128 {
+        self.bits.space_len()
+    }
+
+    /// A space is never empty (width is at least one bit); provided for
+    /// `len`/`is_empty` pairing convention.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        false
+    }
+
+    /// The bitmask covering valid identifier values.
+    #[must_use]
+    pub fn mask(self) -> u64 {
+        if self.bits.get() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.bits.get()) - 1
+        }
+    }
+
+    /// Whether `id` was drawn from a space of this width.
+    #[must_use]
+    pub fn contains(self, id: TransactionId) -> bool {
+        id.bits() == self.bits
+    }
+
+    /// Draws an identifier uniformly at random.
+    ///
+    /// Because the pool size is a power of two, masking the low bits of a
+    /// uniform `u64` is exactly uniform — no rejection needed.
+    #[must_use]
+    pub fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> TransactionId {
+        TransactionId {
+            value: rng.next_u64() & self.mask(),
+            bits: self.bits,
+        }
+    }
+
+    /// Constructs a specific identifier value in this space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::IdBitsOutOfRange`] — reusing the width error
+    /// domain — if `value` does not fit in the width. (Callers decoding
+    /// identifiers off the wire should mask first; this constructor is
+    /// strict so tests catch accidental truncation.)
+    pub fn id(self, value: u64) -> Result<TransactionId, ModelError> {
+        if value & !self.mask() != 0 {
+            return Err(ModelError::IdBitsOutOfRange(self.bits.get()));
+        }
+        Ok(TransactionId {
+            value,
+            bits: self.bits,
+        })
+    }
+
+    /// Iterates every identifier in the space, in numeric order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width exceeds 32 bits: enumerating larger pools is a
+    /// programming error, not a realistic use.
+    pub fn iter(self) -> impl Iterator<Item = TransactionId> {
+        assert!(
+            self.bits.get() <= 32,
+            "refusing to enumerate a {} identifier pool",
+            self.bits
+        );
+        let bits = self.bits;
+        (0..self.len() as u64).map(move |value| TransactionId { value, bits })
+    }
+}
+
+impl fmt::Display for IdentifierSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} identifier space", self.bits)
+    }
+}
+
+/// A random, ephemeral transaction identifier: a value plus the width of
+/// the space it was drawn from.
+///
+/// Identifiers of different widths never compare equal, mirroring the
+/// wire reality that a 7-bit and an 8-bit header field are different
+/// protocols.
+///
+/// # Examples
+///
+/// ```
+/// use retri::IdentifierSpace;
+///
+/// # fn main() -> Result<(), retri::ModelError> {
+/// let space = IdentifierSpace::new(8)?;
+/// let id = space.id(0x2A)?;
+/// assert_eq!(id.value(), 0x2A);
+/// assert_eq!(id.bits().get(), 8);
+/// assert_eq!(id.to_string(), "0x2a/8");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TransactionId {
+    value: u64,
+    bits: IdBits,
+}
+
+impl TransactionId {
+    /// The identifier value (fits in `bits()` bits).
+    #[must_use]
+    pub fn value(self) -> u64 {
+        self.value
+    }
+
+    /// The width of the space this identifier was drawn from.
+    #[must_use]
+    pub fn bits(self) -> IdBits {
+        self.bits
+    }
+}
+
+impl fmt::Display for TransactionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}/{}", self.value, self.bits.get())
+    }
+}
+
+impl fmt::LowerHex for TransactionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.value, f)
+    }
+}
+
+impl fmt::UpperHex for TransactionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.value, f)
+    }
+}
+
+impl fmt::Binary for TransactionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.value, f)
+    }
+}
+
+impl fmt::Octal for TransactionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&self.value, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn space_len_and_mask_agree() {
+        for bits in 1..=64u8 {
+            let space = IdentifierSpace::new(bits).unwrap();
+            if bits < 64 {
+                assert_eq!(space.mask() as u128 + 1, space.len());
+            } else {
+                assert_eq!(space.mask(), u64::MAX);
+                assert_eq!(space.len(), 1u128 << 64);
+            }
+            assert!(!space.is_empty());
+        }
+    }
+
+    #[test]
+    fn sample_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for bits in [1u8, 3, 8, 16, 33, 64] {
+            let space = IdentifierSpace::new(bits).unwrap();
+            for _ in 0..500 {
+                let id = space.sample(&mut rng);
+                assert_eq!(id.value() & !space.mask(), 0);
+                assert!(space.contains(id));
+            }
+        }
+    }
+
+    #[test]
+    fn sample_covers_small_space() {
+        // Over many draws from a 3-bit space, every identifier appears.
+        let space = IdentifierSpace::new(3).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 8];
+        for _ in 0..400 {
+            seen[space.sample(&mut rng).value() as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn sample_is_roughly_uniform() {
+        let space = IdentifierSpace::new(4).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0u32; 16];
+        let draws = 32_000;
+        for _ in 0..draws {
+            counts[space.sample(&mut rng).value() as usize] += 1;
+        }
+        let expected = draws as f64 / 16.0;
+        // Chi-square with 15 dof: 99.9th percentile ~ 37.7.
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| (c as f64 - expected).powi(2) / expected)
+            .sum();
+        assert!(chi2 < 37.7, "chi2 = {chi2}");
+    }
+
+    #[test]
+    fn strict_constructor_rejects_overflow() {
+        let space = IdentifierSpace::new(4).unwrap();
+        assert!(space.id(15).is_ok());
+        assert!(space.id(16).is_err());
+    }
+
+    #[test]
+    fn ids_of_different_widths_are_distinct() {
+        let a = IdentifierSpace::new(4).unwrap().id(3).unwrap();
+        let b = IdentifierSpace::new(5).unwrap().id(3).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(a.value(), b.value());
+    }
+
+    #[test]
+    fn iter_enumerates_whole_space_in_order() {
+        let space = IdentifierSpace::new(5).unwrap();
+        let all: Vec<u64> = space.iter().map(|id| id.value()).collect();
+        assert_eq!(all, (0..32).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing to enumerate")]
+    fn iter_refuses_huge_spaces() {
+        let _ = IdentifierSpace::new(33).unwrap().iter();
+    }
+
+    #[test]
+    fn formatting_impls() {
+        let id = IdentifierSpace::new(8).unwrap().id(0x2A).unwrap();
+        assert_eq!(format!("{id}"), "0x2a/8");
+        assert_eq!(format!("{id:x}"), "2a");
+        assert_eq!(format!("{id:X}"), "2A");
+        assert_eq!(format!("{id:b}"), "101010");
+        assert_eq!(format!("{id:o}"), "52");
+    }
+
+    #[test]
+    fn space_display_mentions_bits() {
+        assert_eq!(
+            IdentifierSpace::new(9).unwrap().to_string(),
+            "9 bits identifier space"
+        );
+    }
+
+    #[test]
+    fn sixty_four_bit_space_works_end_to_end() {
+        let space = IdentifierSpace::new(64).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let id = space.sample(&mut rng);
+        assert!(space.contains(id));
+        assert!(space.id(u64::MAX).is_ok());
+    }
+}

@@ -1,0 +1,550 @@
+//! Identifier-selection policies.
+//!
+//! The paper analyzes the most pessimistic policy — every node picks
+//! uniformly at random with no learned state ([`UniformSelector`], the
+//! policy modeled by Eq. 4) — and implements one improvement:
+//! *listening* (Section 3.2), where a node avoids identifiers it has
+//! recently heard in use ([`ListeningSelector`]). The experiment in
+//! Section 5.1 sizes the avoidance window adaptively as the `2T` most
+//! recent transactions, with `T` estimated from observed concurrency
+//! ([`AdaptiveListeningSelector`]).
+
+use std::collections::{HashMap, VecDeque};
+
+use rand::RngCore;
+
+use crate::density::DensityEstimator;
+use crate::id::{IdentifierSpace, TransactionId};
+
+/// A policy for choosing the ephemeral identifier of a new transaction.
+///
+/// The trait is object-safe so protocol stacks can be configured with
+/// `Box<dyn IdSelector>` at run time; generic call sites can still pass
+/// any `&mut R where R: Rng` because `RngCore` is implemented for
+/// mutable references.
+pub trait IdSelector {
+    /// The identifier space this selector draws from.
+    fn space(&self) -> IdentifierSpace;
+
+    /// Chooses an identifier for a new transaction.
+    fn select(&mut self, rng: &mut dyn RngCore) -> TransactionId;
+
+    /// Reports an identifier heard in use by another node.
+    ///
+    /// The default implementation ignores the report (stateless
+    /// policies).
+    fn observe(&mut self, id: TransactionId) {
+        let _ = id;
+    }
+}
+
+/// The pessimistic baseline: uniform selection, no learned state.
+///
+/// This is exactly the policy whose collision probability Eq. 4 bounds,
+/// and the "random" series of the paper's Figure 4.
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use retri::select::{IdSelector, UniformSelector};
+/// use retri::IdentifierSpace;
+///
+/// # fn main() -> Result<(), retri::ModelError> {
+/// let mut selector = UniformSelector::new(IdentifierSpace::new(8)?);
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let id = selector.select(&mut rng);
+/// assert!(selector.space().contains(id));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformSelector {
+    space: IdentifierSpace,
+}
+
+impl UniformSelector {
+    /// Creates a uniform selector over `space`.
+    #[must_use]
+    pub fn new(space: IdentifierSpace) -> Self {
+        UniformSelector { space }
+    }
+}
+
+impl IdSelector for UniformSelector {
+    fn space(&self) -> IdentifierSpace {
+        self.space
+    }
+
+    fn select(&mut self, rng: &mut dyn RngCore) -> TransactionId {
+        self.space.sample(rng)
+    }
+}
+
+/// The listening heuristic: avoid identifiers heard within a sliding
+/// window of recent transactions.
+///
+/// The window holds the last `window` *observations* (duplicates
+/// included, matching "the most recent 2T transactions" in Section 5.1).
+/// Selection draws uniformly from the identifiers **not** currently in
+/// the window.
+///
+/// Listening cannot be perfect: if every identifier in the space has
+/// been heard recently — or the window is larger than the pool — the
+/// node must still communicate, so selection falls back to a uniform
+/// draw. The paper notes the same limitation ("listening is usually not
+/// as helpful as making the size of the identifier pool larger").
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use retri::select::{IdSelector, ListeningSelector};
+/// use retri::IdentifierSpace;
+///
+/// # fn main() -> Result<(), retri::ModelError> {
+/// let space = IdentifierSpace::new(4)?;
+/// let mut selector = ListeningSelector::new(space, 8);
+/// let mut rng = StdRng::seed_from_u64(9);
+///
+/// let heard = space.id(5)?;
+/// selector.observe(heard);
+/// for _ in 0..100 {
+///     assert_ne!(selector.select(&mut rng), heard);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ListeningSelector {
+    space: IdentifierSpace,
+    window: usize,
+    recent: VecDeque<u64>,
+    counts: HashMap<u64, u32>,
+}
+
+impl ListeningSelector {
+    /// Creates a listening selector that avoids the last `window`
+    /// observed identifiers.
+    ///
+    /// A window of zero disables avoidance (equivalent to
+    /// [`UniformSelector`]).
+    #[must_use]
+    pub fn new(space: IdentifierSpace, window: usize) -> Self {
+        ListeningSelector {
+            space,
+            window,
+            recent: VecDeque::with_capacity(window),
+            counts: HashMap::new(),
+        }
+    }
+
+    /// The current window size, in observations.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Resizes the avoidance window, evicting the oldest observations if
+    /// it shrinks.
+    pub fn set_window(&mut self, window: usize) {
+        self.window = window;
+        self.evict_overflow();
+    }
+
+    /// Whether the selector is currently avoiding `id`.
+    #[must_use]
+    pub fn avoids(&self, id: TransactionId) -> bool {
+        self.space.contains(id) && self.counts.contains_key(&id.value())
+    }
+
+    /// Number of *distinct* identifiers currently avoided.
+    #[must_use]
+    pub fn avoided_len(&self) -> usize {
+        self.counts.len()
+    }
+
+    fn evict_overflow(&mut self) {
+        while self.recent.len() > self.window {
+            let old = self.recent.pop_front().expect("non-empty by loop guard");
+            match self.counts.get_mut(&old) {
+                Some(count) if *count > 1 => *count -= 1,
+                _ => {
+                    self.counts.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Draws uniformly from the identifiers outside the avoidance set.
+    ///
+    /// Uses rejection sampling while the avoided fraction is small and
+    /// falls back to explicit enumeration of the free identifiers when
+    /// the pool is mostly covered (only possible for enumerable widths).
+    fn select_avoiding(&self, rng: &mut dyn RngCore) -> TransactionId {
+        let pool = self.space.len();
+        let avoided = self.counts.len() as u128;
+        if avoided >= pool {
+            // Every identifier was recently heard; the node must still
+            // transmit something.
+            return self.space.sample(rng);
+        }
+        let mostly_covered = avoided.saturating_mul(2) >= pool;
+        if mostly_covered && self.space.bits().get() <= 20 {
+            let free: Vec<u64> = (0..pool as u64)
+                .filter(|value| !self.counts.contains_key(value))
+                .collect();
+            let index = (rng.next_u64() % free.len() as u64) as usize;
+            return self
+                .space
+                .id(free[index])
+                .expect("enumerated values are in range");
+        }
+        // Free fraction is at least one half (or the space is too large
+        // to enumerate, in which case the avoided fraction is negligible):
+        // expected iterations are bounded by a small constant.
+        loop {
+            let candidate = self.space.sample(rng);
+            if !self.counts.contains_key(&candidate.value()) {
+                return candidate;
+            }
+        }
+    }
+}
+
+impl IdSelector for ListeningSelector {
+    fn space(&self) -> IdentifierSpace {
+        self.space
+    }
+
+    fn select(&mut self, rng: &mut dyn RngCore) -> TransactionId {
+        if self.window == 0 {
+            self.space.sample(rng)
+        } else {
+            self.select_avoiding(rng)
+        }
+    }
+
+    fn observe(&mut self, id: TransactionId) {
+        if self.window == 0 || !self.space.contains(id) {
+            return;
+        }
+        self.recent.push_back(id.value());
+        *self.counts.entry(id.value()).or_insert(0) += 1;
+        self.evict_overflow();
+    }
+}
+
+/// Listening with the paper's adaptive window: avoid the identifiers of
+/// the most recent `2·T̂` transactions, where `T̂` is this node's running
+/// estimate of the transaction density it observes (Section 5.1).
+///
+/// Observations are timestamped so the density estimate reflects
+/// *concurrency*, not merely history; use [`observe_at`] and
+/// [`select_at`] from protocol code that knows the current time. The
+/// plain [`IdSelector`] methods reuse the most recent timestamp.
+///
+/// [`observe_at`]: AdaptiveListeningSelector::observe_at
+/// [`select_at`]: AdaptiveListeningSelector::select_at
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use retri::select::AdaptiveListeningSelector;
+/// use retri::IdentifierSpace;
+///
+/// # fn main() -> Result<(), retri::ModelError> {
+/// let space = IdentifierSpace::new(8)?;
+/// // Transactions observed within the last 1000 time units count as
+/// // concurrent.
+/// let mut selector = AdaptiveListeningSelector::new(space, 1000);
+/// let mut rng = StdRng::seed_from_u64(2);
+///
+/// // Hearing four concurrent peers pushes the window to ~2·5.
+/// for (i, now) in (0u64..4).zip([10u64, 20, 30, 40]) {
+///     selector.observe_at(space.id(i)?, now);
+/// }
+/// let id = selector.select_at(&mut rng, 50);
+/// assert!(space.contains(id));
+/// assert!(selector.window() >= 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptiveListeningSelector {
+    inner: ListeningSelector,
+    estimator: DensityEstimator,
+    last_now: u64,
+}
+
+impl AdaptiveListeningSelector {
+    /// Creates an adaptive listening selector.
+    ///
+    /// `concurrency_ttl` is how long (in the caller's time unit) after
+    /// last being heard a transaction still counts as concurrent; it
+    /// should be on the order of one transaction duration.
+    #[must_use]
+    pub fn new(space: IdentifierSpace, concurrency_ttl: u64) -> Self {
+        AdaptiveListeningSelector {
+            inner: ListeningSelector::new(space, 0),
+            estimator: DensityEstimator::new(concurrency_ttl),
+            last_now: 0,
+        }
+    }
+
+    /// Reports an identifier heard at time `now`.
+    pub fn observe_at(&mut self, id: TransactionId, now: u64) {
+        self.last_now = self.last_now.max(now);
+        self.estimator.observe(id.value(), now);
+        // Resize *after* feeding the estimator so the window already
+        // accounts for the newest observation.
+        self.resize_window(now);
+        self.inner.observe(id);
+    }
+
+    /// Chooses an identifier for a transaction starting at time `now`.
+    pub fn select_at(&mut self, rng: &mut dyn RngCore, now: u64) -> TransactionId {
+        self.last_now = self.last_now.max(now);
+        self.resize_window(now);
+        self.inner.select(rng)
+    }
+
+    /// The current avoidance-window size (`≈ 2·T̂` observations).
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.inner.window()
+    }
+
+    /// This node's current density estimate `T̂` (includes itself).
+    #[must_use]
+    pub fn estimated_density(&mut self, now: u64) -> u64 {
+        self.estimator.estimated_density(now).get()
+    }
+
+    fn window_target(&mut self, now: u64) -> usize {
+        let density = self.estimator.estimated_density(now).get();
+        usize::try_from(2 * density).unwrap_or(usize::MAX)
+    }
+
+    fn resize_window(&mut self, now: u64) {
+        let target = self.window_target(now);
+        self.inner.set_window(target);
+    }
+}
+
+impl IdSelector for AdaptiveListeningSelector {
+    fn space(&self) -> IdentifierSpace {
+        self.inner.space()
+    }
+
+    fn select(&mut self, rng: &mut dyn RngCore) -> TransactionId {
+        let now = self.last_now;
+        self.select_at(rng, now)
+    }
+
+    fn observe(&mut self, id: TransactionId) {
+        let now = self.last_now;
+        self.observe_at(id, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space(bits: u8) -> IdentifierSpace {
+        IdentifierSpace::new(bits).unwrap()
+    }
+
+    #[test]
+    fn uniform_selector_draws_from_space() {
+        let mut selector = UniformSelector::new(space(6));
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let id = selector.select(&mut rng);
+            assert!(id.value() < 64);
+        }
+    }
+
+    #[test]
+    fn uniform_selector_ignores_observations() {
+        let s = space(4);
+        let mut selector = UniformSelector::new(s);
+        let heard = s.id(7).unwrap();
+        selector.observe(heard);
+        // Over many draws, 7 must still appear — nothing is avoided.
+        let mut rng = StdRng::seed_from_u64(2);
+        let saw_heard = (0..500).any(|_| selector.select(&mut rng) == heard);
+        assert!(saw_heard);
+    }
+
+    #[test]
+    fn listening_avoids_recent_ids() {
+        let s = space(4);
+        let mut selector = ListeningSelector::new(s, 8);
+        for v in [1u64, 2, 3] {
+            selector.observe(s.id(v).unwrap());
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let picked = selector.select(&mut rng).value();
+            assert!(![1, 2, 3].contains(&picked));
+        }
+    }
+
+    #[test]
+    fn listening_window_evicts_oldest() {
+        let s = space(8);
+        let mut selector = ListeningSelector::new(s, 2);
+        selector.observe(s.id(10).unwrap());
+        selector.observe(s.id(11).unwrap());
+        assert!(selector.avoids(s.id(10).unwrap()));
+        selector.observe(s.id(12).unwrap());
+        assert!(!selector.avoids(s.id(10).unwrap()), "oldest must age out");
+        assert!(selector.avoids(s.id(11).unwrap()));
+        assert!(selector.avoids(s.id(12).unwrap()));
+    }
+
+    #[test]
+    fn duplicate_observations_keep_id_avoided_until_all_age_out() {
+        let s = space(8);
+        let mut selector = ListeningSelector::new(s, 3);
+        let id = s.id(42).unwrap();
+        selector.observe(id);
+        selector.observe(id);
+        selector.observe(s.id(1).unwrap());
+        // Window now [42, 42, 1]; one more evicts a single 42, but the
+        // other occurrence keeps it avoided.
+        selector.observe(s.id(2).unwrap());
+        assert!(selector.avoids(id));
+        selector.observe(s.id(3).unwrap());
+        assert!(!selector.avoids(id));
+    }
+
+    #[test]
+    fn zero_window_is_uniform() {
+        let s = space(3);
+        let mut selector = ListeningSelector::new(s, 0);
+        selector.observe(s.id(5).unwrap());
+        assert_eq!(selector.avoided_len(), 0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let saw = (0..500).any(|_| selector.select(&mut rng).value() == 5);
+        assert!(saw);
+    }
+
+    #[test]
+    fn fully_covered_pool_falls_back_to_uniform() {
+        let s = space(2); // only 4 identifiers
+        let mut selector = ListeningSelector::new(s, 16);
+        for v in 0..4u64 {
+            selector.observe(s.id(v).unwrap());
+        }
+        assert_eq!(selector.avoided_len(), 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        // Must still produce something in-range rather than hang.
+        let id = selector.select(&mut rng);
+        assert!(id.value() < 4);
+    }
+
+    #[test]
+    fn mostly_covered_pool_uses_enumeration_and_stays_correct() {
+        let s = space(3); // 8 identifiers
+        let mut selector = ListeningSelector::new(s, 6);
+        for v in 0..6u64 {
+            selector.observe(s.id(v).unwrap());
+        }
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let picked = selector.select(&mut rng).value();
+            assert!(picked == 6 || picked == 7, "picked avoided id {picked}");
+            seen.insert(picked);
+        }
+        assert_eq!(seen.len(), 2, "both free identifiers should be used");
+    }
+
+    #[test]
+    fn shrinking_window_forgets() {
+        let s = space(8);
+        let mut selector = ListeningSelector::new(s, 4);
+        for v in 0..4u64 {
+            selector.observe(s.id(v).unwrap());
+        }
+        selector.set_window(1);
+        assert_eq!(selector.avoided_len(), 1);
+        assert!(selector.avoids(s.id(3).unwrap()));
+    }
+
+    #[test]
+    fn observations_from_other_spaces_are_ignored() {
+        let s = space(8);
+        let other = space(9);
+        let mut selector = ListeningSelector::new(s, 4);
+        selector.observe(other.id(1).unwrap());
+        assert_eq!(selector.avoided_len(), 0);
+    }
+
+    #[test]
+    fn adaptive_window_tracks_density() {
+        let s = space(8);
+        let mut selector = AdaptiveListeningSelector::new(s, 100);
+        // Five concurrent peers (plus self) within the ttl.
+        for v in 0..5u64 {
+            selector.observe_at(s.id(v).unwrap(), 10 + v);
+        }
+        // Estimate T ≥ 5 → window ≥ 10.
+        assert!(selector.window() >= 10, "window = {}", selector.window());
+        assert!(selector.estimated_density(20) >= 5);
+    }
+
+    #[test]
+    fn adaptive_window_decays_when_network_goes_quiet() {
+        let s = space(8);
+        let mut selector = AdaptiveListeningSelector::new(s, 50);
+        for v in 0..8u64 {
+            selector.observe_at(s.id(v).unwrap(), v);
+        }
+        let busy = selector.window();
+        let mut rng = StdRng::seed_from_u64(8);
+        let _ = selector.select_at(&mut rng, 10_000); // long silence
+        assert!(selector.window() < busy);
+    }
+
+    #[test]
+    fn adaptive_selector_avoids_recent_under_trait_interface() {
+        let s = space(6);
+        let mut selector = AdaptiveListeningSelector::new(s, 1_000);
+        let heard = s.id(33).unwrap();
+        // Several observations close together establish density > 1 so
+        // the window is nonzero.
+        selector.observe_at(s.id(1).unwrap(), 1);
+        selector.observe_at(heard, 2);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..300 {
+            let got = IdSelector::select(&mut selector, &mut rng);
+            assert_ne!(got, heard);
+        }
+    }
+
+    #[test]
+    fn selectors_are_object_safe() {
+        let s = space(5);
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut selectors: Vec<Box<dyn IdSelector>> = vec![
+            Box::new(UniformSelector::new(s)),
+            Box::new(ListeningSelector::new(s, 4)),
+            Box::new(AdaptiveListeningSelector::new(s, 100)),
+        ];
+        for selector in &mut selectors {
+            let id = selector.select(&mut rng);
+            assert!(s.contains(id));
+            selector.observe(id);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests of the RETRI core invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use retri::select::{IdSelector, ListeningSelector, UniformSelector};
+use retri::track::{PacketOutcome, SourceId, TransactionTracker};
+use retri::IdentifierSpace;
+
+proptest! {
+    /// Every selected identifier fits its space, for every width and
+    /// seed.
+    #[test]
+    fn selection_stays_in_space(bits in 1u8..=64, seed in any::<u64>()) {
+        let space = IdentifierSpace::new(bits).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut uniform = UniformSelector::new(space);
+        let mut listening = ListeningSelector::new(space, 8);
+        for _ in 0..50 {
+            let a = uniform.select(&mut rng);
+            let b = listening.select(&mut rng);
+            prop_assert!(space.contains(a));
+            prop_assert!(space.contains(b));
+            listening.observe(a);
+        }
+    }
+
+    /// A listening selector never picks an identifier inside its window
+    /// while free identifiers remain.
+    #[test]
+    fn listening_never_picks_avoided(
+        bits in 2u8..=10,
+        seed in any::<u64>(),
+        observed in proptest::collection::vec(any::<u64>(), 0..32),
+    ) {
+        let space = IdentifierSpace::new(bits).unwrap();
+        let mut selector = ListeningSelector::new(space, observed.len());
+        for raw in &observed {
+            selector.observe(space.id(raw & space.mask()).unwrap());
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let free_exists = (selector.avoided_len() as u128) < space.len();
+        for _ in 0..50 {
+            let picked = selector.select(&mut rng);
+            if free_exists {
+                prop_assert!(!selector.avoids(picked));
+            } else {
+                prop_assert!(space.contains(picked));
+            }
+        }
+    }
+
+    /// The listening window never retains more observations than its
+    /// capacity, no matter the observation sequence or resizes.
+    #[test]
+    fn window_capacity_respected(
+        bits in 2u8..=8,
+        window in 0usize..20,
+        observations in proptest::collection::vec(any::<u64>(), 0..100),
+        shrink_to in 0usize..20,
+    ) {
+        let space = IdentifierSpace::new(bits).unwrap();
+        let mut selector = ListeningSelector::new(space, window);
+        for raw in &observations {
+            selector.observe(space.id(raw & space.mask()).unwrap());
+            prop_assert!(selector.avoided_len() <= window);
+        }
+        selector.set_window(shrink_to);
+        prop_assert!(selector.avoided_len() <= shrink_to);
+    }
+
+    /// Tracker invariant: collisions are counted exactly when two
+    /// distinct sources interleave on a live identifier, and completed
+    /// transactions never exceed started ones.
+    #[test]
+    fn tracker_accounting_is_consistent(
+        events in proptest::collection::vec(
+            (0u64..8, 0u64..4, 1u64..20), 1..200
+        ),
+    ) {
+        let space = IdentifierSpace::new(3).unwrap();
+        let mut tracker = TransactionTracker::new(50);
+        let mut now = 0u64;
+        let mut observed_collisions = 0u64;
+        for (raw_id, source, dt) in events {
+            now += dt;
+            let id = space.id(raw_id).unwrap();
+            match tracker.packet(id, SourceId(source), now) {
+                PacketOutcome::Collided { previous } => {
+                    observed_collisions += 1;
+                    prop_assert_ne!(previous, SourceId(source));
+                }
+                PacketOutcome::Started | PacketOutcome::Continued => {}
+            }
+        }
+        let stats = tracker.stats();
+        prop_assert_eq!(stats.collisions, observed_collisions);
+        prop_assert!(stats.completed <= stats.started);
+        prop_assert!(tracker.active_len() as u64 <= stats.started);
+    }
+
+    /// Identifier round trip: any value masked into a space is accepted
+    /// by the strict constructor and survives unchanged.
+    #[test]
+    fn id_round_trip(bits in 1u8..=64, raw in any::<u64>()) {
+        let space = IdentifierSpace::new(bits).unwrap();
+        let value = raw & space.mask();
+        let id = space.id(value).unwrap();
+        prop_assert_eq!(id.value(), value);
+        prop_assert_eq!(id.bits().get(), bits);
+    }
+}

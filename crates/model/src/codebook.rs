@@ -1,0 +1,187 @@
+//! Extension: the economics of RETRI codebooks (paper Section 6).
+//!
+//! In the attribute-based name-compression context, a node binds a long
+//! attribute list (`full_bits` on the air) to a short random code
+//! (`code_bits`), pays for one *definition* message carrying both, and
+//! then sends only the code. This module answers the two design
+//! questions that setting owns:
+//!
+//! 1. **How much does compression save?** — [`expected_savings`]: the
+//!    amortized bits per message as a function of how often a binding is
+//!    reused before it is retired.
+//! 2. **How likely are code conflicts?** — [`p_conflict_free`]: with
+//!    `S` senders holding live bindings in one broadcast domain, the
+//!    chance every binding has a distinct code is the birthday
+//!    probability over the code space — the same arithmetic as
+//!    [`crate::exact::p_all_distinct`], applied to bindings instead of
+//!    transactions.
+//!
+//! Together they expose the trade the paper describes: shorter codes
+//! save more per message but conflict more often, and the ephemeral
+//! rebinding period bounds how long any conflict can last.
+
+use crate::exact::p_all_distinct;
+use crate::params::{Density, IdBits, ModelError};
+
+/// Expected on-air bits per message when a binding of a `full_bits`
+/// attribute list to a `code_bits` code is reused for `uses` messages
+/// (the definition included): `(full + (uses-1)·code) / uses` plus the
+/// per-message framing the caller already pays either way.
+///
+/// # Panics
+///
+/// Panics if `uses` is zero — a binding that is never used has no
+/// defined per-message cost.
+///
+/// # Examples
+///
+/// ```
+/// use retri_model::codebook::expected_bits_per_message;
+///
+/// // A 160-bit attribute list bound to an 8-bit code, reused 20 times:
+/// // (160 + 19*8) / 20 = 15.6 bits per message instead of 160.
+/// let amortized = expected_bits_per_message(160, 8, 20);
+/// assert!((amortized - 15.6).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn expected_bits_per_message(full_bits: u32, code_bits: u32, uses: u64) -> f64 {
+    assert!(uses > 0, "a binding must be used at least once");
+    (f64::from(full_bits) + (uses - 1) as f64 * f64::from(code_bits)) / uses as f64
+}
+
+/// Fraction of bits saved versus sending the full list every time.
+///
+/// # Panics
+///
+/// Panics if `uses` is zero or `full_bits` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use retri_model::codebook::expected_savings;
+///
+/// let savings = expected_savings(160, 8, 20);
+/// assert!(savings > 0.90);
+/// // One use = just the definition: nothing saved.
+/// assert_eq!(expected_savings(160, 8, 1), 0.0);
+/// ```
+#[must_use]
+pub fn expected_savings(full_bits: u32, code_bits: u32, uses: u64) -> f64 {
+    assert!(full_bits > 0, "attribute list must be non-empty");
+    1.0 - expected_bits_per_message(full_bits, code_bits, uses) / f64::from(full_bits)
+}
+
+/// Probability that `senders` concurrently live bindings all hold
+/// distinct codes from a `code_bits` space (no receiver codebook
+/// conflicts).
+///
+/// # Errors
+///
+/// Returns [`ModelError`] for invalid widths or a zero sender count.
+///
+/// # Examples
+///
+/// ```
+/// use retri_model::codebook::p_conflict_free;
+///
+/// # fn main() -> Result<(), retri_model::ModelError> {
+/// // Six senders on 6-bit codes: conflicts are uncommon per epoch...
+/// assert!(p_conflict_free(6, 6)? > 0.75);
+/// // ...but six senders on 2-bit codes cannot all be distinct.
+/// assert_eq!(p_conflict_free(2, 6)?, 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn p_conflict_free(code_bits: u8, senders: u64) -> Result<f64, ModelError> {
+    let code = IdBits::new(code_bits)?;
+    let density = Density::new(senders)?;
+    Ok(p_all_distinct(code, density))
+}
+
+/// The smallest code width keeping the conflict-free probability at or
+/// above `target` for `senders` concurrent bindings, if any width
+/// `<= 64` does.
+///
+/// # Examples
+///
+/// ```
+/// use retri_model::codebook::min_code_bits;
+///
+/// // Six senders, 95% conflict-free epochs: 9 bits suffice.
+/// assert_eq!(min_code_bits(6, 0.95), Some(9));
+/// ```
+#[must_use]
+pub fn min_code_bits(senders: u64, target: f64) -> Option<u8> {
+    (1..=64u8).find(|&bits| {
+        p_conflict_free(bits, senders).is_ok_and(|p| p >= target)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amortization_approaches_code_size() {
+        // With enough reuse the cost per message approaches the code.
+        let few = expected_bits_per_message(160, 8, 2);
+        let many = expected_bits_per_message(160, 8, 10_000);
+        assert!(few > many);
+        assert!((many - 8.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn savings_monotone_in_reuse() {
+        let mut last = -1.0;
+        for uses in [1u64, 2, 5, 20, 100] {
+            let s = expected_savings(160, 8, uses);
+            assert!(s >= last);
+            last = s;
+        }
+        assert!(last > 0.9);
+    }
+
+    #[test]
+    fn shorter_codes_save_more_but_conflict_more() {
+        let save_short = expected_savings(160, 4, 50);
+        let save_long = expected_savings(160, 12, 50);
+        assert!(save_short > save_long);
+        let free_short = p_conflict_free(4, 6).unwrap();
+        let free_long = p_conflict_free(12, 6).unwrap();
+        assert!(free_short < free_long);
+    }
+
+    #[test]
+    fn pigeonhole_for_bindings() {
+        assert_eq!(p_conflict_free(2, 5).unwrap(), 0.0);
+        assert_eq!(p_conflict_free(2, 4).unwrap(), 24.0 / 256.0);
+    }
+
+    #[test]
+    fn min_code_bits_meets_its_target() {
+        for senders in [2u64, 6, 20] {
+            for target in [0.5, 0.95, 0.999] {
+                let bits = min_code_bits(senders, target).unwrap();
+                assert!(p_conflict_free(bits, senders).unwrap() >= target);
+                if bits > 1 {
+                    assert!(p_conflict_free(bits - 1, senders).unwrap() < target);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_code_bits_unreachable_target() {
+        // Probability can never reach above 1.
+        assert_eq!(min_code_bits(6, 1.5), None);
+        // But exactly 1.0 is reachable... only asymptotically; for a
+        // finite pool the product is < 1 whenever senders > 1.
+        assert_eq!(min_code_bits(1, 1.0), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least once")]
+    fn zero_uses_panics() {
+        let _ = expected_bits_per_message(160, 8, 0);
+    }
+}

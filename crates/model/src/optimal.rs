@@ -1,0 +1,285 @@
+//! Optimal identifier sizing and break-even analysis.
+//!
+//! The AFF efficiency curve (Eq. 3) balances two opposing goals — fewer
+//! header bits per data bit versus fewer identifier collisions — and has a
+//! single peak (paper Section 4.2). This module finds that peak and the
+//! operating regions where AFF beats static allocation.
+
+use core::fmt;
+
+use crate::efficiency::{aff_efficiency, static_efficiency, Efficiency};
+use crate::params::{DataBits, Density, IdBits};
+
+/// The peak of the AFF efficiency curve for one scenario.
+///
+/// Produced by [`optimal_id_bits`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct OptimalPoint {
+    /// The identifier width maximizing efficiency.
+    pub id_bits: IdBits,
+    /// The efficiency achieved at that width.
+    pub efficiency: Efficiency,
+    /// The transaction success probability at that width.
+    pub p_success: f64,
+}
+
+impl fmt::Display for OptimalPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "optimum at {} ({}, P(success)={:.4})",
+            self.id_bits, self.efficiency, self.p_success
+        )
+    }
+}
+
+/// Finds the identifier width in `1..=64` maximizing AFF efficiency.
+///
+/// Ties (which can only occur in degenerate floating-point corner cases)
+/// resolve to the *smallest* width, matching the paper's preference for
+/// fewer header bits.
+///
+/// # Examples
+///
+/// ```
+/// use retri_model::{optimal_id_bits, DataBits, Density};
+///
+/// # fn main() -> Result<(), retri_model::ModelError> {
+/// // Figure 1's headline point: D=16, T=16 peaks at 9 identifier bits.
+/// let opt = optimal_id_bits(DataBits::new(16)?, Density::new(16)?);
+/// assert_eq!(opt.id_bits.get(), 9);
+///
+/// // Figure 2: larger data (D=128) pushes the optimum to more bits,
+/// // because a collision now wastes more data.
+/// let opt128 = optimal_id_bits(DataBits::new(128)?, Density::new(16)?);
+/// assert!(opt128.id_bits > opt.id_bits);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn optimal_id_bits(data: DataBits, density: Density) -> OptimalPoint {
+    let mut best = OptimalPoint {
+        id_bits: IdBits::new(1).expect("1 is a valid width"),
+        efficiency: aff_efficiency(data, IdBits::new(1).expect("1 is a valid width"), density),
+        p_success: crate::efficiency::p_success(IdBits::new(1).expect("1 is a valid width"), density),
+    };
+    for id in IdBits::all().skip(1) {
+        let e = aff_efficiency(data, id, density);
+        if e > best.efficiency {
+            best = OptimalPoint {
+                id_bits: id,
+                efficiency: e,
+                p_success: crate::efficiency::p_success(id, density),
+            };
+        }
+    }
+    best
+}
+
+/// The best AFF efficiency achievable at a given scenario (over all
+/// identifier widths).
+#[must_use]
+pub fn best_efficiency(data: DataBits, density: Density) -> Efficiency {
+    optimal_id_bits(data, density).efficiency
+}
+
+/// Whether optimally sized AFF strictly beats a static allocation of
+/// `address` bits for this scenario.
+///
+/// # Examples
+///
+/// ```
+/// use retri_model::{crossover_density, DataBits, IdBits};
+/// use retri_model::optimal::aff_beats_static;
+/// use retri_model::Density;
+///
+/// # fn main() -> Result<(), retri_model::ModelError> {
+/// let d = DataBits::new(16)?;
+/// let static16 = IdBits::new(16)?;
+/// assert!(aff_beats_static(d, Density::new(16)?, static16));
+/// assert!(!aff_beats_static(d, Density::new(65536)?, static16));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn aff_beats_static(data: DataBits, density: Density, address: IdBits) -> bool {
+    best_efficiency(data, density) > static_efficiency(data, address)
+}
+
+/// The largest transaction density at which optimally sized AFF still
+/// strictly beats a static allocation of `address` bits.
+///
+/// Returns `None` if AFF does not win even at `T = 1` (impossible for
+/// `address >= 2`, since AFF with one fewer bit and no contention always
+/// wins, but kept for API robustness).
+///
+/// Because best-case AFF efficiency is nonincreasing in `T` while static
+/// efficiency is constant, the crossover is found by binary search.
+///
+/// # Examples
+///
+/// ```
+/// use retri_model::{crossover_density, DataBits, IdBits};
+///
+/// # fn main() -> Result<(), retri_model::ModelError> {
+/// let d = DataBits::new(16)?;
+/// // AFF beats a 16-bit static space for densities well into the
+/// // thousands, and the advantage disappears as the space saturates.
+/// let cross = crossover_density(d, IdBits::new(16)?).unwrap();
+/// assert!(cross.get() > 16);
+/// assert!(cross.get() < 65536);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn crossover_density(data: DataBits, address: IdBits) -> Option<Density> {
+    let one = Density::new(1).expect("1 is a valid density");
+    if !aff_beats_static(data, one, address) {
+        return None;
+    }
+    // Exponential search for an upper bound where AFF no longer wins.
+    let mut hi = 2u64;
+    while aff_beats_static(data, Density::new(hi).expect("nonzero"), address) {
+        if hi >= 1 << 48 {
+            // AFF wins at any density we can meaningfully model; treat the
+            // bound as the crossover.
+            return Some(Density::new(hi).expect("nonzero"));
+        }
+        hi *= 2;
+    }
+    // Invariant: wins at lo, loses at hi.
+    let mut lo = hi / 2;
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if aff_beats_static(data, Density::new(mid).expect("nonzero"), address) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(Density::new(lo).expect("nonzero"))
+}
+
+/// Relative efficiency advantage of optimally sized AFF over a static
+/// allocation: `E_aff_best / E_static - 1`.
+///
+/// Positive values mean AFF extends network lifetime by that fraction at
+/// the same workload; negative values mean static allocation wins.
+///
+/// # Examples
+///
+/// ```
+/// use retri_model::optimal::advantage_over_static;
+/// use retri_model::{DataBits, Density, IdBits};
+///
+/// # fn main() -> Result<(), retri_model::ModelError> {
+/// let adv = advantage_over_static(
+///     DataBits::new(16)?,
+///     Density::new(16)?,
+///     IdBits::new(32)?,
+/// );
+/// // Versus 32-bit static addresses the paper's headline scenario gains
+/// // roughly 80% efficiency.
+/// assert!(adv > 0.7 && adv < 0.9);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn advantage_over_static(data: DataBits, density: Density, address: IdBits) -> f64 {
+    best_efficiency(data, density).get() / static_efficiency(data, address).get() - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(bits: u32) -> DataBits {
+        DataBits::new(bits).unwrap()
+    }
+    fn h(bits: u8) -> IdBits {
+        IdBits::new(bits).unwrap()
+    }
+    fn t(density: u64) -> Density {
+        Density::new(density).unwrap()
+    }
+
+    #[test]
+    fn optimum_is_global_maximum() {
+        for (data, density) in [(16, 16), (16, 256), (128, 16), (128, 65536), (1, 2)] {
+            let opt = optimal_id_bits(d(data), t(density));
+            for id in IdBits::all() {
+                assert!(
+                    aff_efficiency(d(data), id, t(density)) <= opt.efficiency,
+                    "width {id} beats claimed optimum for D={data}, T={density}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_fig1_optimum_is_nine_bits_at_t16() {
+        assert_eq!(optimal_id_bits(d(16), t(16)).id_bits.get(), 9);
+    }
+
+    #[test]
+    fn optimum_grows_with_density() {
+        let o16 = optimal_id_bits(d(16), t(16)).id_bits;
+        let o256 = optimal_id_bits(d(16), t(256)).id_bits;
+        let o64k = optimal_id_bits(d(16), t(65536)).id_bits;
+        assert!(o16 < o256);
+        assert!(o256 < o64k);
+    }
+
+    #[test]
+    fn optimum_grows_with_data_size() {
+        // Figure 2 commentary: larger data makes collisions costlier, so
+        // the optimal identifier gets longer.
+        let small = optimal_id_bits(d(16), t(16)).id_bits;
+        let large = optimal_id_bits(d(128), t(16)).id_bits;
+        assert!(large > small);
+    }
+
+    #[test]
+    fn no_contention_optimum_is_one_bit() {
+        // With T=1 there are no collisions, so the shortest identifier
+        // maximizes efficiency.
+        assert_eq!(optimal_id_bits(d(16), t(1)).id_bits.get(), 1);
+    }
+
+    #[test]
+    fn crossover_exists_for_paper_scenario() {
+        let cross = crossover_density(d(16), h(16)).unwrap();
+        // AFF must win at the paper's T=16 and lose by T=64K.
+        assert!(cross.get() >= 16);
+        assert!(cross.get() < 65536);
+        // Exactness: wins at the crossover, loses just past it.
+        assert!(aff_beats_static(d(16), cross, h(16)));
+        assert!(!aff_beats_static(
+            d(16),
+            t(cross.get() + 1),
+            h(16)
+        ));
+    }
+
+    #[test]
+    fn crossover_against_huge_static_space_is_far_out() {
+        // Against Ethernet-scale 48-bit addresses AFF keeps winning to
+        // extremely high densities.
+        let cross = crossover_density(d(16), h(48)).unwrap();
+        assert!(cross.get() > 1_000_000);
+    }
+
+    #[test]
+    fn advantage_positive_in_locality_regime_negative_when_saturated() {
+        assert!(advantage_over_static(d(16), t(16), h(16)) > 0.0);
+        assert!(advantage_over_static(d(16), t(65536), h(16)) < 0.0);
+    }
+
+    #[test]
+    fn optimal_point_display_mentions_bits() {
+        let opt = optimal_id_bits(d(16), t(16));
+        let text = opt.to_string();
+        assert!(text.contains("9 bits"), "unexpected display: {text}");
+    }
+}

@@ -1,0 +1,241 @@
+//! Summary statistics shared by the experiment harness.
+//!
+//! The paper's Figure 4 reports, for each identifier size, the mean
+//! collision rate over ten trials with error bars showing one standard
+//! deviation. [`Summary`] computes exactly those quantities, and
+//! [`Summary::agrees_with`] is the acceptance test the integration suite
+//! uses to declare the simulation "validated against the model".
+
+use core::fmt;
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable for long experiment runs; used by the simulator's
+/// per-trial metrics as well as the figure harness.
+///
+/// # Examples
+///
+/// ```
+/// use retri_model::stats::Welford;
+///
+/// let mut acc = Welford::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     acc.push(x);
+/// }
+/// let summary = acc.summary();
+/// assert_eq!(summary.mean, 5.0);
+/// assert!((summary.std_dev - 2.138089935299395).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Welford {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Finalizes into a [`Summary`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no observations were pushed; an empty sample has no
+    /// defined mean.
+    #[must_use]
+    pub fn summary(&self) -> Summary {
+        assert!(self.count > 0, "cannot summarize an empty sample");
+        let variance = if self.count > 1 {
+            self.m2 / (self.count - 1) as f64
+        } else {
+            0.0
+        };
+        Summary {
+            n: self.count,
+            mean: self.mean,
+            std_dev: variance.sqrt(),
+            min: self.min,
+            max: self.max,
+        }
+    }
+}
+
+impl Extend<f64> for Welford {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+/// Summary statistics of a sample: count, mean, sample standard
+/// deviation, and range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Summary {
+    /// Number of observations.
+    pub n: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (`n - 1` denominator; 0 for one sample).
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a slice of observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample` is empty.
+    #[must_use]
+    pub fn of(sample: &[f64]) -> Self {
+        let mut acc = Welford::new();
+        acc.extend(sample.iter().copied());
+        acc.summary()
+    }
+
+    /// Standard error of the mean, `s / sqrt(n)`.
+    #[must_use]
+    pub fn std_error(&self) -> f64 {
+        self.std_dev / (self.n as f64).sqrt()
+    }
+
+    /// Whether a model prediction is consistent with this sample.
+    ///
+    /// Accepts if the prediction lies within `sigmas` standard errors of
+    /// the sample mean, or within `abs_tol` absolutely — the latter keeps
+    /// the check meaningful when the sample variance collapses to zero
+    /// (e.g. a collision rate of exactly 0 across all trials at large
+    /// identifier sizes).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use retri_model::stats::Summary;
+    ///
+    /// let observed = Summary::of(&[0.29, 0.31, 0.30, 0.32, 0.28]);
+    /// assert!(observed.agrees_with(0.30, 3.0, 0.01));
+    /// assert!(!observed.agrees_with(0.60, 3.0, 0.01));
+    /// ```
+    #[must_use]
+    pub fn agrees_with(&self, predicted: f64, sigmas: f64, abs_tol: f64) -> bool {
+        let deviation = (self.mean - predicted).abs();
+        deviation <= sigmas * self.std_error() || deviation <= abs_tol
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.4} ± {:.4} (n={}, range {:.4}..{:.4})",
+            self.mean, self.std_dev, self.n, self.min, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass_computation() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin()).collect();
+        let summary = Summary::of(&xs);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((summary.mean - mean).abs() < 1e-12);
+        assert!((summary.std_dev - var.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_observation_has_zero_std_dev() {
+        let s = Summary::of(&[42.0]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, 42.0);
+        assert_eq!(s.max, 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn min_max_track_extremes() {
+        let s = Summary::of(&[3.0, -1.0, 7.5, 2.0]);
+        assert_eq!(s.min, -1.0);
+        assert_eq!(s.max, 7.5);
+    }
+
+    #[test]
+    fn std_error_shrinks_with_sample_size() {
+        let small = Summary::of(&[1.0, 2.0, 3.0]);
+        let mut big_sample = Vec::new();
+        for _ in 0..30 {
+            big_sample.extend_from_slice(&[1.0, 2.0, 3.0]);
+        }
+        let big = Summary::of(&big_sample);
+        assert!(big.std_error() < small.std_error());
+    }
+
+    #[test]
+    fn agreement_uses_absolute_tolerance_when_variance_collapses() {
+        // Ten trials that all observed exactly zero collisions.
+        let s = Summary::of(&[0.0; 10]);
+        assert_eq!(s.std_error(), 0.0);
+        // A tiny positive prediction (e.g. 2^-16-ish rates) still agrees.
+        assert!(s.agrees_with(1e-4, 3.0, 1e-3));
+        assert!(!s.agrees_with(0.5, 3.0, 1e-3));
+    }
+
+    #[test]
+    fn extend_accepts_iterators() {
+        let mut acc = Welford::new();
+        acc.extend((1..=5).map(|i| i as f64));
+        assert_eq!(acc.count(), 5);
+        assert_eq!(acc.summary().mean, 3.0);
+    }
+
+    #[test]
+    fn display_includes_mean_and_n() {
+        let text = Summary::of(&[1.0, 2.0]).to_string();
+        assert!(text.contains("1.5"));
+        assert!(text.contains("n=2"));
+    }
+}

@@ -1,0 +1,279 @@
+//! Series generators that regenerate the paper's analytic figures.
+//!
+//! Each function returns plain data (vectors of points) so the experiment
+//! harness in `retri-bench` can print, serialize, or plot them. Figures:
+//!
+//! - **Figure 1** — efficiency vs. identifier bits, `D = 16`, AFF curves
+//!   for `T ∈ {16, 256, 65536}` plus static 16/32-bit flat lines:
+//!   [`efficiency_vs_id_bits`] + [`static_line`].
+//! - **Figure 2** — same with `D = 128`.
+//! - **Figure 3** — efficiency vs. load (`T`) at fixed widths, showing
+//!   static allocation's hard saturation versus AFF's graceful
+//!   degradation: [`efficiency_vs_load`] + [`static_vs_load`].
+
+use crate::efficiency::{aff_efficiency, static_efficiency, Efficiency};
+use crate::params::{DataBits, Density, IdBits};
+
+/// One point of an efficiency-vs-identifier-width curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WidthPoint {
+    /// Identifier width `H` (the x-axis of Figures 1–2).
+    pub id_bits: IdBits,
+    /// Efficiency at that width.
+    pub efficiency: Efficiency,
+}
+
+/// One point of an efficiency-vs-load curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LoadPoint {
+    /// Transaction density `T` (the x-axis of Figure 3).
+    pub density: Density,
+    /// Efficiency at that load, or `None` where the scheme is undefined
+    /// (a static address space with fewer addresses than transactions).
+    pub efficiency: Option<Efficiency>,
+}
+
+/// AFF efficiency as a function of identifier width (an AFF curve of
+/// Figures 1–2).
+///
+/// Sweeps `H` over `widths` for fixed data size and density.
+///
+/// # Examples
+///
+/// ```
+/// use retri_model::sweep::efficiency_vs_id_bits;
+/// use retri_model::{DataBits, Density, IdBits};
+///
+/// # fn main() -> Result<(), retri_model::ModelError> {
+/// let curve = efficiency_vs_id_bits(
+///     DataBits::new(16)?,
+///     Density::new(16)?,
+///     IdBits::all().take(32),
+/// );
+/// // The curve rises to a peak and then declines (Section 4.2).
+/// let peak = curve
+///     .iter()
+///     .max_by(|a, b| a.efficiency.partial_cmp(&b.efficiency).unwrap())
+///     .unwrap();
+/// assert_eq!(peak.id_bits.get(), 9);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn efficiency_vs_id_bits(
+    data: DataBits,
+    density: Density,
+    widths: impl IntoIterator<Item = IdBits>,
+) -> Vec<WidthPoint> {
+    widths
+        .into_iter()
+        .map(|id_bits| WidthPoint {
+            id_bits,
+            efficiency: aff_efficiency(data, id_bits, density),
+        })
+        .collect()
+}
+
+/// The flat line of a static allocation in Figures 1–2: constant
+/// efficiency regardless of the x-axis position.
+///
+/// Returns one [`WidthPoint`] per swept width, all carrying the same
+/// efficiency `D / (D + address)`, so the series plots directly alongside
+/// the AFF curves.
+#[must_use]
+pub fn static_line(
+    data: DataBits,
+    address: IdBits,
+    widths: impl IntoIterator<Item = IdBits>,
+) -> Vec<WidthPoint> {
+    let e = static_efficiency(data, address);
+    widths
+        .into_iter()
+        .map(|id_bits| WidthPoint {
+            id_bits,
+            efficiency: e,
+        })
+        .collect()
+}
+
+/// AFF efficiency as a function of load (an AFF curve of Figure 3).
+///
+/// Sweeps the transaction density for a fixed identifier width. AFF is
+/// defined at every load: efficiency degrades smoothly as collisions
+/// increase.
+#[must_use]
+pub fn efficiency_vs_load(
+    data: DataBits,
+    id: IdBits,
+    loads: impl IntoIterator<Item = Density>,
+) -> Vec<LoadPoint> {
+    loads
+        .into_iter()
+        .map(|density| LoadPoint {
+            density,
+            efficiency: Some(aff_efficiency(data, id, density)),
+        })
+        .collect()
+}
+
+/// Static allocation as a function of load (the step line of Figure 3).
+///
+/// Static allocation has constant efficiency while the address space can
+/// name every concurrent transaction (`T <= 2^H`) and is **undefined**
+/// beyond that point — the paper plots nothing there, and we return
+/// `None`.
+///
+/// # Examples
+///
+/// ```
+/// use retri_model::sweep::static_vs_load;
+/// use retri_model::{DataBits, Density, IdBits};
+///
+/// # fn main() -> Result<(), retri_model::ModelError> {
+/// let line = static_vs_load(
+///     DataBits::new(16)?,
+///     IdBits::new(4)?,
+///     (1..=32).map(|t| Density::new(t).unwrap()),
+/// );
+/// assert!(line[15].efficiency.is_some()); // T = 16 = 2^4 still fits
+/// assert!(line[16].efficiency.is_none()); // T = 17 exhausts the space
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn static_vs_load(
+    data: DataBits,
+    address: IdBits,
+    loads: impl IntoIterator<Item = Density>,
+) -> Vec<LoadPoint> {
+    let e = static_efficiency(data, address);
+    loads
+        .into_iter()
+        .map(|density| LoadPoint {
+            density,
+            efficiency: if u128::from(density.get()) <= address.space_len() {
+                Some(e)
+            } else {
+                None
+            },
+        })
+        .collect()
+}
+
+/// Convenience: geometrically spaced densities `1, 2, 4, ...` up to and
+/// including `max` (useful for log-scale load sweeps like Figure 3).
+#[must_use]
+pub fn geometric_loads(max: u64) -> Vec<Density> {
+    let mut loads = Vec::new();
+    let mut t = 1u64;
+    while t <= max {
+        loads.push(Density::new(t).expect("nonzero"));
+        match t.checked_mul(2) {
+            Some(next) => t = next,
+            None => break,
+        }
+    }
+    loads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(bits: u32) -> DataBits {
+        DataBits::new(bits).unwrap()
+    }
+    fn h(bits: u8) -> IdBits {
+        IdBits::new(bits).unwrap()
+    }
+    fn t(density: u64) -> Density {
+        Density::new(density).unwrap()
+    }
+
+    #[test]
+    fn width_sweep_covers_requested_widths_in_order() {
+        let curve = efficiency_vs_id_bits(d(16), t(16), IdBits::all().take(32));
+        assert_eq!(curve.len(), 32);
+        for (i, p) in curve.iter().enumerate() {
+            assert_eq!(p.id_bits.get() as usize, i + 1);
+        }
+    }
+
+    #[test]
+    fn width_sweep_is_unimodal_for_paper_scenarios() {
+        // Rises to the peak, falls after it — the "consistent shape"
+        // described in Section 4.2.
+        for density in [16u64, 256, 65536] {
+            let curve = efficiency_vs_id_bits(d(16), t(density), IdBits::all());
+            let peak = curve
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.efficiency.partial_cmp(&b.1.efficiency).unwrap())
+                .map(|(i, _)| i)
+                .unwrap();
+            for w in curve.windows(2).take(peak) {
+                assert!(w[0].efficiency <= w[1].efficiency);
+            }
+            for w in curve.windows(2).skip(peak) {
+                assert!(w[0].efficiency >= w[1].efficiency);
+            }
+        }
+    }
+
+    #[test]
+    fn static_line_is_flat() {
+        let line = static_line(d(16), h(16), IdBits::all().take(32));
+        assert!(line
+            .iter()
+            .all(|p| (p.efficiency.get() - 0.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn load_sweep_is_monotone_decreasing() {
+        let loads = geometric_loads(1 << 20);
+        let curve = efficiency_vs_load(d(16), h(9), loads);
+        for w in curve.windows(2) {
+            assert!(w[0].efficiency.unwrap() >= w[1].efficiency.unwrap());
+        }
+    }
+
+    #[test]
+    fn static_load_line_cuts_off_at_space_exhaustion() {
+        let line = static_vs_load(d(16), h(3), (1..=10).map(t));
+        for p in &line {
+            if p.density.get() <= 8 {
+                assert!(p.efficiency.is_some());
+            } else {
+                assert!(p.efficiency.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn geometric_loads_doubles_up_to_max() {
+        assert_eq!(
+            geometric_loads(16).iter().map(|x| x.get()).collect::<Vec<_>>(),
+            vec![1, 2, 4, 8, 16]
+        );
+        // max not itself a power of two: stops below it.
+        assert_eq!(
+            geometric_loads(20).iter().map(|x| x.get()).collect::<Vec<_>>(),
+            vec![1, 2, 4, 8, 16]
+        );
+    }
+
+    #[test]
+    fn figure3_crossover_visible_in_series() {
+        // At low load AFF (well-sized) beats a saturating static space; at
+        // the point the static space is exhausted AFF still works.
+        let loads: Vec<Density> = (1..=40).map(t).collect();
+        let aff = efficiency_vs_load(d(16), h(9), loads.clone());
+        let stat = static_vs_load(d(16), h(5), loads);
+        let exhausted = stat.iter().filter(|p| p.efficiency.is_none()).count();
+        assert_eq!(exhausted, 40 - 32);
+        // AFF defined everywhere.
+        assert!(aff.iter().all(|p| p.efficiency.is_some()));
+    }
+}

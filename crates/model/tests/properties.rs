@@ -1,0 +1,146 @@
+//! Property-based tests of the analytic model's invariants.
+
+use proptest::prelude::*;
+use retri_model::lengths::{DurationClass, MixedLengthModel};
+use retri_model::listening::ListeningModel;
+use retri_model::stats::Summary;
+use retri_model::{
+    aff_efficiency, continuous, crossover_density, optimal_id_bits, p_collision, p_success,
+    static_efficiency, DataBits, Density, IdBits,
+};
+
+fn id_bits() -> impl Strategy<Value = IdBits> {
+    (1u8..=64).prop_map(|b| IdBits::new(b).unwrap())
+}
+
+fn data_bits() -> impl Strategy<Value = DataBits> {
+    (1u32..=100_000).prop_map(|b| DataBits::new(b).unwrap())
+}
+
+fn density() -> impl Strategy<Value = Density> {
+    (1u64..=1_000_000).prop_map(|t| Density::new(t).unwrap())
+}
+
+proptest! {
+    /// Probabilities stay in [0, 1] across the whole parameter space.
+    #[test]
+    fn p_success_is_probability(h in id_bits(), t in density()) {
+        let p = p_success(h, t);
+        prop_assert!((0.0..=1.0).contains(&p));
+        let c = p_collision(h, t);
+        prop_assert!((0.0..=1.0).contains(&c));
+        prop_assert!((p + c - 1.0).abs() < 1e-9);
+    }
+
+    /// P(success) is monotone: nondecreasing in H, nonincreasing in T.
+    #[test]
+    fn p_success_monotone(h in 1u8..64, t in 1u64..100_000) {
+        let h1 = IdBits::new(h).unwrap();
+        let h2 = IdBits::new(h + 1).unwrap();
+        let t1 = Density::new(t).unwrap();
+        let t2 = Density::new(t + 1).unwrap();
+        prop_assert!(p_success(h2, t1) >= p_success(h1, t1));
+        prop_assert!(p_success(h1, t2) <= p_success(h1, t1));
+    }
+
+    /// AFF efficiency is bounded by static efficiency at the same width
+    /// and they coincide when T = 1.
+    #[test]
+    fn aff_bounded_by_static(d in data_bits(), h in id_bits(), t in density()) {
+        let aff = aff_efficiency(d, h, t);
+        let stat = static_efficiency(d, h);
+        prop_assert!(aff <= stat);
+        let lone = aff_efficiency(d, h, Density::new(1).unwrap());
+        prop_assert!((lone.get() - stat.get()).abs() < 1e-12);
+    }
+
+    /// The scan-based integer optimum is never beaten by any other width,
+    /// and the continuous peak brackets it within one bit.
+    #[test]
+    fn optimum_is_optimal(d in data_bits(), t in 1u64..100_000) {
+        let t = Density::new(t).unwrap();
+        let opt = optimal_id_bits(d, t);
+        for h in IdBits::all() {
+            prop_assert!(aff_efficiency(d, h, t) <= opt.efficiency);
+        }
+        let (h_star, _) = continuous::optimal_width(d, t);
+        prop_assert!((h_star - opt.id_bits.get() as f64).abs() <= 1.0);
+    }
+
+    /// Static efficiency is strictly decreasing in address width and
+    /// increasing in data size.
+    #[test]
+    fn static_efficiency_monotone(d in 1u32..100_000, h in 1u8..64) {
+        let d1 = DataBits::new(d).unwrap();
+        let d2 = DataBits::new(d + 1).unwrap();
+        let h1 = IdBits::new(h).unwrap();
+        let h2 = IdBits::new(h + 1).unwrap();
+        prop_assert!(static_efficiency(d1, h2) < static_efficiency(d1, h1));
+        prop_assert!(static_efficiency(d2, h1) > static_efficiency(d1, h1));
+    }
+
+    /// Listening with hear = 0, window = 0 equals Eq. 4; increasing hear
+    /// never hurts.
+    #[test]
+    fn listening_brackets_eq4(h in id_bits(), t in 1u64..10_000, hear in 0.0f64..=1.0) {
+        let t = Density::new(t).unwrap();
+        let blind = ListeningModel::new(0.0, 0).unwrap();
+        prop_assert!((blind.p_success(h, t) - p_success(h, t)).abs() < 1e-9);
+        let listener = ListeningModel::new(hear, 0).unwrap();
+        prop_assert!(listener.p_success(h, t) >= p_success(h, t) - 1e-12);
+        let perfect = ListeningModel::new(1.0, 0).unwrap();
+        prop_assert_eq!(perfect.p_success(h, t), 1.0);
+    }
+
+    /// A degenerate mixed-length distribution reduces to Eq. 4 regardless
+    /// of the (arbitrary) common duration.
+    #[test]
+    fn mixed_lengths_degenerate_case(
+        h in id_bits(),
+        t in 1u64..10_000,
+        duration in 0.001f64..1_000.0,
+    ) {
+        let t = Density::new(t).unwrap();
+        let model = MixedLengthModel::new(vec![DurationClass { weight: 1.0, duration }]).unwrap();
+        prop_assert!((model.p_success(h, t) - p_success(h, t)).abs() < 1e-9);
+    }
+
+    /// The binary-search crossover agrees with a brute-force linear scan
+    /// on small parameter ranges.
+    #[test]
+    fn crossover_matches_linear_scan(d in 1u32..200, addr in 2u8..12) {
+        let data = DataBits::new(d).unwrap();
+        let address = IdBits::new(addr).unwrap();
+        let cross = crossover_density(data, address);
+        // Brute force over a bounded range.
+        let mut linear = None;
+        for t in 1..=(1u64 << (addr + 2)) {
+            let density = Density::new(t).unwrap();
+            let best = retri_model::optimal::best_efficiency(data, density);
+            if best > static_efficiency(data, address) {
+                linear = Some(t);
+            } else {
+                break;
+            }
+        }
+        match (cross, linear) {
+            (Some(c), Some(l)) => prop_assert_eq!(c.get(), l),
+            (None, None) => {}
+            (c, l) => prop_assert!(false, "crossover {:?} vs linear {:?}", c, l),
+        }
+    }
+
+    /// Welford summaries match naive two-pass statistics.
+    #[test]
+    fn summary_matches_naive(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = Summary::of(&xs);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        prop_assert!((s.mean - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+        if xs.len() > 1 {
+            let var =
+                xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+            prop_assert!((s.std_dev - var.sqrt()).abs() < 1e-3 * (1.0 + var.sqrt()));
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Frames: what the radio actually broadcasts.
+//!
+//! A [`FramePayload`] is the caller-supplied content, measured in
+//! **bits** — the paper's accounting unit. Protocols above (like AFF)
+//! bit-pack their headers, so a payload may logically end mid-byte; the
+//! payload records the exact bit length and the byte buffer that holds
+//! it.
+
+use core::fmt;
+
+use crate::node::NodeId;
+
+/// Error constructing a frame payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FrameError {
+    /// The payload's declared bit length does not fit its byte buffer
+    /// (or the buffer has trailing unused bytes).
+    BitLengthMismatch {
+        /// Declared logical length in bits.
+        bits: u32,
+        /// Bytes provided.
+        bytes: usize,
+    },
+    /// The payload is empty.
+    Empty,
+    /// The payload exceeds the radio's maximum frame size; raised at
+    /// send time by the simulator.
+    TooLarge {
+        /// Bytes in the payload.
+        bytes: usize,
+        /// The radio's limit.
+        max_bytes: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FrameError::BitLengthMismatch { bits, bytes } => {
+                write!(f, "bit length {bits} does not fit exactly in {bytes} bytes")
+            }
+            FrameError::Empty => write!(f, "frame payload must not be empty"),
+            FrameError::TooLarge { bytes, max_bytes } => {
+                write!(f, "payload of {bytes} bytes exceeds {max_bytes}-byte frames")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// The content of one radio frame: a byte buffer plus its exact logical
+/// length in bits.
+///
+/// # Examples
+///
+/// ```
+/// use retri_netsim::FramePayload;
+///
+/// // A whole-byte payload.
+/// let p = FramePayload::from_bytes(vec![0xAB, 0xCD]).unwrap();
+/// assert_eq!(p.bits(), 16);
+///
+/// // A bit-packed payload: 13 bits occupy two bytes.
+/// let p = FramePayload::from_bits(vec![0xFF, 0xF8], 13).unwrap();
+/// assert_eq!(p.bits(), 13);
+/// assert_eq!(p.bytes().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FramePayload {
+    bytes: Vec<u8>,
+    bits: u32,
+}
+
+impl FramePayload {
+    /// Creates a payload of whole bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::Empty`] for an empty buffer.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, FrameError> {
+        if bytes.is_empty() {
+            return Err(FrameError::Empty);
+        }
+        let bits = (bytes.len() * 8) as u32;
+        Ok(FramePayload { bytes, bits })
+    }
+
+    /// Creates a bit-packed payload: `bits` logical bits stored in
+    /// `bytes` (the final byte may be partially used).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::Empty`] for zero bits and
+    /// [`FrameError::BitLengthMismatch`] unless
+    /// `bytes.len() == ceil(bits / 8)`.
+    pub fn from_bits(bytes: Vec<u8>, bits: u32) -> Result<Self, FrameError> {
+        if bits == 0 {
+            return Err(FrameError::Empty);
+        }
+        let expected_bytes = (bits as usize).div_ceil(8);
+        if bytes.len() != expected_bytes {
+            return Err(FrameError::BitLengthMismatch {
+                bits,
+                bytes: bytes.len(),
+            });
+        }
+        Ok(FramePayload { bytes, bits })
+    }
+
+    /// The byte buffer.
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The exact logical length in bits.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The buffer length in bytes (what the frame-size limit applies
+    /// to).
+    #[must_use]
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+/// A frame as received: the payload plus ground-truth metadata.
+///
+/// `src` is *simulator* metadata — the receiving protocol may use it
+/// only for instrumentation (the paper's Section 5.1 methodology), never
+/// for protocol decisions in the address-free schemes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Ground-truth sender (not on the air in address-free protocols).
+    pub src: NodeId,
+    /// The payload.
+    pub payload: FramePayload,
+}
+
+impl Frame {
+    /// Creates a frame.
+    #[must_use]
+    pub fn new(src: NodeId, payload: FramePayload) -> Self {
+        Frame { src, payload }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whole_byte_payload() {
+        let p = FramePayload::from_bytes(vec![1, 2, 3]).unwrap();
+        assert_eq!(p.bits(), 24);
+        assert_eq!(p.byte_len(), 3);
+        assert_eq!(p.bytes(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_payload_rejected() {
+        assert_eq!(FramePayload::from_bytes(vec![]), Err(FrameError::Empty));
+        assert_eq!(FramePayload::from_bits(vec![], 0), Err(FrameError::Empty));
+    }
+
+    #[test]
+    fn bit_packed_payload_validates_length() {
+        assert!(FramePayload::from_bits(vec![0xFF], 8).is_ok());
+        assert!(FramePayload::from_bits(vec![0xFF], 5).is_ok());
+        assert!(FramePayload::from_bits(vec![0xFF, 0x00], 9).is_ok());
+        assert_eq!(
+            FramePayload::from_bits(vec![0xFF], 9),
+            Err(FrameError::BitLengthMismatch { bits: 9, bytes: 1 })
+        );
+        assert_eq!(
+            FramePayload::from_bits(vec![0xFF, 0x00], 8),
+            Err(FrameError::BitLengthMismatch { bits: 8, bytes: 2 })
+        );
+    }
+
+    #[test]
+    fn errors_display() {
+        for err in [
+            FrameError::Empty,
+            FrameError::BitLengthMismatch { bits: 9, bytes: 1 },
+            FrameError::TooLarge {
+                bytes: 30,
+                max_bytes: 27,
+            },
+        ] {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn frame_carries_ground_truth_source() {
+        let payload = FramePayload::from_bytes(vec![7]).unwrap();
+        let frame = Frame::new(NodeId(3), payload.clone());
+        assert_eq!(frame.src, NodeId(3));
+        assert_eq!(frame.payload, payload);
+    }
+}

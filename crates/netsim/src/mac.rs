@@ -1,0 +1,156 @@
+//! Medium-access control.
+//!
+//! Low-power sensor radios like the paper's Radiometrix RPC have
+//! "extremely simple MACs" (Section 4.4): at most carrier sensing with a
+//! random backoff, nothing like 802.11's RTS/CTS or per-packet
+//! hundreds-of-bits overhead. The simulator offers exactly that spectrum:
+//! pure ALOHA (transmit immediately) or non-persistent CSMA (if the
+//! channel sounds busy, back off a random number of slots and try
+//! again).
+
+use core::fmt;
+
+use crate::time::SimDuration;
+
+/// MAC configuration shared by every node in a simulation.
+///
+/// # Examples
+///
+/// ```
+/// use retri_netsim::mac::MacConfig;
+///
+/// let csma = MacConfig::default();
+/// assert!(csma.carrier_sense);
+///
+/// let aloha = MacConfig::aloha();
+/// assert!(!aloha.carrier_sense);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MacConfig {
+    /// Listen before transmitting; if the channel is audibly busy, back
+    /// off. Disable for pure ALOHA.
+    pub carrier_sense: bool,
+    /// Length of one backoff slot.
+    pub backoff_slot: SimDuration,
+    /// Backoff is drawn uniformly from `1..=max_backoff_slots` slots.
+    pub max_backoff_slots: u32,
+    /// Quiet gap a node leaves after finishing a transmission before
+    /// starting its next one.
+    pub ifs: SimDuration,
+}
+
+impl MacConfig {
+    /// Non-persistent CSMA tuned for a 40 kbit/s radio with ~7 ms
+    /// frames: 1 ms slots, up to 16 of them, 2 ms inter-frame spacing.
+    #[must_use]
+    pub fn csma() -> Self {
+        MacConfig {
+            carrier_sense: true,
+            backoff_slot: SimDuration::from_millis(1),
+            max_backoff_slots: 16,
+            ifs: SimDuration::from_millis(2),
+        }
+    }
+
+    /// Pure ALOHA: transmit the moment a frame is queued; collisions are
+    /// resolved only by upper-layer robustness.
+    #[must_use]
+    pub fn aloha() -> Self {
+        MacConfig {
+            carrier_sense: false,
+            backoff_slot: SimDuration::from_millis(1),
+            max_backoff_slots: 1,
+            ifs: SimDuration::from_millis(2),
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if carrier sensing is enabled with a zero-length slot or
+    /// zero backoff range (the node would spin at the same instant
+    /// forever).
+    pub fn validate(&self) {
+        if self.carrier_sense {
+            assert!(
+                self.backoff_slot > SimDuration::ZERO,
+                "CSMA backoff slot must be positive"
+            );
+            assert!(
+                self.max_backoff_slots > 0,
+                "CSMA must allow at least one backoff slot"
+            );
+        }
+    }
+}
+
+impl Default for MacConfig {
+    /// [`MacConfig::csma`].
+    fn default() -> Self {
+        MacConfig::csma()
+    }
+}
+
+impl fmt::Display for MacConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.carrier_sense {
+            write!(
+                f,
+                "CSMA (slot {}, ≤{} slots, ifs {})",
+                self.backoff_slot, self.max_backoff_slots, self.ifs
+            )
+        } else {
+            write!(f, "ALOHA (ifs {})", self.ifs)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_in_carrier_sense() {
+        assert!(MacConfig::csma().carrier_sense);
+        assert!(!MacConfig::aloha().carrier_sense);
+        assert_eq!(MacConfig::default(), MacConfig::csma());
+    }
+
+    #[test]
+    fn validate_accepts_presets() {
+        MacConfig::csma().validate();
+        MacConfig::aloha().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "backoff slot must be positive")]
+    fn validate_rejects_zero_slot_csma() {
+        MacConfig {
+            carrier_sense: true,
+            backoff_slot: SimDuration::ZERO,
+            max_backoff_slots: 4,
+            ifs: SimDuration::ZERO,
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one backoff slot")]
+    fn validate_rejects_zero_slots() {
+        MacConfig {
+            carrier_sense: true,
+            backoff_slot: SimDuration::from_millis(1),
+            max_backoff_slots: 0,
+            ifs: SimDuration::ZERO,
+        }
+        .validate();
+    }
+
+    #[test]
+    fn display_names_mode() {
+        assert!(MacConfig::csma().to_string().contains("CSMA"));
+        assert!(MacConfig::aloha().to_string().contains("ALOHA"));
+    }
+}

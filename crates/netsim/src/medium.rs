@@ -1,0 +1,320 @@
+//! The shared broadcast medium.
+//!
+//! The medium tracks every transmission as a time interval. At the end
+//! of a transmission, delivery is decided independently per receiver:
+//!
+//! 1. the receiver must be alive, distinct from the sender, and in
+//!    range;
+//! 2. a **half-duplex** radio that was itself transmitting during any
+//!    part of the interval hears nothing;
+//! 3. any *other* transmission audible at the receiver that overlaps the
+//!    interval corrupts the frame (an **RF collision** — no capture
+//!    effect); hidden terminals produce exactly this case;
+//! 4. otherwise the frame survives an independent random-loss draw.
+//!
+//! Evaluating at transmission end is sound because any overlapping
+//! transmission has, by definition, already *started* by then, so the
+//! medium has its record.
+
+use crate::frame::Frame;
+use crate::node::NodeId;
+use crate::time::SimTime;
+use crate::topology::Topology;
+
+/// One transmission on the air (or recently completed).
+#[derive(Debug, Clone)]
+pub(crate) struct TxRecord {
+    /// Unique, monotonically increasing transmission number.
+    pub seq: u64,
+    /// The transmitting node.
+    pub sender: NodeId,
+    /// First instant of the transmission.
+    pub start: SimTime,
+    /// One past the last instant of the transmission.
+    pub end: SimTime,
+    /// What is being transmitted.
+    pub frame: Frame,
+    /// Bits on the air (payload + preamble), for receiver energy
+    /// accounting.
+    pub bits_on_air: u64,
+}
+
+impl TxRecord {
+    fn overlaps(&self, start: SimTime, end: SimTime) -> bool {
+        self.start < end && self.end > start
+    }
+}
+
+/// Why a receiver did not get a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryFailure {
+    /// The receiver's own radio was transmitting (half-duplex).
+    HalfDuplex,
+    /// Another audible transmission overlapped (RF collision).
+    RfCollision,
+    /// Independent random frame loss.
+    RandomLoss,
+}
+
+/// Per-receiver delivery verdict for one transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Verdict {
+    Delivered,
+    Failed(DeliveryFailure),
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct Medium {
+    records: Vec<TxRecord>,
+    next_seq: u64,
+}
+
+impl Medium {
+    pub fn new() -> Self {
+        Medium::default()
+    }
+
+    /// Registers a transmission starting now; returns its sequence
+    /// number.
+    pub fn begin_tx(
+        &mut self,
+        sender: NodeId,
+        start: SimTime,
+        end: SimTime,
+        frame: Frame,
+        bits_on_air: u64,
+    ) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.records.push(TxRecord {
+            seq,
+            sender,
+            start,
+            end,
+            frame,
+            bits_on_air,
+        });
+        seq
+    }
+
+    /// Whether `listener` hears any ongoing foreign transmission at
+    /// `now` (CSMA carrier sense).
+    pub fn busy_for(&self, listener: NodeId, now: SimTime, topology: &Topology) -> bool {
+        self.records.iter().any(|record| {
+            record.sender != listener
+                && record.start <= now
+                && record.end > now
+                && topology.in_range(record.sender, listener)
+        })
+    }
+
+    /// Whether `node`'s own radio is transmitting during `[start, end)`.
+    fn transmitting_during(
+        &self,
+        node: NodeId,
+        start: SimTime,
+        end: SimTime,
+        exclude_seq: u64,
+    ) -> bool {
+        self.records.iter().any(|record| {
+            record.seq != exclude_seq && record.sender == node && record.overlaps(start, end)
+        })
+    }
+
+    /// Whether any foreign transmission audible at `receiver` overlaps
+    /// `[start, end)` other than `exclude_seq`.
+    fn interference_at(
+        &self,
+        receiver: NodeId,
+        start: SimTime,
+        end: SimTime,
+        exclude_seq: u64,
+        topology: &Topology,
+    ) -> bool {
+        self.records.iter().any(|record| {
+            record.seq != exclude_seq
+                && record.sender != receiver
+                && record.overlaps(start, end)
+                && topology.in_range(record.sender, receiver)
+        })
+    }
+
+    /// Looks up a record by sequence number.
+    pub fn record(&self, seq: u64) -> Option<&TxRecord> {
+        self.records.iter().find(|r| r.seq == seq)
+    }
+
+    /// Decides delivery of transmission `seq` to `receiver`.
+    ///
+    /// `loss_draw` is a pre-drawn uniform `[0,1)` variate (drawn by the
+    /// engine so the medium itself stays deterministic and borrow-free).
+    pub fn judge(
+        &self,
+        seq: u64,
+        receiver: NodeId,
+        loss_draw: f64,
+        frame_loss: f64,
+        topology: &Topology,
+    ) -> Verdict {
+        let record = self.record(seq).expect("judging unknown transmission");
+        debug_assert!(topology.in_range(record.sender, receiver));
+        if self.transmitting_during(receiver, record.start, record.end, seq) {
+            Verdict::Failed(DeliveryFailure::HalfDuplex)
+        } else if self.interference_at(receiver, record.start, record.end, seq, topology) {
+            Verdict::Failed(DeliveryFailure::RfCollision)
+        } else if loss_draw < frame_loss {
+            Verdict::Failed(DeliveryFailure::RandomLoss)
+        } else {
+            Verdict::Delivered
+        }
+    }
+
+    /// Drops records that can no longer overlap any future judgment: a
+    /// judgment at time `now` only looks back one frame airtime, so
+    /// anything ended before `horizon` is garbage.
+    pub fn prune(&mut self, horizon: SimTime) {
+        self.records.retain(|record| record.end >= horizon);
+    }
+
+    /// Number of retained records (for tests and diagnostics).
+    #[cfg(test)]
+    pub fn record_count(&self) -> usize {
+        self.records.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FramePayload;
+    use crate::topology::Position;
+
+    fn frame(src: u32) -> Frame {
+        Frame::new(NodeId(src), FramePayload::from_bytes(vec![src as u8]).unwrap())
+    }
+
+    fn t(micros: u64) -> SimTime {
+        SimTime::from_micros(micros)
+    }
+
+    /// a --- r --- b with a and b mutually hidden.
+    fn hidden_topology() -> (Topology, NodeId, NodeId, NodeId) {
+        let (topo, (a, r, b)) = Topology::hidden_terminal(100.0);
+        (topo, a, r, b)
+    }
+
+    #[test]
+    fn clean_delivery() {
+        let (topo, a, r, _) = hidden_topology();
+        let mut medium = Medium::new();
+        let seq = medium.begin_tx(a, t(0), t(100), frame(0), 8);
+        assert_eq!(medium.judge(seq, r, 0.9, 0.0, &topo), Verdict::Delivered);
+    }
+
+    #[test]
+    fn random_loss_applies_after_collision_checks() {
+        let (topo, a, r, _) = hidden_topology();
+        let mut medium = Medium::new();
+        let seq = medium.begin_tx(a, t(0), t(100), frame(0), 8);
+        assert_eq!(
+            medium.judge(seq, r, 0.05, 0.1, &topo),
+            Verdict::Failed(DeliveryFailure::RandomLoss)
+        );
+        assert_eq!(medium.judge(seq, r, 0.5, 0.1, &topo), Verdict::Delivered);
+    }
+
+    #[test]
+    fn hidden_terminals_collide_at_receiver() {
+        let (topo, a, r, b) = hidden_topology();
+        let mut medium = Medium::new();
+        let sa = medium.begin_tx(a, t(0), t(100), frame(0), 8);
+        let sb = medium.begin_tx(b, t(50), t(150), frame(2), 8);
+        // Both frames are corrupted at r.
+        assert_eq!(
+            medium.judge(sa, r, 0.9, 0.0, &topo),
+            Verdict::Failed(DeliveryFailure::RfCollision)
+        );
+        assert_eq!(
+            medium.judge(sb, r, 0.9, 0.0, &topo),
+            Verdict::Failed(DeliveryFailure::RfCollision)
+        );
+    }
+
+    #[test]
+    fn non_overlapping_transmissions_do_not_collide() {
+        let (topo, a, r, b) = hidden_topology();
+        let mut medium = Medium::new();
+        let sa = medium.begin_tx(a, t(0), t(100), frame(0), 8);
+        let sb = medium.begin_tx(b, t(100), t(200), frame(2), 8);
+        assert_eq!(medium.judge(sa, r, 0.9, 0.0, &topo), Verdict::Delivered);
+        assert_eq!(medium.judge(sb, r, 0.9, 0.0, &topo), Verdict::Delivered);
+    }
+
+    #[test]
+    fn out_of_range_interferer_is_harmless() {
+        // a transmits to r; b's simultaneous transmission is audible at r?
+        // Move b out of r's range entirely: no interference.
+        let mut topo = Topology::new(50.0);
+        let a = topo.add(Position::new(0.0, 0.0));
+        let r = topo.add(Position::new(40.0, 0.0));
+        let b = topo.add(Position::new(500.0, 0.0));
+        let mut medium = Medium::new();
+        let sa = medium.begin_tx(a, t(0), t(100), frame(0), 8);
+        let _sb = medium.begin_tx(b, t(0), t(100), frame(2), 8);
+        assert_eq!(medium.judge(sa, r, 0.9, 0.0, &topo), Verdict::Delivered);
+    }
+
+    #[test]
+    fn half_duplex_receiver_misses_frames() {
+        let (topo, a, r, _) = hidden_topology();
+        let mut medium = Medium::new();
+        let sa = medium.begin_tx(a, t(0), t(100), frame(0), 8);
+        // r itself transmits during a's frame.
+        let _sr = medium.begin_tx(r, t(20), t(60), frame(1), 8);
+        assert_eq!(
+            medium.judge(sa, r, 0.9, 0.0, &topo),
+            Verdict::Failed(DeliveryFailure::HalfDuplex)
+        );
+    }
+
+    #[test]
+    fn carrier_sense_hears_in_range_transmissions_only() {
+        let (topo, a, r, b) = hidden_topology();
+        let mut medium = Medium::new();
+        let _ = medium.begin_tx(a, t(0), t(100), frame(0), 8);
+        assert!(medium.busy_for(r, t(50), &topo));
+        // b cannot hear a: the channel sounds idle — the hidden-terminal
+        // precondition.
+        assert!(!medium.busy_for(b, t(50), &topo));
+        // After the transmission ends the channel is idle for everyone.
+        assert!(!medium.busy_for(r, t(100), &topo));
+    }
+
+    #[test]
+    fn own_transmission_does_not_trip_carrier_sense() {
+        let (topo, a, _, _) = hidden_topology();
+        let mut medium = Medium::new();
+        let _ = medium.begin_tx(a, t(0), t(100), frame(0), 8);
+        assert!(!medium.busy_for(a, t(50), &topo));
+    }
+
+    #[test]
+    fn touching_intervals_do_not_overlap() {
+        let (topo, a, r, b) = hidden_topology();
+        let mut medium = Medium::new();
+        let sa = medium.begin_tx(a, t(0), t(100), frame(0), 8);
+        let _sb = medium.begin_tx(b, t(100), t(200), frame(2), 8);
+        // [0,100) and [100,200) share only the boundary instant.
+        assert_eq!(medium.judge(sa, r, 0.9, 0.0, &topo), Verdict::Delivered);
+    }
+
+    #[test]
+    fn prune_discards_stale_records() {
+        let (_, a, _, b) = hidden_topology();
+        let mut medium = Medium::new();
+        medium.begin_tx(a, t(0), t(100), frame(0), 8);
+        medium.begin_tx(b, t(500), t(600), frame(2), 8);
+        medium.prune(t(300));
+        assert_eq!(medium.record_count(), 1);
+    }
+}

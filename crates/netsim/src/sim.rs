@@ -1,0 +1,981 @@
+//! The discrete-event simulation engine.
+//!
+//! One [`Simulator`] owns the clock, the event queue, the topology, the
+//! medium, the per-node MAC state, and every protocol instance. All
+//! randomness flows from a single seeded RNG, and simultaneous events
+//! are ordered by insertion sequence, so a run is a pure function of
+//! `(seed, configuration, schedule of calls)`.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::energy::EnergyMeter;
+use crate::frame::{Frame, FramePayload};
+use crate::mac::MacConfig;
+use crate::medium::{DeliveryFailure, Medium, Verdict};
+use crate::node::{Command, Context, NodeId, Protocol, Timer, TimerHandle};
+use crate::radio::RadioConfig;
+use crate::time::SimTime;
+use crate::trace::{LossReason, TraceEvent, Tracer};
+use crate::topology::{Position, Topology};
+
+/// Medium-level counters for a whole run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MediumStats {
+    /// Frames handed to the air.
+    pub frames_sent: u64,
+    /// Successful frame deliveries (one per receiver).
+    pub deliveries: u64,
+    /// Deliveries lost to overlapping transmissions.
+    pub rf_collisions: u64,
+    /// Deliveries missed because the receiver was itself transmitting.
+    pub half_duplex_losses: u64,
+    /// Deliveries lost to the independent random-loss draw.
+    pub random_losses: u64,
+    /// Deliveries missed because the receiver's radio was duty-cycled
+    /// off.
+    pub sleep_misses: u64,
+}
+
+impl core::fmt::Display for MediumStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} sent, {} delivered, {} RF-collided, {} half-duplex, {} random losses, {} sleep misses",
+            self.frames_sent,
+            self.deliveries,
+            self.rf_collisions,
+            self.half_duplex_losses,
+            self.random_losses,
+            self.sleep_misses
+        )
+    }
+}
+
+#[derive(Debug)]
+enum EventKind {
+    NodeStart(NodeId),
+    Timer { node: NodeId, timer: Timer },
+    MacTry(NodeId),
+    TxEnd { seq: u64, node: NodeId },
+    Move { node: NodeId, to: Position },
+    SetAlive { node: NodeId, alive: bool },
+}
+
+#[derive(Debug)]
+struct Event {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the earliest (then
+        // first-inserted) event is popped first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+#[derive(Debug)]
+struct NodeState<P> {
+    protocol: P,
+    meter: EnergyMeter,
+    queue: VecDeque<FramePayload>,
+    transmitting: bool,
+    duty_cycle: Option<crate::radio::DutyCycle>,
+}
+
+/// Configures and constructs a [`Simulator`].
+///
+/// # Examples
+///
+/// ```
+/// use retri_netsim::prelude::*;
+///
+/// struct Quiet;
+/// impl Protocol for Quiet {
+///     fn on_start(&mut self, _ctx: &mut Context<'_>) {}
+///     fn on_frame(&mut self, _ctx: &mut Context<'_>, _frame: &Frame) {}
+///     fn on_timer(&mut self, _ctx: &mut Context<'_>, _timer: Timer) {}
+/// }
+///
+/// let mut sim = SimBuilder::new(1)
+///     .radio(RadioConfig::radiometrix_rpc())
+///     .mac(MacConfig::csma())
+///     .range(100.0)
+///     .build(|_id| Quiet);
+/// sim.add_node_at(Position::new(0.0, 0.0));
+/// sim.run_until(SimTime::from_secs(1));
+/// ```
+#[derive(Debug)]
+pub struct SimBuilder {
+    seed: u64,
+    radio: RadioConfig,
+    mac: MacConfig,
+    range: f64,
+}
+
+impl SimBuilder {
+    /// Starts a builder with the given RNG seed and defaults: the
+    /// paper's RPC radio, CSMA, 100 m range.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SimBuilder {
+            seed,
+            radio: RadioConfig::radiometrix_rpc(),
+            mac: MacConfig::csma(),
+            range: 100.0,
+        }
+    }
+
+    /// Sets the radio model.
+    #[must_use]
+    pub fn radio(mut self, radio: RadioConfig) -> Self {
+        self.radio = radio;
+        self
+    }
+
+    /// Sets the MAC configuration.
+    #[must_use]
+    pub fn mac(mut self, mac: MacConfig) -> Self {
+        self.mac = mac;
+        self
+    }
+
+    /// Sets the radio range in meters.
+    #[must_use]
+    pub fn range(mut self, range: f64) -> Self {
+        self.range = range;
+        self
+    }
+
+    /// Builds the simulator; `factory` creates the protocol instance for
+    /// each node added later.
+    pub fn build<P, F>(self, factory: F) -> Simulator<P>
+    where
+        P: Protocol,
+        F: FnMut(NodeId) -> P + 'static,
+    {
+        self.mac.validate();
+        Simulator {
+            now: SimTime::ZERO,
+            radio: self.radio,
+            mac: self.mac,
+            topology: Topology::new(self.range),
+            medium: Medium::new(),
+            rng: StdRng::seed_from_u64(self.seed),
+            nodes: Vec::new(),
+            factory: Box::new(factory),
+            heap: BinaryHeap::new(),
+            event_seq: 0,
+            next_timer_handle: 0,
+            cancelled: HashSet::new(),
+            stats: MediumStats::default(),
+            commands: Vec::new(),
+            tracer: None,
+        }
+    }
+}
+
+/// The simulation: clock, event queue, medium, topology, and all nodes.
+pub struct Simulator<P> {
+    now: SimTime,
+    radio: RadioConfig,
+    mac: MacConfig,
+    topology: Topology,
+    medium: Medium,
+    rng: StdRng,
+    nodes: Vec<NodeState<P>>,
+    factory: Box<dyn FnMut(NodeId) -> P>,
+    heap: BinaryHeap<Event>,
+    event_seq: u64,
+    next_timer_handle: u64,
+    cancelled: HashSet<TimerHandle>,
+    stats: MediumStats,
+    commands: Vec<Command>,
+    tracer: Option<Tracer>,
+}
+
+impl<P> core::fmt::Debug for Simulator<P> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("nodes", &self.nodes.len())
+            .field("pending_events", &self.heap.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P: Protocol> Simulator<P> {
+    /// Adds a node at `position` using the builder's protocol factory;
+    /// its `on_start` runs at the current time.
+    pub fn add_node_at(&mut self, position: Position) -> NodeId {
+        let id = self.topology.add(position);
+        let protocol = (self.factory)(id);
+        self.push_node(id, protocol)
+    }
+
+    /// Adds a node with an explicitly constructed protocol instance.
+    pub fn add_node_with(&mut self, position: Position, protocol: P) -> NodeId {
+        let id = self.topology.add(position);
+        self.push_node(id, protocol)
+    }
+
+    fn push_node(&mut self, id: NodeId, protocol: P) -> NodeId {
+        self.nodes.push(NodeState {
+            protocol,
+            meter: EnergyMeter::new(),
+            queue: VecDeque::new(),
+            transmitting: false,
+            duty_cycle: None,
+        });
+        let at = self.now;
+        self.schedule(at, EventKind::NodeStart(id));
+        id
+    }
+
+    /// Sets (or clears) a receiver duty cycle on a node. While the
+    /// radio sleeps, frames addressed to it are lost as
+    /// [`MediumStats::sleep_misses`] and cost it no receive energy.
+    /// Transmission is unaffected — the node wakes to send.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was never added.
+    pub fn set_duty_cycle(&mut self, node: NodeId, duty_cycle: Option<crate::radio::DutyCycle>) {
+        self.nodes[node.index()].duty_cycle = duty_cycle;
+    }
+
+    /// The current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The radio model in use.
+    #[must_use]
+    pub fn radio(&self) -> &RadioConfig {
+        &self.radio
+    }
+
+    /// The topology (positions, liveness, range).
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Medium-level counters.
+    #[must_use]
+    pub fn stats(&self) -> MediumStats {
+        self.stats
+    }
+
+    /// Number of nodes added so far.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// The protocol instance of a node, for post-run inspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was never added.
+    #[must_use]
+    pub fn protocol(&self, node: NodeId) -> &P {
+        &self.nodes[node.index()].protocol
+    }
+
+    /// Mutable access to a node's protocol (e.g. to inject workload
+    /// between runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was never added.
+    pub fn protocol_mut(&mut self, node: NodeId) -> &mut P {
+        &mut self.nodes[node.index()].protocol
+    }
+
+    /// A node's energy meter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was never added.
+    #[must_use]
+    pub fn meter(&self, node: NodeId) -> &EnergyMeter {
+        &self.nodes[node.index()].meter
+    }
+
+    /// Network-wide energy meter (sum over nodes).
+    #[must_use]
+    pub fn total_meter(&self) -> EnergyMeter {
+        let mut total = EnergyMeter::new();
+        for state in &self.nodes {
+            total.merge(&state.meter);
+        }
+        total
+    }
+
+    /// How long a node's receiver has been awake so far: the full run
+    /// time, scaled by its duty cycle if one is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was never added.
+    #[must_use]
+    pub fn awake_micros(&self, node: NodeId) -> u64 {
+        let elapsed = self.now.as_micros();
+        match self.nodes[node.index()].duty_cycle {
+            Some(duty) => (elapsed as f64 * duty.on_fraction()) as u64,
+            None => elapsed,
+        }
+    }
+
+    /// A node's total radio energy so far in nanojoules, including idle
+    /// listening for the time its receiver was awake.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was never added.
+    #[must_use]
+    pub fn energy_nj(&self, node: NodeId) -> f64 {
+        self.nodes[node.index()]
+            .meter
+            .total_energy_with_idle_nj(&self.radio.energy, self.awake_micros(node))
+    }
+
+    /// Enables event tracing with a bounded ring buffer of `capacity`
+    /// events (see [`crate::trace`]). Re-enabling resets the buffer.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.tracer = Some(Tracer::new(capacity));
+    }
+
+    /// The tracer, if enabled.
+    #[must_use]
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    fn trace(&mut self, event: TraceEvent) {
+        if let Some(tracer) = &mut self.tracer {
+            tracer.record(event);
+        }
+    }
+
+    /// Schedules a node to move at a future time (network dynamics).
+    pub fn schedule_move(&mut self, at: SimTime, node: NodeId, to: Position) {
+        self.schedule(at, EventKind::Move { node, to });
+    }
+
+    /// Schedules a node death (`false`) or rebirth (`true`).
+    pub fn schedule_set_alive(&mut self, at: SimTime, node: NodeId, alive: bool) {
+        self.schedule(at, EventKind::SetAlive { node, alive });
+    }
+
+    /// Runs all events up to and including `deadline`, then advances the
+    /// clock to it.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(event) = self.heap.peek() {
+            if event.at > deadline {
+                break;
+            }
+            let event = self.heap.pop().expect("peeked above");
+            self.dispatch(event);
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    /// Runs a single event, returning its time, or `None` if the queue
+    /// is empty.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let event = self.heap.pop()?;
+        let at = event.at;
+        self.dispatch(event);
+        Some(at)
+    }
+
+    fn schedule(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.event_seq;
+        self.event_seq += 1;
+        self.heap.push(Event { at, seq, kind });
+    }
+
+    fn dispatch(&mut self, event: Event) {
+        debug_assert!(event.at >= self.now, "time must not run backwards");
+        self.now = event.at;
+        match event.kind {
+            EventKind::NodeStart(node) => {
+                if self.topology.is_alive(node) {
+                    self.with_ctx(node, |protocol, ctx| protocol.on_start(ctx));
+                }
+            }
+            EventKind::Timer { node, timer } => {
+                if !self.cancelled.remove(&timer.handle) && self.topology.is_alive(node) {
+                    self.with_ctx(node, |protocol, ctx| protocol.on_timer(ctx, timer));
+                }
+            }
+            EventKind::MacTry(node) => self.mac_try(node),
+            EventKind::TxEnd { seq, node } => self.tx_end(seq, node),
+            EventKind::Move { node, to } => {
+                self.topology.set_position(node, to);
+                let at = self.now;
+                self.trace(TraceEvent::Moved { at, node, to });
+            }
+            EventKind::SetAlive { node, alive } => {
+                self.topology.set_alive(node, alive);
+                let at = self.now;
+                self.trace(TraceEvent::Liveness { at, node, alive });
+                if !alive {
+                    let state = &mut self.nodes[node.index()];
+                    state.queue.clear();
+                    state.transmitting = false;
+                } else {
+                    // A reborn node boots afresh.
+                    let at = self.now;
+                    self.schedule(at, EventKind::NodeStart(node));
+                }
+            }
+        }
+        self.apply_commands();
+    }
+
+    fn with_ctx(&mut self, node: NodeId, f: impl FnOnce(&mut P, &mut Context<'_>)) {
+        let state = &mut self.nodes[node.index()];
+        let pending_frames = state.queue.len() + usize::from(state.transmitting);
+        let mut ctx = Context {
+            now: self.now,
+            node,
+            rng: &mut self.rng,
+            commands: &mut self.commands,
+            next_timer_handle: &mut self.next_timer_handle,
+            max_frame_bytes: self.radio.max_frame_bytes,
+            pending_frames,
+        };
+        f(&mut state.protocol, &mut ctx);
+    }
+
+    fn apply_commands(&mut self) {
+        // Callbacks may enqueue more commands while earlier ones are
+        // applied (not currently possible, but drain defensively).
+        while !self.commands.is_empty() {
+            let batch: Vec<Command> = self.commands.drain(..).collect();
+            for command in batch {
+                match command {
+                    Command::Send { node, payload } => {
+                        self.nodes[node.index()].queue.push_back(payload);
+                        let at = self.now;
+                        self.schedule(at, EventKind::MacTry(node));
+                    }
+                    Command::SetTimer { node, at, timer } => {
+                        self.schedule(at, EventKind::Timer { node, timer });
+                    }
+                    Command::CancelTimer { handle } => {
+                        self.cancelled.insert(handle);
+                    }
+                }
+            }
+        }
+    }
+
+    fn mac_try(&mut self, node: NodeId) {
+        if !self.topology.is_alive(node) {
+            return;
+        }
+        {
+            let state = &self.nodes[node.index()];
+            if state.transmitting || state.queue.is_empty() {
+                return;
+            }
+        }
+        if self.mac.carrier_sense && self.medium.busy_for(node, self.now, &self.topology) {
+            let slots = u64::from(self.rng.gen_range(1..=self.mac.max_backoff_slots));
+            let at = self.now + self.mac.backoff_slot * slots;
+            self.schedule(at, EventKind::MacTry(node));
+            return;
+        }
+        let payload = self.nodes[node.index()]
+            .queue
+            .pop_front()
+            .expect("checked non-empty above");
+        let bits_on_air = self.radio.bits_on_air(payload.bits());
+        let airtime = self.radio.airtime(payload.bits());
+        let frame = Frame::new(node, payload);
+        let end = self.now + airtime;
+        let seq = self.medium.begin_tx(node, self.now, end, frame, bits_on_air);
+        let state = &mut self.nodes[node.index()];
+        state.transmitting = true;
+        state.meter.record_tx(bits_on_air, airtime.as_micros());
+        self.stats.frames_sent += 1;
+        let at = self.now;
+        self.trace(TraceEvent::TxStart {
+            at,
+            node,
+            seq,
+            bits: bits_on_air,
+        });
+        self.schedule(end, EventKind::TxEnd { seq, node });
+    }
+
+    fn tx_end(&mut self, seq: u64, node: NodeId) {
+        self.nodes[node.index()].transmitting = false;
+        let (frame, bits_on_air, tx_start, tx_end_at) = {
+            let record = self.medium.record(seq).expect("transmission just ended");
+            (
+                record.frame.clone(),
+                record.bits_on_air,
+                record.start,
+                record.end,
+            )
+        };
+        // Receivers in deterministic id order.
+        let receivers: Vec<NodeId> = self
+            .topology
+            .node_ids()
+            .filter(|&r| self.topology.in_range(node, r))
+            .collect();
+        for receiver in receivers {
+            // Draw before any filtering so the RNG stream is identical
+            // across duty-cycle configurations.
+            let draw: f64 = self.rng.gen_range(0.0..1.0);
+            if let Some(duty) = self.nodes[receiver.index()].duty_cycle {
+                if !duty.awake_during(tx_start, tx_end_at) {
+                    self.stats.sleep_misses += 1;
+                    let at = self.now;
+                    self.trace(TraceEvent::Lost {
+                        at,
+                        from: node,
+                        to: receiver,
+                        seq,
+                        reason: LossReason::Asleep,
+                    });
+                    continue;
+                }
+            }
+            let verdict = self
+                .medium
+                .judge(seq, receiver, draw, self.radio.frame_loss, &self.topology);
+            let at = self.now;
+            match verdict {
+                Verdict::Failed(failure) => {
+                    match failure {
+                        DeliveryFailure::HalfDuplex => self.stats.half_duplex_losses += 1,
+                        DeliveryFailure::RfCollision => {
+                            self.nodes[receiver.index()].meter
+                                .record_rx(bits_on_air, tx_end_at.since(tx_start).as_micros());
+                            self.stats.rf_collisions += 1;
+                        }
+                        DeliveryFailure::RandomLoss => {
+                            self.nodes[receiver.index()].meter
+                                .record_rx(bits_on_air, tx_end_at.since(tx_start).as_micros());
+                            self.stats.random_losses += 1;
+                        }
+                    }
+                    self.trace(TraceEvent::Lost {
+                        at,
+                        from: node,
+                        to: receiver,
+                        seq,
+                        reason: failure.into(),
+                    });
+                }
+                Verdict::Delivered => {
+                    self.nodes[receiver.index()].meter
+                                .record_rx(bits_on_air, tx_end_at.since(tx_start).as_micros());
+                    self.stats.deliveries += 1;
+                    self.trace(TraceEvent::Delivered {
+                        at,
+                        from: node,
+                        to: receiver,
+                        seq,
+                    });
+                    self.with_ctx(receiver, |protocol, ctx| protocol.on_frame(ctx, &frame));
+                }
+            }
+        }
+        // Next frame, after the inter-frame space.
+        let at = self.now + self.mac.ifs;
+        self.schedule(at, EventKind::MacTry(node));
+        // Garbage-collect records that can no longer affect judgments:
+        // anything that ended more than two max-size airtimes ago.
+        let slack = self.radio.airtime(self.radio.max_frame_bytes as u32 * 8) * 2;
+        let horizon = SimTime::from_micros(self.now.as_micros().saturating_sub(slack.as_micros()));
+        self.medium.prune(horizon);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    /// Sends `to_send` frames at start; counts frames heard.
+    struct Chatter {
+        to_send: u32,
+        heard: u32,
+        payload_bytes: usize,
+    }
+
+    impl Protocol for Chatter {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            for _ in 0..self.to_send {
+                ctx.send(FramePayload::from_bytes(vec![0xAA; self.payload_bytes]).unwrap())
+                    .unwrap();
+            }
+        }
+        fn on_frame(&mut self, _ctx: &mut Context<'_>, _frame: &Frame) {
+            self.heard += 1;
+        }
+        fn on_timer(&mut self, _ctx: &mut Context<'_>, _timer: Timer) {}
+    }
+
+    fn two_node_sim(seed: u64) -> Simulator<Chatter> {
+        let mut sim = SimBuilder::new(seed).build(|id| Chatter {
+            to_send: if id == NodeId(0) { 3 } else { 0 },
+            heard: 0,
+            payload_bytes: 10,
+        });
+        sim.add_node_at(Position::new(0.0, 0.0));
+        sim.add_node_at(Position::new(10.0, 0.0));
+        sim
+    }
+
+    #[test]
+    fn frames_are_delivered_in_range() {
+        let mut sim = two_node_sim(1);
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(sim.protocol(NodeId(1)).heard, 3);
+        assert_eq!(sim.stats().frames_sent, 3);
+        assert_eq!(sim.stats().deliveries, 3);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let mut a = two_node_sim(7);
+        let mut b = two_node_sim(7);
+        a.run_until(SimTime::from_secs(2));
+        b.run_until(SimTime::from_secs(2));
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.meter(NodeId(0)), b.meter(NodeId(0)));
+    }
+
+    #[test]
+    fn out_of_range_nodes_hear_nothing() {
+        let mut sim = SimBuilder::new(2).range(50.0).build(|id| Chatter {
+            to_send: if id == NodeId(0) { 2 } else { 0 },
+            heard: 0,
+            payload_bytes: 5,
+        });
+        sim.add_node_at(Position::new(0.0, 0.0));
+        sim.add_node_at(Position::new(500.0, 0.0));
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(sim.protocol(NodeId(1)).heard, 0);
+        assert_eq!(sim.stats().deliveries, 0);
+    }
+
+    #[test]
+    fn csma_serializes_mutually_audible_senders() {
+        // Two senders in range of each other and of a receiver: carrier
+        // sense + random backoff should avoid almost all collisions.
+        let mut sim = SimBuilder::new(3).mac(MacConfig::csma()).build(|id| Chatter {
+            to_send: if id != NodeId(2) { 20 } else { 0 },
+            heard: 0,
+            payload_bytes: 27,
+        });
+        sim.add_node_at(Position::new(0.0, 0.0));
+        sim.add_node_at(Position::new(10.0, 0.0));
+        sim.add_node_at(Position::new(5.0, 5.0));
+        sim.run_until(SimTime::from_secs(30));
+        let heard = sim.protocol(NodeId(2)).heard;
+        assert!(heard >= 38, "receiver heard only {heard}/40");
+    }
+
+    #[test]
+    fn hidden_terminals_collide_despite_csma() {
+        let mut sim = SimBuilder::new(4).range(100.0).build(|id| Chatter {
+            // Both far senders chatter; the middle node listens.
+            to_send: if id != NodeId(1) { 40 } else { 0 },
+            heard: 0,
+            payload_bytes: 27,
+        });
+        sim.add_node_at(Position::new(-90.0, 0.0));
+        sim.add_node_at(Position::new(0.0, 0.0));
+        sim.add_node_at(Position::new(90.0, 0.0));
+        sim.run_until(SimTime::from_secs(10));
+        assert!(
+            sim.stats().rf_collisions > 0,
+            "hidden terminals must produce RF collisions: {}",
+            sim.stats()
+        );
+    }
+
+    #[test]
+    fn random_loss_drops_frames() {
+        let mut sim = SimBuilder::new(5)
+            .radio(RadioConfig::radiometrix_rpc().with_frame_loss(1.0))
+            .build(|id| Chatter {
+                to_send: if id == NodeId(0) { 5 } else { 0 },
+                heard: 0,
+                payload_bytes: 5,
+            });
+        sim.add_node_at(Position::new(0.0, 0.0));
+        sim.add_node_at(Position::new(10.0, 0.0));
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(sim.protocol(NodeId(1)).heard, 0);
+        assert_eq!(sim.stats().random_losses, 5);
+    }
+
+    #[test]
+    fn energy_meters_account_tx_and_rx() {
+        let mut sim = two_node_sim(6);
+        sim.run_until(SimTime::from_secs(2));
+        let sender = sim.meter(NodeId(0));
+        let receiver = sim.meter(NodeId(1));
+        let bits_per_frame = sim.radio().bits_on_air(80); // 10-byte payload
+        assert_eq!(sender.tx_bits(), 3 * bits_per_frame);
+        assert_eq!(receiver.rx_bits(), 3 * bits_per_frame);
+        assert_eq!(sim.total_meter().tx_bits(), 3 * bits_per_frame);
+    }
+
+    #[test]
+    fn dead_node_neither_sends_nor_receives() {
+        let mut sim = two_node_sim(7);
+        sim.schedule_set_alive(SimTime::ZERO, NodeId(1), false);
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(sim.protocol(NodeId(1)).heard, 0);
+        assert_eq!(sim.stats().deliveries, 0);
+    }
+
+    #[test]
+    fn movement_breaks_connectivity_mid_run() {
+        let mut sim = SimBuilder::new(8).range(50.0).build(|_| Chatter {
+            to_send: 0,
+            heard: 0,
+            payload_bytes: 5,
+        });
+        let a = sim.add_node_at(Position::new(0.0, 0.0));
+        let b = sim.add_node_at(Position::new(10.0, 0.0));
+        // Move b away after 1 s, then have a send.
+        sim.schedule_move(SimTime::from_secs(1), b, Position::new(400.0, 0.0));
+        sim.run_until(SimTime::from_secs(2));
+        sim.protocol_mut(a).to_send = 0;
+        // Inject a send at t=2 via a protocol-side path: simplest is a
+        // fresh node; instead drive the MAC directly by re-adding
+        // payloads through on_start of a new node at a's position.
+        let c = sim.add_node_with(
+            Position::new(0.0, 0.0),
+            Chatter {
+                to_send: 2,
+                heard: 0,
+                payload_bytes: 5,
+            },
+        );
+        sim.run_until(SimTime::from_secs(4));
+        let _ = c;
+        assert_eq!(sim.protocol(b).heard, 0, "moved node must not hear");
+        // a (still at origin) hears the new sender.
+        assert_eq!(sim.protocol(a).heard, 2);
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        struct TimerProto {
+            fired: Vec<u64>,
+        }
+        impl Protocol for TimerProto {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimDuration::from_millis(10), 1);
+                let cancel_me = ctx.set_timer(SimDuration::from_millis(20), 2);
+                ctx.set_timer(SimDuration::from_millis(30), 3);
+                ctx.cancel_timer(cancel_me);
+            }
+            fn on_frame(&mut self, _ctx: &mut Context<'_>, _frame: &Frame) {}
+            fn on_timer(&mut self, _ctx: &mut Context<'_>, timer: Timer) {
+                self.fired.push(timer.token);
+            }
+        }
+        let mut sim = SimBuilder::new(9).build(|_| TimerProto { fired: Vec::new() });
+        let n = sim.add_node_at(Position::new(0.0, 0.0));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.protocol(n).fired, vec![1, 3]);
+    }
+
+    #[test]
+    fn duty_cycled_receiver_misses_frames_while_asleep() {
+        use crate::radio::DutyCycle;
+        // Sender streams frames; receiver listens 10% of each 100 ms.
+        let mut sim = SimBuilder::new(21).build(|id| Chatter {
+            to_send: if id == NodeId(0) { 40 } else { 0 },
+            heard: 0,
+            payload_bytes: 27,
+        });
+        sim.add_node_at(Position::new(0.0, 0.0));
+        let rx = sim.add_node_at(Position::new(10.0, 0.0));
+        sim.set_duty_cycle(
+            rx,
+            Some(DutyCycle::new(
+                SimDuration::from_millis(100),
+                0.1,
+                SimDuration::ZERO,
+            )),
+        );
+        sim.run_until(SimTime::from_secs(10));
+        let stats = sim.stats();
+        assert!(stats.sleep_misses > 0, "{stats}");
+        assert!(
+            sim.protocol(rx).heard < 40,
+            "a 10% duty cycle cannot hear everything"
+        );
+        assert_eq!(
+            stats.deliveries + stats.sleep_misses + stats.rf_collisions
+                + stats.half_duplex_losses + stats.random_losses,
+            40,
+            "every attempt lands in exactly one bucket: {stats}"
+        );
+        // Sleeping saves receive energy.
+        let bits_per_frame = sim.radio().bits_on_air(27 * 8);
+        assert!(sim.meter(rx).rx_bits() < 40 * bits_per_frame);
+    }
+
+    #[test]
+    fn full_duty_cycle_hears_everything() {
+        use crate::radio::DutyCycle;
+        let mut sim = two_node_sim(22);
+        sim.set_duty_cycle(
+            NodeId(1),
+            Some(DutyCycle::new(
+                SimDuration::from_millis(50),
+                1.0,
+                SimDuration::ZERO,
+            )),
+        );
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(sim.protocol(NodeId(1)).heard, 3);
+        assert_eq!(sim.stats().sleep_misses, 0);
+    }
+
+    #[test]
+    fn tracer_records_transmissions_and_outcomes() {
+        use crate::trace::TraceEvent;
+        let mut sim = two_node_sim(30);
+        sim.enable_trace(1024);
+        sim.run_until(SimTime::from_secs(2));
+        let tracer = sim.tracer().expect("enabled above");
+        let tx_starts = tracer
+            .events()
+            .filter(|e| matches!(e, TraceEvent::TxStart { .. }))
+            .count();
+        assert_eq!(tx_starts as u64, sim.stats().frames_sent);
+        assert_eq!(
+            tracer.deliveries_between(NodeId(0), NodeId(1)) as u64,
+            sim.stats().deliveries
+        );
+        assert_eq!(tracer.dropped(), 0);
+    }
+
+    #[test]
+    fn tracer_records_losses_with_reasons() {
+        use crate::trace::{LossReason, TraceEvent};
+        let mut sim = SimBuilder::new(31)
+            .radio(RadioConfig::radiometrix_rpc().with_frame_loss(1.0))
+            .build(|id| Chatter {
+                to_send: if id == NodeId(0) { 3 } else { 0 },
+                heard: 0,
+                payload_bytes: 5,
+            });
+        sim.add_node_at(Position::new(0.0, 0.0));
+        sim.add_node_at(Position::new(10.0, 0.0));
+        sim.enable_trace(64);
+        sim.run_until(SimTime::from_secs(2));
+        let tracer = sim.tracer().expect("enabled above");
+        let random_losses = tracer
+            .events()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TraceEvent::Lost {
+                        reason: LossReason::RandomLoss,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(random_losses, 3);
+    }
+
+    #[test]
+    fn tracer_records_dynamics() {
+        use crate::trace::TraceEvent;
+        let mut sim = two_node_sim(32);
+        sim.enable_trace(64);
+        sim.schedule_set_alive(SimTime::from_millis(100), NodeId(1), false);
+        sim.schedule_move(SimTime::from_millis(200), NodeId(1), Position::new(99.0, 0.0));
+        sim.run_until(SimTime::from_secs(1));
+        let tracer = sim.tracer().expect("enabled above");
+        assert!(tracer.events().any(|e| matches!(
+            e,
+            TraceEvent::Liveness { node: NodeId(1), alive: false, .. }
+        )));
+        assert!(tracer
+            .events()
+            .any(|e| matches!(e, TraceEvent::Moved { node: NodeId(1), .. })));
+    }
+
+    #[test]
+    fn step_returns_event_times_in_order() {
+        let mut sim = two_node_sim(10);
+        let mut last = SimTime::ZERO;
+        while let Some(at) = sim.step() {
+            assert!(at >= last);
+            last = at;
+        }
+        assert!(sim.stats().frames_sent > 0);
+    }
+
+    #[test]
+    fn oversized_send_is_rejected_at_send_time() {
+        struct BigSender {
+            result: Option<Result<(), crate::frame::FrameError>>,
+        }
+        impl Protocol for BigSender {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                let payload = FramePayload::from_bytes(vec![0; 28]).unwrap();
+                self.result = Some(ctx.send(payload));
+            }
+            fn on_frame(&mut self, _ctx: &mut Context<'_>, _frame: &Frame) {}
+            fn on_timer(&mut self, _ctx: &mut Context<'_>, _timer: Timer) {}
+        }
+        let mut sim = SimBuilder::new(11).build(|_| BigSender { result: None });
+        let n = sim.add_node_at(Position::new(0.0, 0.0));
+        sim.run_until(SimTime::from_millis(1));
+        assert!(matches!(
+            sim.protocol(n).result,
+            Some(Err(crate::frame::FrameError::TooLarge { .. }))
+        ));
+        assert_eq!(sim.stats().frames_sent, 0);
+    }
+}

@@ -1,0 +1,415 @@
+//! Node placement, radio range, and network dynamics.
+//!
+//! Connectivity uses the classic unit-disk model: two nodes hear each
+//! other iff they are within the radio's range. It is deliberately
+//! simple — the paper's arguments depend on *limited range* (locality,
+//! spatial reuse, hidden terminals), not on fading detail — and it keeps
+//! experiments exactly reproducible.
+
+use core::fmt;
+
+use crate::node::NodeId;
+
+/// A node position in meters on a 2-D plane.
+///
+/// # Examples
+///
+/// ```
+/// use retri_netsim::Position;
+///
+/// let a = Position::new(0.0, 0.0);
+/// let b = Position::new(3.0, 4.0);
+/// assert_eq!(a.distance_to(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Position {
+    /// East-west coordinate, meters.
+    pub x: f64,
+    /// North-south coordinate, meters.
+    pub y: f64,
+}
+
+impl Position {
+    /// Creates a position.
+    #[must_use]
+    pub fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to another position, meters.
+    #[must_use]
+    pub fn distance_to(self, other: Position) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1}, {:.1})", self.x, self.y)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NodeSite {
+    position: Position,
+    alive: bool,
+}
+
+/// Positions and liveness of every node, plus the shared radio range.
+///
+/// The topology is *dynamic*: nodes can move, die, and join — the
+/// defining churn of sensor networks (paper Section 1). The simulator
+/// applies scheduled dynamics through this type.
+///
+/// # Examples
+///
+/// ```
+/// use retri_netsim::topology::Topology;
+/// use retri_netsim::{NodeId, Position};
+///
+/// let mut topo = Topology::new(100.0);
+/// let a = topo.add(Position::new(0.0, 0.0));
+/// let b = topo.add(Position::new(60.0, 0.0));
+/// let c = topo.add(Position::new(120.0, 0.0));
+///
+/// // a-b and b-c hear each other; a-c are hidden terminals.
+/// assert!(topo.in_range(a, b));
+/// assert!(topo.in_range(b, c));
+/// assert!(!topo.in_range(a, c));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Topology {
+    range: f64,
+    sites: Vec<NodeSite>,
+}
+
+impl Topology {
+    /// Creates an empty topology with the given radio range in meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `range` is positive and finite.
+    #[must_use]
+    pub fn new(range: f64) -> Self {
+        assert!(
+            range.is_finite() && range > 0.0,
+            "radio range {range} must be positive"
+        );
+        Topology {
+            range,
+            sites: Vec::new(),
+        }
+    }
+
+    /// The radio range in meters.
+    #[must_use]
+    pub fn range(&self) -> f64 {
+        self.range
+    }
+
+    /// Number of nodes ever added (including dead ones).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether the topology has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Adds a node at `position`, returning its id.
+    pub fn add(&mut self, position: Position) -> NodeId {
+        let id = NodeId(self.sites.len() as u32);
+        self.sites.push(NodeSite {
+            position,
+            alive: true,
+        });
+        id
+    }
+
+    /// The position of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was never added.
+    #[must_use]
+    pub fn position(&self, node: NodeId) -> Position {
+        self.site(node).position
+    }
+
+    /// Moves a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was never added.
+    pub fn set_position(&mut self, node: NodeId, position: Position) {
+        self.site_mut(node).position = position;
+    }
+
+    /// Whether a node is alive (participating in the network).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was never added.
+    #[must_use]
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.site(node).alive
+    }
+
+    /// Marks a node dead (failure) or alive again (redeployment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was never added.
+    pub fn set_alive(&mut self, node: NodeId, alive: bool) {
+        self.site_mut(node).alive = alive;
+    }
+
+    /// Whether `a` and `b` are distinct, both alive, and within range of
+    /// each other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node was never added.
+    #[must_use]
+    pub fn in_range(&self, a: NodeId, b: NodeId) -> bool {
+        if a == b {
+            return false;
+        }
+        let sa = self.site(a);
+        let sb = self.site(b);
+        sa.alive && sb.alive && sa.position.distance_to(sb.position) <= self.range
+    }
+
+    /// The live neighbors of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was never added.
+    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let ids = 0..self.sites.len() as u32;
+        ids.map(NodeId).filter(move |&other| self.in_range(node, other))
+    }
+
+    /// All node ids, alive or dead.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.sites.len() as u32).map(NodeId)
+    }
+
+    fn site(&self, node: NodeId) -> &NodeSite {
+        self.sites
+            .get(node.0 as usize)
+            .unwrap_or_else(|| panic!("unknown node {node}"))
+    }
+
+    fn site_mut(&mut self, node: NodeId) -> &mut NodeSite {
+        self.sites
+            .get_mut(node.0 as usize)
+            .unwrap_or_else(|| panic!("unknown node {node}"))
+    }
+}
+
+/// Convenience layouts used by the experiments.
+impl Topology {
+    /// A fully connected cluster: `n` nodes evenly spaced on a circle
+    /// whose diameter is well inside the radio range.
+    ///
+    /// This is the paper's testbed geometry ("all of the transmitters
+    /// and receivers were arranged so that they were fully connected",
+    /// Section 5.1).
+    #[must_use]
+    pub fn full_mesh(n: usize, range: f64) -> Self {
+        let mut topo = Topology::new(range);
+        let radius = range / 4.0;
+        for i in 0..n {
+            let angle = 2.0 * std::f64::consts::PI * i as f64 / n.max(1) as f64;
+            topo.add(Position::new(radius * angle.cos(), radius * angle.sin()));
+        }
+        topo
+    }
+
+    /// A regular `cols × rows` grid with the given spacing in meters.
+    #[must_use]
+    pub fn grid(cols: usize, rows: usize, spacing: f64, range: f64) -> Self {
+        let mut topo = Topology::new(range);
+        for row in 0..rows {
+            for col in 0..cols {
+                topo.add(Position::new(col as f64 * spacing, row as f64 * spacing));
+            }
+        }
+        topo
+    }
+
+    /// The canonical hidden-terminal triple: two senders at `±range`
+    /// from a receiver in the middle, mutually out of range.
+    ///
+    /// Returns the topology and `(sender_a, receiver, sender_b)`.
+    #[must_use]
+    pub fn hidden_terminal(range: f64) -> (Self, (NodeId, NodeId, NodeId)) {
+        let mut topo = Topology::new(range);
+        let a = topo.add(Position::new(-range * 0.9, 0.0));
+        let r = topo.add(Position::new(0.0, 0.0));
+        let b = topo.add(Position::new(range * 0.9, 0.0));
+        (topo, (a, r, b))
+    }
+
+    /// An air-drop deployment: `n` nodes uniformly distributed over a
+    /// disc of the given radius centered on the origin — the "dropped
+    /// into inhospitable terrain" scenario of the paper's introduction.
+    ///
+    /// Sampling is area-uniform (radius drawn as `R·sqrt(u)`).
+    #[must_use]
+    pub fn random_disc<R: rand::RngCore>(
+        n: usize,
+        disc_radius: f64,
+        range: f64,
+        rng: &mut R,
+    ) -> Self {
+        use rand::Rng as _;
+        let mut topo = Topology::new(range);
+        for _ in 0..n {
+            let r = disc_radius * rng.gen::<f64>().sqrt();
+            let theta = rng.gen::<f64>() * std::f64::consts::TAU;
+            topo.add(Position::new(r * theta.cos(), r * theta.sin()));
+        }
+        topo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        assert_eq!(Position::new(0.0, 0.0).distance_to(Position::new(3.0, 4.0)), 5.0);
+        assert_eq!(Position::new(1.0, 1.0).distance_to(Position::new(1.0, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn in_range_is_symmetric_and_irreflexive() {
+        let mut topo = Topology::new(50.0);
+        let a = topo.add(Position::new(0.0, 0.0));
+        let b = topo.add(Position::new(30.0, 0.0));
+        assert!(topo.in_range(a, b));
+        assert!(topo.in_range(b, a));
+        assert!(!topo.in_range(a, a));
+    }
+
+    #[test]
+    fn boundary_distance_counts_as_in_range() {
+        let mut topo = Topology::new(50.0);
+        let a = topo.add(Position::new(0.0, 0.0));
+        let b = topo.add(Position::new(50.0, 0.0));
+        assert!(topo.in_range(a, b));
+    }
+
+    #[test]
+    fn dead_nodes_hear_nothing() {
+        let mut topo = Topology::new(50.0);
+        let a = topo.add(Position::new(0.0, 0.0));
+        let b = topo.add(Position::new(10.0, 0.0));
+        topo.set_alive(b, false);
+        assert!(!topo.in_range(a, b));
+        topo.set_alive(b, true);
+        assert!(topo.in_range(a, b));
+    }
+
+    #[test]
+    fn movement_changes_connectivity() {
+        let mut topo = Topology::new(50.0);
+        let a = topo.add(Position::new(0.0, 0.0));
+        let b = topo.add(Position::new(10.0, 0.0));
+        assert!(topo.in_range(a, b));
+        topo.set_position(b, Position::new(100.0, 0.0));
+        assert!(!topo.in_range(a, b));
+        assert_eq!(topo.position(b), Position::new(100.0, 0.0));
+    }
+
+    #[test]
+    fn neighbors_lists_live_in_range_nodes() {
+        let mut topo = Topology::new(50.0);
+        let a = topo.add(Position::new(0.0, 0.0));
+        let b = topo.add(Position::new(10.0, 0.0));
+        let c = topo.add(Position::new(200.0, 0.0));
+        let d = topo.add(Position::new(20.0, 0.0));
+        topo.set_alive(d, false);
+        let neighbors: Vec<NodeId> = topo.neighbors(a).collect();
+        assert_eq!(neighbors, vec![b]);
+        let _ = c;
+    }
+
+    #[test]
+    fn full_mesh_is_fully_connected() {
+        let topo = Topology::full_mesh(6, 100.0);
+        for a in topo.node_ids() {
+            for b in topo.node_ids() {
+                if a != b {
+                    assert!(topo.in_range(a, b), "{a} cannot hear {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_has_expected_size_and_spacing() {
+        let topo = Topology::grid(3, 2, 10.0, 15.0);
+        assert_eq!(topo.len(), 6);
+        // Orthogonal neighbors in range, diagonal (14.1m) also in range,
+        // two-step (20m) not.
+        assert!(topo.in_range(NodeId(0), NodeId(1)));
+        assert!(topo.in_range(NodeId(0), NodeId(4)));
+        assert!(!topo.in_range(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn hidden_terminal_geometry() {
+        let (topo, (a, r, b)) = Topology::hidden_terminal(100.0);
+        assert!(topo.in_range(a, r));
+        assert!(topo.in_range(b, r));
+        assert!(!topo.in_range(a, b), "senders must not hear each other");
+    }
+
+    #[test]
+    fn random_disc_stays_inside_the_disc() {
+        use rand::SeedableRng as _;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let topo = Topology::random_disc(200, 80.0, 30.0, &mut rng);
+        assert_eq!(topo.len(), 200);
+        let origin = Position::new(0.0, 0.0);
+        for id in topo.node_ids() {
+            assert!(topo.position(id).distance_to(origin) <= 80.0 + 1e-9);
+        }
+        // Area-uniform: roughly a quarter of nodes within half radius.
+        let inner = topo
+            .node_ids()
+            .filter(|&id| topo.position(id).distance_to(origin) <= 40.0)
+            .count();
+        assert!((30..=70).contains(&inner), "inner count {inner}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn unknown_node_panics() {
+        let topo = Topology::new(10.0);
+        let _ = topo.position(NodeId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_range_rejected() {
+        let _ = Topology::new(0.0);
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let mut topo = Topology::new(10.0);
+        assert!(topo.is_empty());
+        topo.add(Position::default());
+        assert!(!topo.is_empty());
+        assert_eq!(topo.len(), 1);
+    }
+}

@@ -1,0 +1,254 @@
+//! Event tracing for debugging and analysis.
+//!
+//! A [`Tracer`] is an optional bounded ring buffer of medium-level
+//! events — transmissions, per-receiver delivery outcomes, topology
+//! changes. Protocol authors use it to answer "what actually happened
+//! on the air?" without instrumenting their own code, and tests use it
+//! to assert fine-grained causality that the aggregate
+//! [`crate::sim::MediumStats`] cannot express.
+//!
+//! Tracing is off by default (zero cost); enable it with
+//! [`crate::sim::Simulator::enable_trace`].
+
+use std::collections::VecDeque;
+
+use crate::medium::DeliveryFailure;
+use crate::node::NodeId;
+use crate::time::SimTime;
+use crate::topology::Position;
+
+/// One traced event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// A node began transmitting a frame.
+    TxStart {
+        /// When.
+        at: SimTime,
+        /// Transmitting node.
+        node: NodeId,
+        /// Medium sequence number of the transmission.
+        seq: u64,
+        /// Bits on the air (payload + preamble).
+        bits: u64,
+    },
+    /// A receiver got the frame.
+    Delivered {
+        /// When (transmission end).
+        at: SimTime,
+        /// Transmitting node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+        /// Medium sequence number.
+        seq: u64,
+    },
+    /// A receiver in range did not get the frame.
+    Lost {
+        /// When (transmission end).
+        at: SimTime,
+        /// Transmitting node.
+        from: NodeId,
+        /// The receiver that missed it.
+        to: NodeId,
+        /// Medium sequence number.
+        seq: u64,
+        /// Why.
+        reason: LossReason,
+    },
+    /// A node's liveness changed.
+    Liveness {
+        /// When.
+        at: SimTime,
+        /// The node.
+        node: NodeId,
+        /// New state.
+        alive: bool,
+    },
+    /// A node moved.
+    Moved {
+        /// When.
+        at: SimTime,
+        /// The node.
+        node: NodeId,
+        /// New position.
+        to: Position,
+    },
+}
+
+/// Why a frame was not delivered to a particular receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossReason {
+    /// Overlapping audible transmission.
+    RfCollision,
+    /// The receiver's own radio was transmitting.
+    HalfDuplex,
+    /// Independent random frame loss.
+    RandomLoss,
+    /// The receiver's radio was duty-cycled off.
+    Asleep,
+}
+
+impl From<DeliveryFailure> for LossReason {
+    fn from(failure: DeliveryFailure) -> Self {
+        match failure {
+            DeliveryFailure::RfCollision => LossReason::RfCollision,
+            DeliveryFailure::HalfDuplex => LossReason::HalfDuplex,
+            DeliveryFailure::RandomLoss => LossReason::RandomLoss,
+        }
+    }
+}
+
+/// A bounded ring buffer of [`TraceEvent`]s.
+///
+/// When full, the oldest events are discarded (and counted), so a
+/// long-running simulation cannot exhaust memory through its tracer.
+#[derive(Debug)]
+pub struct Tracer {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Tracer {
+    /// Creates a tracer retaining at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "tracer capacity must be positive");
+        Tracer {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records one event.
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events discarded because the buffer was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained losses suffered by `node`, oldest first.
+    pub fn losses_at(&self, node: NodeId) -> impl Iterator<Item = &TraceEvent> {
+        self.events
+            .iter()
+            .filter(move |e| matches!(e, TraceEvent::Lost { to, .. } if *to == node))
+    }
+
+    /// Retained deliveries from `from` to `to`.
+    #[must_use]
+    pub fn deliveries_between(&self, from: NodeId, to: NodeId) -> usize {
+        self.events
+            .iter()
+            .filter(|e| {
+                matches!(e, TraceEvent::Delivered { from: f, to: t, .. }
+                         if *f == from && *t == to)
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(seq: u64) -> TraceEvent {
+        TraceEvent::TxStart {
+            at: SimTime::from_micros(seq),
+            node: NodeId(0),
+            seq,
+            bits: 8,
+        }
+    }
+
+    #[test]
+    fn ring_buffer_caps_and_counts_drops() {
+        let mut tracer = Tracer::new(3);
+        for seq in 0..5 {
+            tracer.record(tx(seq));
+        }
+        assert_eq!(tracer.len(), 3);
+        assert_eq!(tracer.dropped(), 2);
+        let seqs: Vec<u64> = tracer
+            .events()
+            .map(|e| match e {
+                TraceEvent::TxStart { seq, .. } => *seq,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(seqs, vec![2, 3, 4], "oldest must be discarded first");
+    }
+
+    #[test]
+    fn filters_select_by_node() {
+        let mut tracer = Tracer::new(16);
+        tracer.record(TraceEvent::Delivered {
+            at: SimTime::ZERO,
+            from: NodeId(0),
+            to: NodeId(1),
+            seq: 1,
+        });
+        tracer.record(TraceEvent::Lost {
+            at: SimTime::ZERO,
+            from: NodeId(0),
+            to: NodeId(2),
+            seq: 1,
+            reason: LossReason::RfCollision,
+        });
+        assert_eq!(tracer.deliveries_between(NodeId(0), NodeId(1)), 1);
+        assert_eq!(tracer.deliveries_between(NodeId(0), NodeId(2)), 0);
+        assert_eq!(tracer.losses_at(NodeId(2)).count(), 1);
+        assert_eq!(tracer.losses_at(NodeId(1)).count(), 0);
+    }
+
+    #[test]
+    fn loss_reasons_convert_from_medium_failures() {
+        assert_eq!(
+            LossReason::from(DeliveryFailure::RfCollision),
+            LossReason::RfCollision
+        );
+        assert_eq!(
+            LossReason::from(DeliveryFailure::HalfDuplex),
+            LossReason::HalfDuplex
+        );
+        assert_eq!(
+            LossReason::from(DeliveryFailure::RandomLoss),
+            LossReason::RandomLoss
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Tracer::new(0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Wildfire watch: multi-hop, address-free data dissemination.
+//!
+//! A ranger station (sink) at the corner of a 5×5 sensor grid floods an
+//! ephemeral interest; heat sensors at the far edge answer with samples
+//! that descend the hop-height gradient across three to eight radio
+//! hops. Interests, duplicate suppression, and forwarding all run on
+//! RETRI identifiers — no node address ever goes on the air.
+//!
+//! Run with: `cargo run --release -p retri-examples --bin wildfire_watch`
+
+use retri_apps::diffusion::{DiffusionConfig, DiffusionNode, DiffusionRole};
+use retri_netsim::prelude::*;
+
+fn main() {
+    const SIDE: usize = 5;
+    let config = DiffusionConfig::default();
+    let mut sim = SimBuilder::new(1610)
+        .radio(RadioConfig::radiometrix_rpc())
+        .mac(MacConfig::csma())
+        .range(60.0) // 50 m grid spacing: nearest-neighbor links only
+        .build(move |id: NodeId| {
+            let index = id.index();
+            let role = if index == 0 {
+                DiffusionRole::Sink
+            } else if index >= SIDE * SIDE - 2 {
+                DiffusionRole::Source // two hot-spot sensors at the far corner
+            } else {
+                DiffusionRole::Relay
+            };
+            DiffusionNode::new(role, config, id.0)
+        });
+    for row in 0..SIDE {
+        for col in 0..SIDE {
+            sim.add_node_at(Position::new(col as f64 * 50.0, row as f64 * 50.0));
+        }
+    }
+    sim.run_until(SimTime::from_secs(120));
+
+    println!("wildfire watch: {SIDE}x{SIDE} grid, sink at (0,0), 2 sources at far corner, 120 s\n");
+    println!("hop heights across the grid (distance to sink in radio hops):");
+    for row in 0..SIDE {
+        let cells: Vec<String> = (0..SIDE)
+            .map(|col| {
+                let id = NodeId((row * SIDE + col) as u32);
+                match sim.protocol(id).height() {
+                    Some(h) => format!("{h:>2}"),
+                    None => " ?".to_string(),
+                }
+            })
+            .collect();
+        println!("  {}", cells.join(" "));
+    }
+
+    let sink = sim.protocol(NodeId(0)).stats();
+    let mut produced = 0;
+    for id in sim.node_ids() {
+        let stats = sim.protocol(id).stats();
+        produced += stats.samples_produced;
+    }
+    let forwarded: u64 = sim
+        .node_ids()
+        .map(|id| sim.protocol(id).stats().samples_forwarded)
+        .sum();
+    let suppressed: u64 = sim
+        .node_ids()
+        .map(|id| sim.protocol(id).stats().duplicates_suppressed)
+        .sum();
+    let false_suppressed: u64 = sim
+        .node_ids()
+        .map(|id| sim.protocol(id).stats().false_suppressions)
+        .sum();
+    println!("\nsamples produced:            {produced}");
+    println!("samples delivered at sink:   {}", sink.samples_delivered);
+    println!(
+        "delivery ratio:              {:.1}%",
+        sink.samples_delivered as f64 / produced as f64 * 100.0
+    );
+    println!("relay forwards:              {forwarded}");
+    println!("duplicates suppressed:       {suppressed}");
+    println!("false suppressions (RETRI):  {false_suppressed}");
+    println!("{}", sim.stats());
+    println!(
+        "\nInterests, gradients, and dedup all ran on ephemeral identifiers;\n\
+         the 25-node grid shared one 10-bit sample-id space without any\n\
+         allocation protocol."
+    );
+}

@@ -1,0 +1,16 @@
+//! Integration-test helper crate.
+//!
+//! The actual tests live in `tests/tests/*.rs`; this library only hosts
+//! small shared helpers for building simulation scenarios used by several
+//! integration tests.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Construct a deterministic RNG for an integration test.
+///
+/// Every integration test derives its randomness from a fixed per-test
+/// seed so failures are reproducible.
+pub fn test_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

@@ -1,0 +1,113 @@
+//! The paper's analytic claims, asserted against the model crate.
+
+use retri_model::continuous;
+use retri_model::listening::ListeningModel;
+use retri_model::optimal::{advantage_over_static, aff_beats_static};
+use retri_model::{
+    aff_efficiency, crossover_density, optimal_id_bits, p_success, static_efficiency, DataBits,
+    Density, IdBits,
+};
+
+fn d(bits: u32) -> DataBits {
+    DataBits::new(bits).unwrap()
+}
+fn h(bits: u8) -> IdBits {
+    IdBits::new(bits).unwrap()
+}
+fn t(density: u64) -> Density {
+    Density::new(density).unwrap()
+}
+
+#[test]
+fn section_4_2_headline_nine_bits() {
+    // "AFF works optimally with only 9 identifier bits in a network
+    // where there are an average of 16 simultaneous transactions seen by
+    // any node. This is more efficient than a static assignment that
+    // might need 16 or 32 bits."
+    let opt = optimal_id_bits(d(16), t(16));
+    assert_eq!(opt.id_bits.get(), 9);
+    assert!(opt.efficiency > static_efficiency(d(16), h(16)));
+    assert!(opt.efficiency > static_efficiency(d(16), h(32)));
+}
+
+#[test]
+fn section_4_2_static_flat_lines() {
+    // "transmitting 16 bits of data with a 16- or 32-bit identifier
+    // always leads to a constant 50% or 33% efficiency".
+    assert!((static_efficiency(d(16), h(16)).get() - 0.50).abs() < 1e-12);
+    assert!((static_efficiency(d(16), h(32)).get() - 1.0 / 3.0).abs() < 1e-9);
+}
+
+#[test]
+fn section_4_2_no_room_at_full_utilization() {
+    // "in an extreme case of 64K simultaneous transactions seen by every
+    // node in a 64K node network, there is no room for AFF to improve; a
+    // 16-bit address space can be fully (indeed, optimally) utilized."
+    assert!(!aff_beats_static(d(16), t(65536), h(16)));
+}
+
+#[test]
+fn figure_2_larger_data_helps_static_and_widens_optimum() {
+    // "the larger data size makes static allocation more efficient" ...
+    // "the optimal number of bits used for the AFF identifier increases".
+    assert!(static_efficiency(d(128), h(16)) > static_efficiency(d(16), h(16)));
+    let narrow = optimal_id_bits(d(16), t(16)).id_bits;
+    let wide = optimal_id_bits(d(128), t(16)).id_bits;
+    assert!(wide > narrow);
+    // "At this design point, the efficiency of AFF and static allocation
+    // are not significantly different": within a few percent of 32-bit
+    // static at D=128.
+    let aff = optimal_id_bits(d(128), t(16)).efficiency.get();
+    let stat = static_efficiency(d(128), h(16)).get();
+    assert!((aff - stat).abs() < 0.12, "aff {aff} vs static {stat}");
+}
+
+#[test]
+fn figure_3_aff_works_past_static_exhaustion() {
+    // Static is undefined past 2^H concurrent transactions; AFF still
+    // delivers nonzero efficiency there.
+    let static_space = h(8);
+    let beyond = t(300); // > 256
+    assert!(u128::from(beyond.get()) > static_space.space_len());
+    let aff = aff_efficiency(d(16), h(12), beyond);
+    assert!(aff.get() > 0.0);
+}
+
+#[test]
+fn conclusions_locality_conditions() {
+    // "RETRI is superior ... [when] the number of nodes that exist is
+    // far greater than the number of simultaneously communicating
+    // peers": advantage positive at low density, negative once the
+    // static space is the tight bound.
+    assert!(advantage_over_static(d(16), t(16), h(16)) > 0.0);
+    assert!(advantage_over_static(d(16), t(65536), h(16)) < 0.0);
+    // And a crossover exists in between.
+    let cross = crossover_density(d(16), h(16)).unwrap();
+    assert!(cross.get() > 16 && cross.get() < 65536);
+}
+
+#[test]
+fn eq4_is_a_lower_bound_listening_is_above_it() {
+    // "Equation 4 is useful in that it gives a reasonable upper bound on
+    // the expected probability of identifier collisions. Heuristics such
+    // as listening can improve significantly on this bound."
+    let listening = ListeningModel::with_adaptive_window(0.9, t(5)).unwrap();
+    for bits in 5..=12u8 {
+        assert!(listening.p_success(h(bits), t(5)) >= p_success(h(bits), t(5)));
+    }
+}
+
+#[test]
+fn identifier_sizes_scale_with_density_not_size() {
+    // Section 4.3: the optimal width depends only on (D, T). Growing a
+    // network at constant density leaves it unchanged; growing density
+    // moves it.
+    let base = optimal_id_bits(d(16), t(16)).id_bits;
+    // (Network size is simply not a model parameter — the claim is that
+    // density is sufficient. Check the density direction instead.)
+    let denser = optimal_id_bits(d(16), t(256)).id_bits;
+    assert!(denser > base);
+    // ...and the continuous analysis agrees with the discrete scan.
+    let (h_star, _) = continuous::optimal_width(d(16), t(16));
+    assert!((h_star - f64::from(base.get())).abs() <= 1.0);
+}

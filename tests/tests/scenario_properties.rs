@@ -1,0 +1,111 @@
+//! Property-based integration tests: randomized whole-network scenarios
+//! must uphold cross-crate invariants.
+
+use proptest::prelude::*;
+use retri_aff::sender::{Workload, WorkloadMode};
+use retri_aff::{AffNode, AffReceiver, AffSender, SelectorPolicy, WireConfig};
+use retri_netsim::prelude::*;
+use retri_netsim::topology::Topology;
+
+fn run_scenario(
+    seed: u64,
+    transmitters: usize,
+    id_bits: u8,
+    packet_bytes: usize,
+    listening: bool,
+    secs: u64,
+) -> (u64, u64, u64) {
+    let wire = WireConfig::aff(retri::IdentifierSpace::new(id_bits).unwrap());
+    let radio = RadioConfig::radiometrix_rpc();
+    let policy = if listening {
+        SelectorPolicy::Listening { window: 2 * (transmitters + 1) }
+    } else {
+        SelectorPolicy::Uniform
+    };
+    let workload = Workload {
+        packet_bytes,
+        start: SimTime::ZERO,
+        stop: SimTime::from_secs(secs),
+        mode: WorkloadMode::Saturate {
+            poll: SimDuration::from_millis(2),
+        },
+    };
+    let wire_for_factory = wire.clone();
+    let mut sim = SimBuilder::new(seed)
+        .radio(radio)
+        .mac(MacConfig::csma())
+        .range(100.0)
+        .build(move |id: NodeId| {
+            if id.index() < transmitters {
+                AffNode::Sender(
+                    AffSender::new(
+                        wire_for_factory.clone(),
+                        radio.max_frame_bytes,
+                        policy,
+                        workload,
+                        None,
+                    )
+                    .expect("wire fits the radio"),
+                )
+            } else {
+                AffNode::Receiver(AffReceiver::new(wire_for_factory.clone(), 300_000))
+            }
+        });
+    let topo = Topology::full_mesh(transmitters + 1, 100.0);
+    for id in topo.node_ids() {
+        sim.add_node_at(topo.position(id));
+    }
+    sim.run_until(SimTime::from_secs(secs + 2));
+    let rx = sim
+        .protocol(NodeId(transmitters as u32))
+        .as_receiver()
+        .expect("receiver node");
+    let offered: u64 = sim
+        .node_ids()
+        .take(transmitters)
+        .map(|id| {
+            sim.protocol(id)
+                .as_sender()
+                .expect("sender node")
+                .stats()
+                .packets_sent
+        })
+        .sum();
+    (offered, rx.truth_delivered(), rx.aff_delivered())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Across random configurations: deliveries never exceed offers, AFF
+    /// deliveries never exceed ground truth (modulo the 2^-16 CRC
+    /// residual, which these sizes cannot hit), and something always
+    /// gets through at sane widths.
+    #[test]
+    fn delivery_ordering_invariants(
+        seed in any::<u64>(),
+        transmitters in 2usize..6,
+        id_bits in 4u8..16,
+        packet_bytes in 20usize..200,
+        listening in any::<bool>(),
+    ) {
+        let (offered, truth, aff) =
+            run_scenario(seed, transmitters, id_bits, packet_bytes, listening, 8);
+        prop_assert!(truth <= offered, "truth {truth} > offered {offered}");
+        prop_assert!(aff <= truth, "aff {aff} > truth {truth}");
+        prop_assert!(offered > 0);
+        prop_assert!(truth > 0, "a saturating CSMA mesh must deliver something");
+    }
+
+    /// Determinism holds for arbitrary scenario parameters.
+    #[test]
+    fn scenarios_are_reproducible(
+        seed in any::<u64>(),
+        transmitters in 2usize..5,
+        id_bits in 2u8..12,
+    ) {
+        let a = run_scenario(seed, transmitters, id_bits, 80, false, 5);
+        let b = run_scenario(seed, transmitters, id_bits, 80, false, 5);
+        prop_assert_eq!(a, b);
+    }
+}
