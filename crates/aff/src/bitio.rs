@@ -241,7 +241,13 @@ mod tests {
         let mut reader = BitReader::new(&[0xFF], 8);
         assert_eq!(reader.read_bits(8).unwrap(), 0xFF);
         let err = reader.read_bits(1).unwrap_err();
-        assert_eq!(err, ReadPastEndError { wanted: 1, available: 0 });
+        assert_eq!(
+            err,
+            ReadPastEndError {
+                wanted: 1,
+                available: 0
+            }
+        );
         assert!(!err.to_string().is_empty());
     }
 

@@ -61,7 +61,11 @@ mod tests {
             for bit in 0..8 {
                 let mut corrupted = base.clone();
                 corrupted[byte] ^= 1 << bit;
-                assert_ne!(crc16(&corrupted), reference, "undetected flip at {byte}.{bit}");
+                assert_ne!(
+                    crc16(&corrupted),
+                    reference,
+                    "undetected flip at {byte}.{bit}"
+                );
             }
         }
     }

@@ -177,9 +177,7 @@ mod tests {
     #[test]
     fn paper_shape_80_bytes_in_27_byte_frames() {
         let f = fragmenter(8, 27);
-        let fragments = f
-            .fragment(&[0xAB; 80], key(&f, 1), None)
-            .unwrap();
+        let fragments = f.fragment(&[0xAB; 80], key(&f, 1), None).unwrap();
         assert_eq!(fragments.len(), 5);
         assert_eq!(f.fragments_per_packet(80), 5);
         // Every payload fits the radio.
@@ -194,7 +192,9 @@ mod tests {
         let mut reconstructed = vec![None::<u8>; packet.len()];
         for payload in &fragments[1..] {
             match f.wire().decode(payload).unwrap() {
-                Fragment::Data { offset, payload, .. } => {
+                Fragment::Data {
+                    offset, payload, ..
+                } => {
                     for (i, byte) in payload.iter().enumerate() {
                         let pos = offset as usize + i;
                         assert!(reconstructed[pos].is_none(), "byte {pos} covered twice");
@@ -261,7 +261,9 @@ mod tests {
         let wire = WireConfig::aff(space).with_instrumentation();
         assert!(matches!(
             Fragmenter::new(wire, 20),
-            Err(FragmentError::NoDataCapacity { max_frame_bytes: 20 })
+            Err(FragmentError::NoDataCapacity {
+                max_frame_bytes: 20
+            })
         ));
     }
 

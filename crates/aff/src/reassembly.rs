@@ -8,6 +8,18 @@
 //! failure, exactly as the paper describes: *"Packets that suffer from
 //! identifier collisions are never delivered because of checksum
 //! failures or other inconsistencies."*
+//!
+//! Two kinds of inconsistency expose a collision before any checksum
+//! runs, and both are handled newest-wins:
+//!
+//! - a second introduction for a key that disagrees with the first on
+//!   length or checksum ([`ReassemblyStats::conflicting_intros`]);
+//! - a byte range that contradicts the introduced packet length —
+//!   a data fragment past the declared end of packet, or an
+//!   introduction shorter than data already buffered
+//!   ([`ReassemblyStats::bounds_conflicts`]). Accepting such bytes
+//!   would leave delivery gated only by the 16-bit checksum against a
+//!   buffer known to contain another sender's data.
 
 use std::collections::HashMap;
 
@@ -35,6 +47,21 @@ pub struct ReassemblyStats {
     /// Introductions that contradicted an existing introduction for the
     /// same key (a visible identifier conflict; newest wins).
     pub conflicting_intros: u64,
+    /// Fragments whose byte range contradicted the introduced packet
+    /// length — data past the declared end of packet, or an introduction
+    /// shorter than data already buffered. Like a conflicting
+    /// introduction, this can only happen when two senders share the
+    /// key (the paper's "other inconsistencies"); newest wins.
+    pub bounds_conflicts: u64,
+}
+
+impl ReassemblyStats {
+    /// Identifier conflicts made visible by any inconsistency:
+    /// contradicting introductions plus out-of-bounds fragments.
+    #[must_use]
+    pub fn identifier_conflicts(&self) -> u64 {
+        self.conflicting_intros + self.bounds_conflicts
+    }
 }
 
 #[derive(Debug)]
@@ -167,10 +194,7 @@ impl Reassembler {
             return None;
         }
         let key = fragment.key();
-        let entry = self
-            .pending
-            .entry(key)
-            .or_insert_with(|| Pending::new(now));
+        let entry = self.pending.entry(key).or_insert_with(|| Pending::new(now));
         entry.last_heard = now;
         self.stats.fragments_accepted += 1;
         match fragment {
@@ -183,11 +207,21 @@ impl Reassembler {
                     (entry.total_len, entry.checksum),
                     (Some(len), Some(sum)) if len != *total_len || sum != *checksum
                 );
+                // Data already buffered past this introduction's end of
+                // packet must belong to a different sender on the same
+                // key — the checksum cannot vouch for any of it.
+                let oversized = entry
+                    .covered
+                    .get(usize::from(*total_len)..)
+                    .is_some_and(|tail| tail.iter().any(|&covered| covered));
                 if conflicting {
                     // An identifier conflict made visible: a different
                     // packet is claiming this key. Newest wins; the old
                     // reassembly is lost.
                     self.stats.conflicting_intros += 1;
+                    *entry = Pending::new(now);
+                } else if oversized {
+                    self.stats.bounds_conflicts += 1;
                     *entry = Pending::new(now);
                 }
                 entry.total_len = Some(*total_len);
@@ -199,6 +233,19 @@ impl Reassembler {
             } => {
                 let start = *offset as usize;
                 let end = start + payload.len();
+                if entry
+                    .total_len
+                    .is_some_and(|total| end > usize::from(total))
+                {
+                    // This fragment lies past the introduced end of
+                    // packet, so it cannot belong to the introduced
+                    // packet: a second sender is using the key. Newest
+                    // wins, exactly as for a conflicting introduction —
+                    // the introduced reassembly is abandoned rather than
+                    // polluted with bytes the checksum cannot vouch for.
+                    self.stats.bounds_conflicts += 1;
+                    *entry = Pending::new(now);
+                }
                 entry.ensure_len(end);
                 let mut fresh = false;
                 for (i, byte) in payload.iter().enumerate() {
@@ -335,7 +382,12 @@ mod tests {
         // conflicting intro, newest wins), then alternating data.
         let mut delivered = 0;
         let order = [
-            &frags_a[0], &frags_b[0], &frags_a[1], &frags_b[2], &frags_a[3], &frags_b[4],
+            &frags_a[0],
+            &frags_b[0],
+            &frags_a[1],
+            &frags_b[2],
+            &frags_a[3],
+            &frags_b[4],
         ];
         for payload in order {
             if r.accept_payload(payload, 0).unwrap().is_some() {
@@ -344,6 +396,67 @@ mod tests {
         }
         assert_eq!(delivered, 0, "mixed packets must never be delivered");
         assert!(r.stats().conflicting_intros >= 1);
+    }
+
+    #[test]
+    fn data_past_introduced_end_restarts_reassembly() {
+        let (f, mut r) = setup(8);
+        let shared = key(&f, 11);
+        let short = vec![0x0B; 30];
+        let long = vec![0x0A; 70];
+        let frags_short = f.fragment(&short, shared, None).unwrap();
+        let frags_long = f.fragment(&long, shared, None).unwrap();
+        // Introduce the 30-byte packet, then hear a fragment of the
+        // 70-byte one at offset 23 (range 23..46 crosses the declared
+        // end). The introduced reassembly must be abandoned, not
+        // completed with foreign bytes.
+        assert!(r.accept_payload(&frags_short[0], 0).unwrap().is_none());
+        assert!(r.accept_payload(&frags_long[2], 0).unwrap().is_none());
+        // The short packet's own data can no longer complete it: the
+        // introduction was lost in the restart.
+        assert!(r.accept_payload(&frags_short[1], 0).unwrap().is_none());
+        assert!(r.accept_payload(&frags_short[2], 0).unwrap().is_none());
+        assert_eq!(r.stats().delivered, 0);
+        assert_eq!(r.stats().bounds_conflicts, 1);
+        assert_eq!(r.stats().checksum_failures, 0);
+    }
+
+    #[test]
+    fn intro_shorter_than_buffered_data_restarts_reassembly() {
+        let (f, mut r) = setup(8);
+        let shared = key(&f, 12);
+        let short = vec![0x0B; 30];
+        let long = vec![0x0A; 70];
+        let frags_short = f.fragment(&short, shared, None).unwrap();
+        let frags_long = f.fragment(&long, shared, None).unwrap();
+        // Data of the long packet arrives first (no introduction yet),
+        // then the short packet's introduction claims total_len = 30.
+        // The buffered bytes at 46..69 contradict it.
+        assert!(r.accept_payload(&frags_long[3], 0).unwrap().is_none());
+        assert!(r.accept_payload(&frags_short[0], 0).unwrap().is_none());
+        assert_eq!(r.stats().bounds_conflicts, 1);
+        // The short packet completes cleanly from its own fragments:
+        // the stale foreign bytes were dropped with the restart.
+        assert!(r.accept_payload(&frags_short[1], 0).unwrap().is_none());
+        let out = r.accept_payload(&frags_short[2], 0).unwrap();
+        assert_eq!(out, Some(short));
+        assert_eq!(r.stats().checksum_failures, 0);
+    }
+
+    #[test]
+    fn in_bounds_single_sender_never_triggers_bounds_conflicts() {
+        let (f, mut r) = setup(8);
+        let packet: Vec<u8> = (0..200u8).map(|b| b.wrapping_mul(31)).collect();
+        let mut payloads = f.fragment(&packet, key(&f, 13), None).unwrap();
+        payloads.reverse(); // worst case: all data before the intro
+        let mut delivered = None;
+        for payload in &payloads {
+            if let Some(out) = r.accept_payload(payload, 0).unwrap() {
+                delivered = Some(out);
+            }
+        }
+        assert_eq!(delivered, Some(packet));
+        assert_eq!(r.stats().bounds_conflicts, 0);
     }
 
     #[test]

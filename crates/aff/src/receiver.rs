@@ -181,12 +181,14 @@ impl Protocol for AffReceiver {
         }
         let now = ctx.now().as_micros();
         // Pipeline 1: AFF identifier only.
-        let conflicts_before = self.aff.stats().conflicting_intros;
+        let conflicts_before = self.aff.stats().identifier_conflicts();
         let _ = self.aff.accept(&fragment, now);
         // Section 3.2: tell the colliding senders, if the wire supports
-        // it and this fragment just exposed a conflict.
+        // it and this fragment just exposed a conflict (a contradicting
+        // introduction or an out-of-bounds byte range — both are proof
+        // of two senders on one key).
         if self.wire.notifications_enabled()
-            && self.aff.stats().conflicting_intros > conflicts_before
+            && self.aff.stats().identifier_conflicts() > conflicts_before
         {
             let notify = Fragment::Notify {
                 key: fragment.key(),
@@ -298,8 +300,8 @@ mod tests {
         let p2 = f.fragment(&[2u8; 10], id, None).unwrap();
         deliver(&mut r, 0, &p2[0]); // short intro
         deliver(&mut r, 0, &p1[4]); // stale far-offset data
-        // The truth assembly for src 0 must have been dropped, not
-        // panicked; the next complete packet still goes through.
+                                    // The truth assembly for src 0 must have been dropped, not
+                                    // panicked; the next complete packet still goes through.
         for payload in f.fragment(&[3u8; 10], id, None).unwrap() {
             deliver(&mut r, 0, &payload);
         }

@@ -192,7 +192,11 @@ impl Testbed {
                 );
                 sim.set_duty_cycle(
                     NodeId(i as u32),
-                    Some(retri_netsim::radio::DutyCycle::new(period, on_fraction, phase)),
+                    Some(retri_netsim::radio::DutyCycle::new(
+                        period,
+                        on_fraction,
+                        phase,
+                    )),
                 );
             }
         }
@@ -331,11 +335,7 @@ mod tests {
         // fraction; listening in a fully connected testbed recovers most
         // of it (the gap in Figure 4).
         let uniform = quick_testbed(4, SelectorPolicy::Uniform).run(4);
-        let listening = quick_testbed(
-            4,
-            SelectorPolicy::Listening { window: 10 },
-        )
-        .run(4);
+        let listening = quick_testbed(4, SelectorPolicy::Listening { window: 10 }).run(4);
         assert!(
             listening.collision_loss_rate < uniform.collision_loss_rate,
             "listening {listening:?} vs uniform {uniform:?}"

@@ -10,9 +10,7 @@
 //! packet rate, which the load-sweep ablations use.
 
 use rand::{Rng, RngCore};
-use retri::select::{
-    AdaptiveListeningSelector, IdSelector, ListeningSelector, UniformSelector,
-};
+use retri::select::{AdaptiveListeningSelector, IdSelector, ListeningSelector, UniformSelector};
 use retri::TransactionId;
 use retri_netsim::{Context, Frame, Protocol, SimDuration, SimTime, Timer};
 
@@ -300,9 +298,7 @@ impl Protocol for AffSender {
         match self.fragmenter.wire().decode(&frame.payload) {
             Ok(crate::wire::Fragment::Notify { key, .. }) => self.on_notify(ctx, key),
             // Listening: learn identifiers other senders are using.
-            Ok(fragment) => self
-                .selector
-                .observe(fragment.key(), ctx.now().as_micros()),
+            Ok(fragment) => self.selector.observe(fragment.key(), ctx.now().as_micros()),
             Err(_) => {}
         }
     }
@@ -395,7 +391,11 @@ mod tests {
 
     #[test]
     fn periodic_workload_has_expected_bounds() {
-        let w = Workload::periodic(16, SimDuration::from_millis(100), SimDuration::from_secs(10));
+        let w = Workload::periodic(
+            16,
+            SimDuration::from_millis(100),
+            SimDuration::from_secs(10),
+        );
         assert_eq!(w.start, SimTime::ZERO);
         assert_eq!(w.stop, SimTime::from_secs(10));
     }

@@ -216,16 +216,15 @@ mod tests {
             alice.send(&mut ctx, &packet).unwrap();
         }
 
-        let payloads: Vec<_> = harness
-            .sent_payloads()
-            .into_iter()
-            .cloned()
-            .collect();
+        let payloads: Vec<_> = harness.sent_payloads().into_iter().cloned().collect();
         assert!(payloads.len() >= 2);
         let mut rx_harness = ContextHarness::new(2);
         for payload in &payloads {
             let mut ctx = rx_harness.context(NodeId(1));
-            bob.handle_frame(&mut ctx, &retri_netsim::Frame::new(NodeId(0), payload.clone()));
+            bob.handle_frame(
+                &mut ctx,
+                &retri_netsim::Frame::new(NodeId(0), payload.clone()),
+            );
         }
         assert_eq!(bob.poll_delivered(), Some(packet));
         assert_eq!(bob.poll_delivered(), None);
@@ -308,14 +307,20 @@ mod tests {
         // First fragment at t=0...
         {
             let mut ctx = harness.context(NodeId(0));
-            svc.handle_frame(&mut ctx, &retri_netsim::Frame::new(NodeId(1), payloads[0].clone()));
+            svc.handle_frame(
+                &mut ctx,
+                &retri_netsim::Frame::new(NodeId(1), payloads[0].clone()),
+            );
         }
         // ...the rest far past the ttl: the packet must NOT assemble
         // from the stale intro.
         harness.set_now(SimTime::from_secs(10));
         for payload in &payloads[1..] {
             let mut ctx = harness.context(NodeId(0));
-            svc.handle_frame(&mut ctx, &retri_netsim::Frame::new(NodeId(1), payload.clone()));
+            svc.handle_frame(
+                &mut ctx,
+                &retri_netsim::Frame::new(NodeId(1), payload.clone()),
+            );
         }
         assert_eq!(svc.poll_delivered(), None);
     }

@@ -90,7 +90,10 @@ impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             WireError::Truncated(err) => write!(f, "truncated fragment: {err}"),
-            WireError::PayloadLengthMismatch { declared, available } => write!(
+            WireError::PayloadLengthMismatch {
+                declared,
+                available,
+            } => write!(
                 f,
                 "declared payload of {declared} bytes but only {available} bytes remain"
             ),
@@ -148,9 +151,10 @@ impl HeaderScheme {
     pub fn key_bits(&self) -> u32 {
         match *self {
             HeaderScheme::Aff { space } => u32::from(space.bits().get()),
-            HeaderScheme::StaticAddress { addr_bits, seq_bits } => {
-                u32::from(addr_bits.get()) + seq_bits
-            }
+            HeaderScheme::StaticAddress {
+                addr_bits,
+                seq_bits,
+            } => u32::from(addr_bits.get()) + seq_bits,
         }
     }
 }
@@ -258,7 +262,10 @@ impl WireConfig {
     #[must_use]
     pub fn static_address(addr_bits: IdBits, seq_bits: u32) -> Self {
         WireConfig {
-            scheme: HeaderScheme::StaticAddress { addr_bits, seq_bits },
+            scheme: HeaderScheme::StaticAddress {
+                addr_bits,
+                seq_bits,
+            },
             instrument: false,
             notifications: false,
         }
@@ -323,7 +330,10 @@ impl WireConfig {
     pub fn space(&self) -> IdentifierSpace {
         match self.scheme {
             HeaderScheme::Aff { space } => space,
-            HeaderScheme::StaticAddress { addr_bits, seq_bits } => {
+            HeaderScheme::StaticAddress {
+                addr_bits,
+                seq_bits,
+            } => {
                 let total = u32::from(addr_bits.get()) + seq_bits;
                 let bits = u8::try_from(total)
                     .ok()
@@ -344,7 +354,10 @@ impl WireConfig {
     #[must_use]
     pub fn static_key(&self, addr: u64, seq: u64) -> TransactionId {
         match self.scheme {
-            HeaderScheme::StaticAddress { addr_bits, seq_bits } => {
+            HeaderScheme::StaticAddress {
+                addr_bits,
+                seq_bits,
+            } => {
                 assert!(
                     addr_bits.get() == 64 || addr >> addr_bits.get() == 0,
                     "address {addr:#x} exceeds {addr_bits}"
@@ -644,10 +657,7 @@ mod tests {
             }),
         };
         let encoded = config.encode(&fragment).unwrap();
-        assert_eq!(
-            encoded.bits(),
-            config.data_header_bits() + 24 + TRUTH_BITS
-        );
+        assert_eq!(encoded.bits(), config.data_header_bits() + 24 + TRUTH_BITS);
         assert_eq!(config.decode(&encoded).unwrap(), fragment);
     }
 
@@ -710,8 +720,7 @@ mod tests {
             truth: None,
         };
         let encoded = config.encode(&fragment).unwrap();
-        let truncated =
-            FramePayload::from_bits(encoded.bytes()[..2].to_vec(), 16).unwrap();
+        let truncated = FramePayload::from_bits(encoded.bytes()[..2].to_vec(), 16).unwrap();
         assert!(matches!(
             config.decode(&truncated),
             Err(WireError::Truncated(_))
@@ -734,11 +743,8 @@ mod tests {
         let header_bits = config.data_header_bits();
         let keep_bits = header_bits + 8; // header + 1 payload byte only
         let keep_bytes = (keep_bits as usize).div_ceil(8);
-        let cut = FramePayload::from_bits(
-            encoded.bytes()[..keep_bytes].to_vec(),
-            keep_bits,
-        )
-        .unwrap();
+        let cut =
+            FramePayload::from_bits(encoded.bytes()[..keep_bytes].to_vec(), keep_bits).unwrap();
         assert!(matches!(
             config.decode(&cut),
             Err(WireError::PayloadLengthMismatch { declared: 10, .. })
@@ -777,7 +783,10 @@ mod tests {
         };
         assert!(matches!(
             config.encode(&fragment),
-            Err(WireError::FieldOverflow { field: "payload_len", .. })
+            Err(WireError::FieldOverflow {
+                field: "payload_len",
+                ..
+            })
         ));
     }
 
@@ -796,10 +805,19 @@ mod tests {
     #[test]
     fn errors_display_nonempty() {
         let errs: Vec<WireError> = vec![
-            WireError::Truncated(ReadPastEndError { wanted: 4, available: 1 }),
-            WireError::PayloadLengthMismatch { declared: 9, available: 2 },
+            WireError::Truncated(ReadPastEndError {
+                wanted: 4,
+                available: 1,
+            }),
+            WireError::PayloadLengthMismatch {
+                declared: 9,
+                available: 2,
+            },
             WireError::TrailingBits { leftover: 3 },
-            WireError::FieldOverflow { field: "x", value: 300 },
+            WireError::FieldOverflow {
+                field: "x",
+                value: 300,
+            },
             WireError::UnknownKind { kind: 3 },
         ];
         for err in errs {

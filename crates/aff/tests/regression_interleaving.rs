@@ -1,0 +1,170 @@
+//! Pinned regression: same-key interleaving of two packets of
+//! different lengths (formerly `properties.proptest-regressions`,
+//! `interleave_seed = 13404617257924449006` — two all-zero packets of
+//! 70 and 30 bytes under a 6-bit identifier).
+//!
+//! The shrunken inputs pointed at a real reassembly defect: with a
+//! 30-byte packet introduced, data fragments of the 70-byte packet at
+//! offsets 23/46/69 extend *past the declared end of packet* — proof
+//! that a second sender holds the key — yet the reassembler silently
+//! grew its buffer and adopted the foreign bytes, leaving delivery
+//! gated only by the 16-bit CRC over a buffer known to be polluted.
+//! The fix treats any range/length contradiction as a visible
+//! identifier conflict (`ReassemblyStats::bounds_conflicts`,
+//! newest-wins restart), so a reassembly that completes was assembled
+//! entirely within the bounds its introduction declared.
+//!
+//! Rather than replaying one shuffle order, these tests enumerate
+//! *every* interleaving of the regression's fragment multiset (8
+//! fragments, 8! = 40320 orders), which strictly contains whatever
+//! order the original seed produced.
+
+use retri::IdentifierSpace;
+use retri_aff::frag::Fragmenter;
+use retri_aff::reassembly::Reassembler;
+use retri_aff::wire::WireConfig;
+use retri_netsim::FramePayload;
+
+/// The regression's cell: 6-bit identifiers, shared key 3, 27-byte
+/// frames, packet lengths 70 and 30.
+fn regression_fragments(packet_a: &[u8], packet_b: &[u8]) -> (WireConfig, Vec<FramePayload>) {
+    let space = IdentifierSpace::new(6).unwrap();
+    let wire = WireConfig::aff(space);
+    let fragmenter = Fragmenter::new(wire.clone(), 27).unwrap();
+    let key = space.id(3).unwrap();
+    let all = fragmenter
+        .fragment(packet_a, key, None)
+        .unwrap()
+        .into_iter()
+        .chain(fragmenter.fragment(packet_b, key, None).unwrap())
+        .collect();
+    (wire, all)
+}
+
+/// Runs every permutation of `payloads` through `check` (Heap's
+/// algorithm).
+fn for_every_order(payloads: &[FramePayload], mut check: impl FnMut(&[usize], &[&FramePayload])) {
+    let n = payloads.len();
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut c = vec![0usize; n];
+    let mut run = |perm: &[usize]| {
+        let order: Vec<&FramePayload> = perm.iter().map(|&i| &payloads[i]).collect();
+        check(perm, &order);
+    };
+    run(&indices);
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                indices.swap(0, i);
+            } else {
+                indices.swap(c[i], i);
+            }
+            run(&indices);
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// The exact regression inputs: both packets all-zero. No interleaving
+/// may error, deliver more than two packets, or deliver bytes that are
+/// not exactly one of the originals.
+#[test]
+fn pinned_all_zero_interleaving_regression() {
+    let packet_a = vec![0u8; 70];
+    let packet_b = vec![0u8; 30];
+    let (wire, all) = regression_fragments(&packet_a, &packet_b);
+    assert_eq!(all.len(), 8, "1 intro + 4 data, 1 intro + 2 data");
+    let mut orders = 0u64;
+    for_every_order(&all, |perm, order| {
+        orders += 1;
+        let mut reassembler = Reassembler::new(wire.clone(), u64::MAX / 2);
+        let mut delivered = Vec::new();
+        for payload in order {
+            if let Some(out) = reassembler
+                .accept_payload(payload, 0)
+                .unwrap_or_else(|e| panic!("wire error in order {perm:?}: {e}"))
+            {
+                delivered.push(out);
+            }
+        }
+        assert!(
+            delivered.len() <= 2,
+            "{} deliveries in {perm:?}",
+            delivered.len()
+        );
+        for out in &delivered {
+            assert!(
+                out == &packet_a || out == &packet_b,
+                "mixed packet of len {} in {perm:?}",
+                out.len()
+            );
+        }
+    });
+    assert_eq!(orders, 40320);
+}
+
+/// The same cell with distinguishable contents: byte `i` of packet A is
+/// `i`, of packet B is `0x80 + i`, so *any* cross-packet byte adoption
+/// is visible in the delivered bytes. No interleaving may deliver a
+/// packet that is not bit-identical to one of the originals, and the
+/// out-of-bounds fragments must register as identifier conflicts
+/// rather than polluting a checksum-gated buffer.
+#[test]
+fn interleaving_with_distinct_contents_never_mixes() {
+    let packet_a: Vec<u8> = (0..70u8).collect();
+    let packet_b: Vec<u8> = (0..30u8).map(|i| 0x80 | i).collect();
+    let (wire, all) = regression_fragments(&packet_a, &packet_b);
+    let mut conflict_orders = 0u64;
+    for_every_order(&all, |perm, order| {
+        let mut reassembler = Reassembler::new(wire.clone(), u64::MAX / 2);
+        let mut delivered = Vec::new();
+        for payload in order {
+            if let Some(out) = reassembler
+                .accept_payload(payload, 0)
+                .unwrap_or_else(|e| panic!("wire error in order {perm:?}: {e}"))
+            {
+                delivered.push(out);
+            }
+        }
+        for out in &delivered {
+            assert!(
+                out == &packet_a || out == &packet_b,
+                "mixed packet {out:02x?} in {perm:?}"
+            );
+        }
+        if reassembler.stats().bounds_conflicts > 0 {
+            conflict_orders += 1;
+        }
+    });
+    assert!(
+        conflict_orders > 0,
+        "no interleaving exercised the bounds-conflict path"
+    );
+}
+
+/// The minimal deterministic trigger inside the regression: introduce
+/// the short packet, then hear long-packet data crossing its declared
+/// end. Before the fix this polluted the buffer; now it restarts the
+/// reassembly and counts a visible conflict.
+#[test]
+fn out_of_bounds_fragment_is_a_conflict_not_a_merge() {
+    let packet_a: Vec<u8> = (0..70u8).collect();
+    let packet_b: Vec<u8> = (0..30u8).map(|i| 0x80 | i).collect();
+    let (wire, all) = regression_fragments(&packet_a, &packet_b);
+    // Fragment layout: [intro_a, a@0, a@23, a@46, a@69, intro_b, b@0, b@23].
+    let mut reassembler = Reassembler::new(wire, u64::MAX / 2);
+    assert_eq!(reassembler.accept_payload(&all[5], 0).unwrap(), None); // intro_b: total 30
+    assert_eq!(reassembler.accept_payload(&all[2], 0).unwrap(), None); // a@23: 23..46 > 30
+    assert_eq!(reassembler.stats().bounds_conflicts, 1);
+    // The introduction died with the restart: B's own data can no
+    // longer complete it, and nothing foreign was delivered.
+    assert_eq!(reassembler.accept_payload(&all[6], 0).unwrap(), None);
+    assert_eq!(reassembler.accept_payload(&all[7], 0).unwrap(), None);
+    assert_eq!(reassembler.stats().delivered, 0);
+    assert_eq!(reassembler.stats().checksum_failures, 0);
+}

@@ -116,8 +116,7 @@ impl CompressionNode {
 
     fn encode_coded(code: TransactionId) -> FramePayload {
         let raw = code.value() as u16;
-        FramePayload::from_bytes(vec![MSG_CODED, (raw >> 8) as u8, raw as u8])
-            .expect("non-empty")
+        FramePayload::from_bytes(vec![MSG_CODED, (raw >> 8) as u8, raw as u8]).expect("non-empty")
     }
 
     /// Sends either a definition or a coded message for this node's
@@ -232,14 +231,8 @@ mod tests {
             .build(move |id: NodeId| {
                 if id.index() < senders {
                     // A realistic recurring attribute list, ~18 bytes.
-                    let attrs = format!("type=temp node-class={}", id.index())
-                        .into_bytes();
-                    CompressionNode::new(
-                        space,
-                        attrs,
-                        SimDuration::from_millis(500),
-                        rebind_every,
-                    )
+                    let attrs = format!("type=temp node-class={}", id.index()).into_bytes();
+                    CompressionNode::new(space, attrs, SimDuration::from_millis(500), rebind_every)
                 } else {
                     CompressionNode::listener(space)
                 }
@@ -289,7 +282,10 @@ mod tests {
             resolved += listener.resolved;
         }
         assert!(conflicts > 0, "4 codes among 6 senders must conflict");
-        assert!(resolved > 0, "the system must keep working despite conflicts");
+        assert!(
+            resolved > 0,
+            "the system must keep working despite conflicts"
+        );
     }
 
     #[test]

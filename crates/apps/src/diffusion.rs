@@ -53,7 +53,6 @@ const TIMER_FORWARD: u64 = 4;
 /// mutual carrier-sense range).
 const FORWARD_JITTER_MICROS: u64 = 40_000;
 
-
 /// Static configuration of the diffusion protocol.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -200,8 +199,7 @@ impl DiffusionNode {
             "sample width {} outside 1..=16",
             config.sample_bits
         );
-        let interest_space =
-            IdentifierSpace::new(config.interest_bits).expect("validated above");
+        let interest_space = IdentifierSpace::new(config.interest_bits).expect("validated above");
         let sample_space = IdentifierSpace::new(config.sample_bits).expect("validated above");
         DiffusionNode {
             role,
@@ -529,10 +527,7 @@ impl Protocol for DiffusionNode {
             KIND_INTEREST => self.on_interest(ctx, code, bytes[3]),
             KIND_DATA if bytes.len() >= 16 => {
                 let sample_raw = (u64::from(bytes[4]) << 8) | u64::from(bytes[5]);
-                let Ok(sample) = self
-                    .sample_space
-                    .id(sample_raw & self.sample_space.mask())
-                else {
+                let Ok(sample) = self.sample_space.id(sample_raw & self.sample_space.mask()) else {
                     return;
                 };
                 let origin = u32::from_be_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]);
@@ -784,9 +779,7 @@ mod tests {
         let config = DiffusionConfig::default();
         let mut sim = SimBuilder::new(7)
             .range(60.0)
-            .build(move |id: NodeId| {
-                DiffusionNode::new(DiffusionRole::Relay, config, id.0)
-            });
+            .build(move |id: NodeId| DiffusionNode::new(DiffusionRole::Relay, config, id.0));
         sim.add_node_at(Position::new(0.0, 0.0));
         sim.run_until(SimTime::from_secs(5));
         let stats = sim.protocol(NodeId(0)).stats();

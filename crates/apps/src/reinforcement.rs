@@ -268,12 +268,7 @@ mod tests {
     use super::*;
 
     /// n sensors (half interesting) + 1 sink, full mesh.
-    fn run(
-        sensors: usize,
-        id_bits: u8,
-        seconds: u64,
-        seed: u64,
-    ) -> Simulator<ReinforcementNode> {
+    fn run(sensors: usize, id_bits: u8, seconds: u64, seed: u64) -> Simulator<ReinforcementNode> {
         let space = IdentifierSpace::new(id_bits).unwrap();
         let mut sim = SimBuilder::new(seed)
             .radio(RadioConfig::radiometrix_rpc())
@@ -281,7 +276,11 @@ mod tests {
             .build(move |id: NodeId| {
                 if id.index() < sensors {
                     // Even-index sensors are interesting, odd boring.
-                    let value = if id.index().is_multiple_of(2) { 2000 } else { 10 };
+                    let value = if id.index().is_multiple_of(2) {
+                        2000
+                    } else {
+                        10
+                    };
                     ReinforcementNode::sensor(
                         space,
                         value,

@@ -80,8 +80,13 @@ pub struct CentralAllocStats {
 
 #[derive(Debug)]
 enum NodeKind {
-    Controller { next_addr: u16 },
-    Client { pending: Option<TransactionId>, addr: Option<u16> },
+    Controller {
+        next_addr: u16,
+    },
+    Client {
+        pending: Option<TransactionId>,
+        addr: Option<u16>,
+    },
 }
 
 /// A member of a centrally allocated cluster: the controller, or a
@@ -190,7 +195,9 @@ impl CentralAllocNode {
         self.send_counted(ctx, vec![MSG_REQUEST, (raw >> 8) as u8, raw as u8], false);
         self.stats.requests_sent += 1;
         // Retry jitter spreads synchronized boots apart.
-        let jitter = ctx.rng().gen_range(0..=self.config.request_timeout.as_micros() / 2);
+        let jitter = ctx
+            .rng()
+            .gen_range(0..=self.config.request_timeout.as_micros() / 2);
         let delay = self.config.request_timeout + SimDuration::from_micros(jitter);
         let token = self.stamp(TIMER_REQUEST);
         ctx.set_timer(delay, token);
@@ -258,7 +265,11 @@ impl Protocol for CentralAllocNode {
         }
         match timer.token & 0xFF {
             TIMER_REQUEST => {
-                if let NodeKind::Client { addr: None, pending } = &mut self.kind {
+                if let NodeKind::Client {
+                    addr: None,
+                    pending,
+                } = &mut self.kind
+                {
                     if pending.is_some() {
                         self.stats.retries += 1;
                     }
@@ -314,7 +325,12 @@ mod tests {
 
     #[test]
     fn clients_obtain_distinct_addresses() {
-        let sim = run_cluster(8, CentralAllocConfig::default(), SimDuration::from_secs(20), 1);
+        let sim = run_cluster(
+            8,
+            CentralAllocConfig::default(),
+            SimDuration::from_secs(20),
+            1,
+        );
         let mut addrs: Vec<u16> = (1..=8u32)
             .map(|i| {
                 sim.protocol(NodeId(i))
@@ -324,7 +340,11 @@ mod tests {
             .collect();
         addrs.sort_unstable();
         addrs.dedup();
-        assert_eq!(addrs.len(), 8, "controller must hand out distinct addresses");
+        assert_eq!(
+            addrs.len(),
+            8,
+            "controller must hand out distinct addresses"
+        );
     }
 
     #[test]
@@ -420,7 +440,12 @@ mod tests {
 
     #[test]
     fn overhead_is_lower_than_decentralized_but_not_free() {
-        let sim = run_cluster(6, CentralAllocConfig::default(), SimDuration::from_secs(60), 5);
+        let sim = run_cluster(
+            6,
+            CentralAllocConfig::default(),
+            SimDuration::from_secs(60),
+            5,
+        );
         let mut control = 0u64;
         let mut data = 0u64;
         for id in sim.node_ids() {
@@ -434,13 +459,26 @@ mod tests {
         // listen/claim/defend/heartbeat protocol, but still nonzero and
         // paid again per churn event — and it required a controller.
         let per_client_control = control / 6;
-        assert!(per_client_control < 500, "control {per_client_control} bits/client");
+        assert!(
+            per_client_control < 500,
+            "control {per_client_control} bits/client"
+        );
     }
 
     #[test]
     fn runs_are_reproducible() {
-        let a = run_cluster(5, CentralAllocConfig::default(), SimDuration::from_secs(15), 9);
-        let b = run_cluster(5, CentralAllocConfig::default(), SimDuration::from_secs(15), 9);
+        let a = run_cluster(
+            5,
+            CentralAllocConfig::default(),
+            SimDuration::from_secs(15),
+            9,
+        );
+        let b = run_cluster(
+            5,
+            CentralAllocConfig::default(),
+            SimDuration::from_secs(15),
+            9,
+        );
         for id in a.node_ids() {
             assert_eq!(a.protocol(id).address(), b.protocol(id).address());
             assert_eq!(a.protocol(id).stats(), b.protocol(id).stats());

@@ -199,7 +199,8 @@ impl DynamicAddrNode {
     fn pick_address(&mut self, ctx: &mut Context<'_>) -> u16 {
         let now = ctx.now().as_micros();
         let ttl = self.config.heard_ttl_micros;
-        self.heard.retain(|_, &mut at| now.saturating_sub(at) <= ttl);
+        self.heard
+            .retain(|_, &mut at| now.saturating_sub(at) <= ttl);
         let space = self.addr_space_len();
         // Rejection-sample a free address; if the space is saturated,
         // take a random one and let defense sort it out.
@@ -242,9 +243,7 @@ impl Protocol for DynamicAddrNode {
         self.heard.clear();
         self.generation = self.generation.wrapping_add(1);
         self.incarnation = self.incarnation.wrapping_add(1);
-        let jitter_micros = ctx
-            .rng()
-            .gen_range(0..=self.config.claim_wait.as_micros());
+        let jitter_micros = ctx.rng().gen_range(0..=self.config.claim_wait.as_micros());
         let listen = self.config.listen + SimDuration::from_micros(jitter_micros);
         let token = self.stamp(TIMER_LISTEN_DONE);
         ctx.set_timer(listen, token);
@@ -272,12 +271,11 @@ impl Protocol for DynamicAddrNode {
                     self.start_claim(ctx);
                 }
             }
-            MSG_DEFEND
-                if self.state == (State::Claiming { addr }) => {
-                    // Our claim lost; re-pick immediately.
-                    self.stats.repicks += 1;
-                    self.start_claim(ctx);
-                }
+            MSG_DEFEND if self.state == (State::Claiming { addr }) => {
+                // Our claim lost; re-pick immediately.
+                self.stats.repicks += 1;
+                self.start_claim(ctx);
+            }
             MSG_DATA => {
                 self.stats.data_received += 1;
             }
@@ -291,10 +289,9 @@ impl Protocol for DynamicAddrNode {
             return;
         }
         match timer.token & 0xFF {
-            TIMER_LISTEN_DONE
-                if self.state == State::Listening => {
-                    self.start_claim(ctx);
-                }
+            TIMER_LISTEN_DONE if self.state == State::Listening => {
+                self.start_claim(ctx);
+            }
             TIMER_CLAIM_DONE => {
                 // Stale timers from superseded claims carry an old
                 // generation.
@@ -379,7 +376,12 @@ mod tests {
 
     #[test]
     fn lone_node_binds_after_listen_and_claim() {
-        let sim = run_mesh(1, DynamicAddrConfig::default(), SimDuration::from_secs(5), 1);
+        let sim = run_mesh(
+            1,
+            DynamicAddrConfig::default(),
+            SimDuration::from_secs(5),
+            1,
+        );
         let node = sim.protocol(NodeId(0));
         assert!(node.is_bound());
         assert_eq!(node.stats().claims_sent, 1);
@@ -388,7 +390,12 @@ mod tests {
 
     #[test]
     fn mesh_converges_to_distinct_addresses() {
-        let sim = run_mesh(8, DynamicAddrConfig::default(), SimDuration::from_secs(30), 2);
+        let sim = run_mesh(
+            8,
+            DynamicAddrConfig::default(),
+            SimDuration::from_secs(30),
+            2,
+        );
         let mut addrs = Vec::new();
         for id in sim.node_ids() {
             let node = sim.protocol(id);
@@ -457,7 +464,12 @@ mod tests {
         // The paper's core argument (Section 2.3): with a few bits of
         // data per minute, allocation overhead is a large fraction of
         // all bits sent.
-        let sim = run_mesh(6, DynamicAddrConfig::default(), SimDuration::from_secs(60), 5);
+        let sim = run_mesh(
+            6,
+            DynamicAddrConfig::default(),
+            SimDuration::from_secs(60),
+            5,
+        );
         let mut control = 0u64;
         let mut data = 0u64;
         for id in sim.node_ids() {
@@ -483,8 +495,18 @@ mod tests {
 
     #[test]
     fn runs_are_reproducible() {
-        let a = run_mesh(5, DynamicAddrConfig::default(), SimDuration::from_secs(20), 9);
-        let b = run_mesh(5, DynamicAddrConfig::default(), SimDuration::from_secs(20), 9);
+        let a = run_mesh(
+            5,
+            DynamicAddrConfig::default(),
+            SimDuration::from_secs(20),
+            9,
+        );
+        let b = run_mesh(
+            5,
+            DynamicAddrConfig::default(),
+            SimDuration::from_secs(20),
+            9,
+        );
         for id in a.node_ids() {
             assert_eq!(a.protocol(id).address(), b.protocol(id).address());
             assert_eq!(a.protocol(id).stats(), b.protocol(id).stats());

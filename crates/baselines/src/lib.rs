@@ -35,5 +35,5 @@ pub mod static_net;
 
 pub use central_alloc::{CentralAllocConfig, CentralAllocNode, CentralAllocStats};
 pub use dynamic_alloc::{DynamicAddrConfig, DynamicAddrNode, DynamicAddrStats};
-pub use static_alloc::{StaticAllocator, StaticAllocError};
+pub use static_alloc::{StaticAllocError, StaticAllocator};
 pub use static_net::{StaticNode, StaticTestbed, StaticTrialResult};

@@ -14,35 +14,19 @@ use retri_netsim::SimTime;
 
 fn bench_fig1(c: &mut Criterion) {
     c.bench_function("fig1_model_sweep", |b| {
-        b.iter(|| {
-            figures::efficiency_vs_width(
-                black_box(16),
-                &[16, 256, 65536],
-                &[16, 32],
-                32,
-            )
-        });
+        b.iter(|| figures::efficiency_vs_width(black_box(16), &[16, 256, 65536], &[16, 32], 32));
     });
 }
 
 fn bench_fig2(c: &mut Criterion) {
     c.bench_function("fig2_model_sweep", |b| {
-        b.iter(|| {
-            figures::efficiency_vs_width(
-                black_box(128),
-                &[16, 256, 65536],
-                &[16, 32],
-                32,
-            )
-        });
+        b.iter(|| figures::efficiency_vs_width(black_box(128), &[16, 256, 65536], &[16, 32], 32));
     });
 }
 
 fn bench_fig3(c: &mut Criterion) {
     c.bench_function("fig3_load_sweep", |b| {
-        b.iter(|| {
-            figures::efficiency_vs_load(black_box(16), &[9, 12, 16], &[5, 8, 16], 1 << 20)
-        });
+        b.iter(|| figures::efficiency_vs_load(black_box(16), &[9, 12, 16], &[5, 8, 16], 1 << 20));
     });
 }
 
@@ -61,5 +45,11 @@ fn bench_fig4_trial(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig1, bench_fig2, bench_fig3, bench_fig4_trial);
+criterion_group!(
+    benches,
+    bench_fig1,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4_trial
+);
 criterion_main!(benches);

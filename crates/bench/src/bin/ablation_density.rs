@@ -7,42 +7,35 @@
 //! measured rates should track it, completing the validation of both
 //! model parameters.
 //!
-//! Usage: `ablation_density [--quick | --paper]`.
+//! Usage: `ablation_density [--quick | --paper] [--json <path>]`.
 
-use retri_aff::{SelectorPolicy, Testbed};
+use retri_bench::ablations;
 use retri_bench::table::{self, f};
 use retri_bench::EffortLevel;
-use retri_model::stats::Summary;
-use retri_model::{p_collision, Density, IdBits};
-use retri_netsim::SimTime;
 
 fn main() {
     let level = EffortLevel::from_args();
-    let id_bits = 6u8;
-    let h = IdBits::new(id_bits).expect("valid width");
     println!(
-        "Ablation: collision rate vs. transaction density, {id_bits}-bit ids\n\
+        "Ablation: collision rate vs. transaction density, 6-bit ids\n\
          ({} trials x {} s per point)\n",
         level.trials(),
         level.trial_secs()
     );
-    let mut rows = Vec::new();
-    for transmitters in [2usize, 3, 5, 8, 12] {
-        let mut testbed = Testbed::paper(id_bits, SelectorPolicy::Uniform);
-        testbed.transmitters = transmitters;
-        testbed.workload.stop = SimTime::from_secs(level.trial_secs());
-        let rates: Vec<f64> = (0..level.trials())
-            .map(|trial| testbed.run(0xDE45 + trial).collision_loss_rate)
-            .collect();
-        let observed = Summary::of(&rates);
-        let predicted = p_collision(h, Density::new(transmitters as u64).expect("nonzero"));
-        rows.push(vec![
-            transmitters.to_string(),
-            f(observed.mean),
-            f(observed.std_dev),
-            f(predicted),
-        ]);
+    let provenance = ablations::density_sweep(level);
+    if let Some(path) = retri_bench::json_path_from_args() {
+        retri_bench::write_json(&path, &provenance);
     }
+    let rows: Vec<Vec<String>> = provenance
+        .points()
+        .map(|p| {
+            vec![
+                p.transmitters.to_string(),
+                f(p.observed.mean),
+                f(p.observed.std_dev),
+                f(p.predicted),
+            ]
+        })
+        .collect();
     print!(
         "{}",
         table::render(

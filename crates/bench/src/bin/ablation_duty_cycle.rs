@@ -12,55 +12,35 @@
 //! bound — bracketed by this repository's listening-model extension
 //! evaluated at the corresponding hear probabilities.
 //!
-//! Usage: `ablation_duty_cycle [--quick | --paper]`.
+//! Usage: `ablation_duty_cycle [--quick | --paper] [--json <path>]`.
 
-use retri_aff::{SelectorPolicy, Testbed};
+use retri_bench::ablations;
 use retri_bench::table::{self, f};
 use retri_bench::EffortLevel;
-use retri_model::listening::ListeningModel;
-use retri_model::stats::Summary;
-use retri_model::{p_collision, Density, IdBits};
-use retri_netsim::{SimDuration, SimTime};
 
 fn main() {
     let level = EffortLevel::from_args();
-    let id_bits = 4u8;
-    let h = IdBits::new(id_bits).expect("valid width");
-    let t = Density::new(5).expect("five transmitters");
     println!(
-        "Ablation: duty-cycled listeners, {id_bits}-bit ids, T=5 ({} trials x {} s)\n",
+        "Ablation: duty-cycled listeners, 4-bit ids, T=5 ({} trials x {} s)\n",
         level.trials(),
         level.trial_secs()
     );
-    let mut rows = Vec::new();
-    for on_fraction in [1.0f64, 0.5, 0.25, 0.1, 0.05] {
-        let mut testbed = Testbed::paper(id_bits, SelectorPolicy::Listening { window: 10 });
-        testbed.workload.stop = SimTime::from_secs(level.trial_secs());
-        if on_fraction < 1.0 {
-            testbed.sender_duty = Some((SimDuration::from_millis(200), on_fraction));
-        }
-        let rates: Vec<f64> = (0..level.trials())
-            .map(|trial| testbed.run(0xD07_1000 + trial).collision_loss_rate)
-            .collect();
-        let observed = Summary::of(&rates);
-        // A fragment-level hearing chance of `on_fraction` gives a
-        // per-transaction hear probability of roughly 1-(1-d)^5 with
-        // five fragments per packet; and a starved listener's avoidance
-        // window only holds the identifiers it actually heard, so the
-        // effective window shrinks with the same probability.
-        let hear = 1.0 - (1.0 - on_fraction).powi(5);
-        let window = (10.0 * hear).round() as u64;
-        let model = ListeningModel::new(hear, window)
-            .expect("valid probability")
-            .p_success(h, t);
-        rows.push(vec![
-            format!("{:.0}%", on_fraction * 100.0),
-            f(observed.mean),
-            f(observed.std_dev),
-            f(1.0 - model),
-            f(p_collision(h, t)),
-        ]);
+    let provenance = ablations::duty_cycle(level);
+    if let Some(path) = retri_bench::json_path_from_args() {
+        retri_bench::write_json(&path, &provenance);
     }
+    let rows: Vec<Vec<String>> = provenance
+        .points()
+        .map(|p| {
+            vec![
+                format!("{:.0}%", p.radio_on * 100.0),
+                f(p.observed.mean),
+                f(p.observed.std_dev),
+                f(p.listening_model),
+                f(p.blind_bound),
+            ]
+        })
+        .collect();
     print!(
         "{}",
         table::render(

@@ -10,12 +10,13 @@
 //! Usage: `ablation_dynamic_addr [--quick | --paper]`.
 
 use retri_bench::ablations;
+use retri_bench::harness::Provenance;
 use retri_bench::table::{self, f};
 use retri_bench::EffortLevel;
 
-fn churn_table(points: &[ablations::ChurnPoint]) -> String {
-    let rows: Vec<Vec<String>> = points
-        .iter()
+fn churn_table(provenance: &Provenance<ablations::ChurnPoint>) -> String {
+    let rows: Vec<Vec<String>> = provenance
+        .points()
         .map(|p| {
             let churn = if p.churn_period_secs == u64::MAX {
                 "none".to_string()
@@ -38,13 +39,16 @@ fn churn_table(points: &[ablations::ChurnPoint]) -> String {
 
 fn main() {
     let level = EffortLevel::from_args();
-    println!(
-        "Ablation: allocation overhead vs. churn, 8 nodes, 2-byte readings / 30 s\n"
-    );
+    println!("Ablation: allocation overhead vs. churn, 8 nodes, 2-byte readings / 30 s\n");
+    let dynamic = ablations::dynamic_churn(level);
+    let central = ablations::central_churn(level);
+    if let Some(path) = retri_bench::json_path_from_args() {
+        retri_bench::write_json(&path, &vec![dynamic.clone(), central.clone()]);
+    }
     println!("Decentralized listen/claim/defend (SDR/MASC style, Section 2.2):");
-    print!("{}", churn_table(&ablations::dynamic_churn(level)));
+    print!("{}", churn_table(&dynamic));
     println!("\nCentralized controller (WINS style, Section 7):");
-    print!("{}", churn_table(&ablations::central_churn(level)));
+    print!("{}", churn_table(&central));
     // AFF comparator: a 9-bit ephemeral identifier on a 16-bit reading.
     println!(
         "\nAFF comparator (no allocation protocol at all): a 9-bit identifier\n\

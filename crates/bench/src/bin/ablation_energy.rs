@@ -9,13 +9,11 @@
 //! collision loss *and* the measured per-transmitter radio energy
 //! (transmit + receive + idle listening).
 //!
-//! Usage: `ablation_energy [--quick | --paper]`.
+//! Usage: `ablation_energy [--quick | --paper] [--json <path>]`.
 
-use retri_aff::{SelectorPolicy, Testbed};
+use retri_bench::ablations;
 use retri_bench::table::{self, f};
 use retri_bench::EffortLevel;
-use retri_model::stats::Summary;
-use retri_netsim::{SimDuration, SimTime};
 
 fn main() {
     let level = EffortLevel::from_args();
@@ -24,29 +22,21 @@ fn main() {
         level.trials(),
         level.trial_secs()
     );
-    let mut rows = Vec::new();
-    for on_fraction in [1.0f64, 0.5, 0.25, 0.1, 0.05] {
-        let mut testbed = Testbed::paper(4, SelectorPolicy::Listening { window: 10 });
-        testbed.workload.stop = SimTime::from_secs(level.trial_secs());
-        if on_fraction < 1.0 {
-            testbed.sender_duty = Some((SimDuration::from_millis(200), on_fraction));
-        }
-        let mut losses = Vec::new();
-        let mut energies_mj = Vec::new();
-        for trial in 0..level.trials() {
-            let result = testbed.run_with_energy(0xE7E_2000 + trial);
-            losses.push(result.trial.collision_loss_rate);
-            energies_mj.push(result.mean_sender_energy_nj / 1e6);
-        }
-        let loss = Summary::of(&losses);
-        let energy = Summary::of(&energies_mj);
-        rows.push(vec![
-            format!("{:.0}%", on_fraction * 100.0),
-            f(loss.mean),
-            f(loss.std_dev),
-            format!("{:.1}", energy.mean),
-        ]);
+    let provenance = ablations::listening_energy(level);
+    if let Some(path) = retri_bench::json_path_from_args() {
+        retri_bench::write_json(&path, &provenance);
     }
+    let rows: Vec<Vec<String>> = provenance
+        .points()
+        .map(|p| {
+            vec![
+                format!("{:.0}%", p.radio_on * 100.0),
+                f(p.collision_loss.mean),
+                f(p.collision_loss.std_dev),
+                format!("{:.1}", p.energy_mj.mean),
+            ]
+        })
+        .collect();
     print!(
         "{}",
         table::render(

@@ -21,21 +21,21 @@ fn main() {
         level.trials(),
         level.trial_secs()
     );
-    let result = ablations::hidden_terminal(level);
-    let rows = vec![
-        vec![
-            "fully connected".to_string(),
-            f(result.connected_loss.mean),
-            f(result.connected_loss.std_dev),
-            f(result.connected_rf.mean),
-        ],
-        vec![
-            "hidden terminals".to_string(),
-            f(result.hidden_loss.mean),
-            f(result.hidden_loss.std_dev),
-            f(result.hidden_rf.mean),
-        ],
-    ];
+    let provenance = ablations::hidden_terminal(level);
+    if let Some(path) = retri_bench::json_path_from_args() {
+        retri_bench::write_json(&path, &provenance);
+    }
+    let rows: Vec<Vec<String>> = provenance
+        .points()
+        .map(|p| {
+            vec![
+                p.geometry.to_string(),
+                f(p.id_loss.mean),
+                f(p.id_loss.std_dev),
+                f(p.rf_collisions.mean),
+            ]
+        })
+        .collect();
     print!(
         "{}",
         table::render(

@@ -21,7 +21,11 @@ fn main() {
         level.trials(),
         level.trial_secs()
     );
-    let result = ablations::mixed_lengths(level);
+    let provenance = ablations::mixed_lengths(level);
+    if let Some(path) = retri_bench::json_path_from_args() {
+        retri_bench::write_json(&path, &provenance);
+    }
+    let result = &provenance.cells[0].cell;
     let rows = vec![
         vec![
             "observed".to_string(),

@@ -19,9 +19,12 @@ fn main() {
         level.trials(),
         level.trial_secs()
     );
-    let points = ablations::listening_window(level);
-    let rows: Vec<Vec<String>> = points
-        .iter()
+    let provenance = ablations::listening_window(level);
+    if let Some(path) = retri_bench::json_path_from_args() {
+        retri_bench::write_json(&path, &provenance);
+    }
+    let rows: Vec<Vec<String>> = provenance
+        .points()
         .map(|p| {
             let label = match p.window {
                 0 => "0 (uniform)".to_string(),

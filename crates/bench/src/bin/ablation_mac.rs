@@ -23,9 +23,12 @@ fn main() {
         level.trials(),
         level.trial_secs()
     );
-    let points = ablations::mac_robustness(level);
-    let rows: Vec<Vec<String>> = points
-        .iter()
+    let provenance = ablations::mac_robustness(level);
+    if let Some(path) = retri_bench::json_path_from_args() {
+        retri_bench::write_json(&path, &provenance);
+    }
+    let rows: Vec<Vec<String>> = provenance
+        .points()
         .map(|p| {
             vec![
                 p.mac.to_string(),
@@ -39,7 +42,13 @@ fn main() {
     print!(
         "{}",
         table::render(
-            &["MAC", "id_bits", "id-collision loss", "std_dev", "delivered"],
+            &[
+                "MAC",
+                "id_bits",
+                "id-collision loss",
+                "std_dev",
+                "delivered"
+            ],
             &rows,
         )
     );

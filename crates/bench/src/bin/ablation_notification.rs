@@ -9,13 +9,11 @@
 //! plus the notification frames themselves; the benefit is recovered
 //! deliveries at narrow identifier widths.
 //!
-//! Usage: `ablation_notification [--quick | --paper]`.
+//! Usage: `ablation_notification [--quick | --paper] [--json <path>]`.
 
-use retri_aff::{SelectorPolicy, Testbed};
+use retri_bench::ablations;
 use retri_bench::table::{self, f};
 use retri_bench::EffortLevel;
-use retri_model::stats::Summary;
-use retri_netsim::SimTime;
 
 fn main() {
     let level = EffortLevel::from_args();
@@ -25,34 +23,23 @@ fn main() {
         level.trials(),
         level.trial_secs()
     );
-    let mut rows = Vec::new();
-    for bits in [2u8, 3, 4, 5, 6, 8] {
-        for notifications in [false, true] {
-            let mut testbed = Testbed::paper(bits, SelectorPolicy::Uniform);
-            if notifications {
-                testbed = testbed.with_notifications();
-            }
-            testbed.workload.stop = SimTime::from_secs(level.trial_secs());
-            let mut ratios = Vec::new();
-            let mut retransmissions = 0u64;
-            let mut extra_bits = 0i64;
-            for trial in 0..level.trials() {
-                let result = testbed.run(0x9070 + trial);
-                ratios.push(result.delivery_ratio());
-                retransmissions += result.retransmissions;
-                extra_bits += result.total_bits_sent as i64;
-            }
-            let ratio = Summary::of(&ratios);
-            rows.push(vec![
-                bits.to_string(),
-                if notifications { "on" } else { "off" }.to_string(),
-                f(ratio.mean),
-                f(ratio.std_dev),
-                retransmissions.to_string(),
-                (extra_bits / level.trials() as i64).to_string(),
-            ]);
-        }
+    let provenance = ablations::notification(level);
+    if let Some(path) = retri_bench::json_path_from_args() {
+        retri_bench::write_json(&path, &provenance);
     }
+    let rows: Vec<Vec<String>> = provenance
+        .points()
+        .map(|p| {
+            vec![
+                p.id_bits.to_string(),
+                if p.notifications { "on" } else { "off" }.to_string(),
+                f(p.delivery_ratio.mean),
+                f(p.delivery_ratio.std_dev),
+                p.retransmissions.to_string(),
+                p.bits_per_trial.to_string(),
+            ]
+        })
+        .collect();
     print!(
         "{}",
         table::render(

@@ -21,9 +21,12 @@ fn main() {
         level.trials(),
         level.trial_secs()
     );
-    let points = ablations::density_scaling(level);
-    let rows: Vec<Vec<String>> = points
-        .iter()
+    let provenance = ablations::density_scaling(level);
+    if let Some(path) = retri_bench::json_path_from_args() {
+        retri_bench::write_json(&path, &provenance);
+    }
+    let rows: Vec<Vec<String>> = provenance
+        .points()
         .map(|p| {
             vec![
                 p.clusters.to_string(),

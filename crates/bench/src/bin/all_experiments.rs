@@ -1,8 +1,11 @@
 //! Runs the complete evaluation: every figure, the measured-efficiency
 //! comparison, and every ablation, in order, at the chosen effort.
 //!
-//! Usage: `all_experiments [--quick | --paper]` — flags are forwarded
-//! to each experiment binary.
+//! Usage: `all_experiments [--quick | --paper] [--json <dir>]`.
+//!
+//! `--quick` / `--paper` are forwarded to each experiment binary
+//! verbatim. `--json <dir>` creates the directory and collects one
+//! provenance document per experiment as `<dir>/<name>.json`.
 //!
 //! This is what regenerates the numbers recorded in EXPERIMENTS.md.
 
@@ -27,7 +30,22 @@ const EXPERIMENTS: &[&str] = &[
 ];
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_dir = retri_bench::json_path_from_args();
+    if let Some(dir) = &json_dir {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|err| panic!("cannot create {}: {err}", dir.display()));
+    }
+    // Forward everything except our own --json pair; each child gets
+    // its own --json <dir>/<name>.json instead.
+    let mut forwarded: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            args.next();
+        } else {
+            forwarded.push(arg);
+        }
+    }
     let exe_dir = std::env::current_exe()
         .expect("current executable path")
         .parent()
@@ -41,11 +59,18 @@ fn main() {
             index + 1,
             EXPERIMENTS.len()
         );
-        let status = Command::new(exe_dir.join(name))
-            .args(&args)
+        let mut command = Command::new(exe_dir.join(name));
+        command.args(&forwarded);
+        if let Some(dir) = &json_dir {
+            command.arg("--json").arg(dir.join(format!("{name}.json")));
+        }
+        let status = command
             .status()
             .unwrap_or_else(|err| panic!("failed to launch {name}: {err}"));
         assert!(status.success(), "{name} exited with {status}");
     }
     println!("\nAll {} experiments completed.", EXPERIMENTS.len());
+    if let Some(dir) = &json_dir {
+        println!("Provenance documents collected in {}/", dir.display());
+    }
 }

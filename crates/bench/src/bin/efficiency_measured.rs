@@ -9,55 +9,33 @@
 //! sit below the analytic curves, but the ordering — who wins at which
 //! identifier width — is the paper's claim under test.
 //!
-//! Usage: `efficiency_measured [--quick | --paper]`.
+//! Usage: `efficiency_measured [--quick | --paper] [--json <path>]`.
 
-use retri_aff::{SelectorPolicy, Testbed};
-use retri_baselines::StaticTestbed;
+use retri_bench::figures;
 use retri_bench::table::{self, f};
 use retri_bench::EffortLevel;
-use retri_netsim::SimTime;
 
 fn main() {
     let level = EffortLevel::from_args();
-    let packet_bits = 80.0 * 8.0;
     println!(
         "Measured efficiency, 80-byte packets, 5 transmitters -> 1 receiver ({} trials x {} s)\n",
         level.trials(),
         level.trial_secs()
     );
-
-    let mut rows = Vec::new();
-    for bits in [4u8, 6, 8, 10, 12, 16] {
-        let mut testbed = Testbed::paper(bits, SelectorPolicy::Uniform);
-        testbed.workload.stop = SimTime::from_secs(level.trial_secs());
-        let mut eff = 0.0;
-        let mut loss = 0.0;
-        for trial in 0..level.trials() {
-            let result = testbed.run(0xAFF0 + trial);
-            eff += result.aff_delivered as f64 * packet_bits / result.total_bits_sent as f64;
-            loss += result.collision_loss_rate;
-        }
-        let n = level.trials() as f64;
-        rows.push(vec![
-            format!("AFF {bits}-bit"),
-            f(eff / n),
-            f(loss / n),
-        ]);
+    let provenance = figures::measured_efficiency(level);
+    if let Some(path) = retri_bench::json_path_from_args() {
+        retri_bench::write_json(&path, &provenance);
     }
-    for bits in [16u8, 32, 48] {
-        let mut testbed = StaticTestbed::paper(bits);
-        testbed.workload.stop = SimTime::from_secs(level.trial_secs());
-        let mut eff = 0.0;
-        for trial in 0..level.trials() {
-            let result = testbed.run(0x5AA0 + trial);
-            eff += result.measured_efficiency();
-        }
-        rows.push(vec![
-            format!("static {bits}-bit (+8-bit seq)"),
-            f(eff / level.trials() as f64),
-            f(0.0),
-        ]);
-    }
+    let rows: Vec<Vec<String>> = provenance
+        .points()
+        .map(|p| {
+            vec![
+                p.scheme.clone(),
+                f(p.efficiency.mean),
+                f(p.collision_loss.mean),
+            ]
+        })
+        .collect();
     print!(
         "{}",
         table::render(&["scheme", "measured efficiency", "collision loss"], &rows)

@@ -6,6 +6,7 @@
 //! allocation.
 
 use retri_bench::figures;
+use retri_bench::harness::Provenance;
 use retri_bench::table::{self, f};
 
 fn main() {
@@ -17,7 +18,7 @@ fn main() {
     println!("Figure 1: Efficiency of AFF vs. static allocation, {DATA_BITS}-bit data\n");
     let rows = figures::efficiency_vs_width(DATA_BITS, &DENSITIES, &STATICS, 32);
     if let Some(path) = &json {
-        retri_bench::write_json(path, &rows);
+        retri_bench::write_json(path, &Provenance::analytic("fig1", rows.clone()));
     }
     let printable: Vec<Vec<String>> = rows
         .iter()
@@ -45,7 +46,10 @@ fn main() {
 
     println!("\nOptimal identifier sizes (curve peaks):");
     for (t, bits, eff) in figures::optima(DATA_BITS, &DENSITIES) {
-        println!("  T={t:<6} optimum at {bits:>2} bits, efficiency {}", f(eff));
+        println!(
+            "  T={t:<6} optimum at {bits:>2} bits, efficiency {}",
+            f(eff)
+        );
     }
     println!(
         "\nPaper check: at T=16 the optimum is 9 bits and beats both static\n\

@@ -5,6 +5,7 @@
 //! more data, so suppressing them is worth more header).
 
 use retri_bench::figures;
+use retri_bench::harness::Provenance;
 use retri_bench::table::{self, f};
 
 fn main() {
@@ -16,7 +17,7 @@ fn main() {
     println!("Figure 2: Efficiency of AFF vs. static allocation, {DATA_BITS}-bit data\n");
     let rows = figures::efficiency_vs_width(DATA_BITS, &DENSITIES, &STATICS, 32);
     if let Some(path) = &json {
-        retri_bench::write_json(path, &rows);
+        retri_bench::write_json(path, &Provenance::analytic("fig2", rows.clone()));
     }
     let printable: Vec<Vec<String>> = rows
         .iter()
@@ -44,7 +45,10 @@ fn main() {
 
     println!("\nOptimal identifier sizes (curve peaks):");
     for (t, bits, eff) in figures::optima(DATA_BITS, &DENSITIES) {
-        println!("  T={t:<6} optimum at {bits:>2} bits, efficiency {}", f(eff));
+        println!(
+            "  T={t:<6} optimum at {bits:>2} bits, efficiency {}",
+            f(eff)
+        );
     }
     let small = figures::optima(16, &DENSITIES);
     let large = figures::optima(DATA_BITS, &DENSITIES);

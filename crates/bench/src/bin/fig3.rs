@@ -7,6 +7,7 @@
 //! so severely underprovisioned by design".
 
 use retri_bench::figures;
+use retri_bench::harness::Provenance;
 use retri_bench::table::{self, f, opt};
 
 fn main() {
@@ -18,7 +19,7 @@ fn main() {
     println!("Figure 3: Efficiency vs. load (transaction density), {DATA_BITS}-bit data\n");
     let rows = figures::efficiency_vs_load(DATA_BITS, &AFF_BITS, &STATIC_BITS, 1 << 20);
     if let Some(path) = &json {
-        retri_bench::write_json(path, &rows);
+        retri_bench::write_json(path, &Provenance::analytic("fig3", rows.clone()));
     }
     let printable: Vec<Vec<String>> = rows
         .iter()

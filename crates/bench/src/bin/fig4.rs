@@ -24,12 +24,12 @@ fn main() {
         level.trials(),
         level.trial_secs()
     );
-    let points = figures::fig4_series(level, &id_sizes);
+    let provenance = figures::fig4_series(level, &id_sizes);
     if let Some(path) = retri_bench::json_path_from_args() {
-        retri_bench::write_json(&path, &points);
+        retri_bench::write_json(&path, &provenance);
     }
-    let rows: Vec<Vec<String>> = points
-        .iter()
+    let rows: Vec<Vec<String>> = provenance
+        .points()
         .map(|p| {
             vec![
                 p.policy.to_string(),

@@ -6,7 +6,8 @@
 //! probability and efficiency, the break-even density against common
 //! static address widths, and the projected lifetime extension.
 //!
-//! Usage: `provision <data_bits> <density> [--safety <extra_bits>]`
+//! Usage: `provision <data_bits> <density> [--safety <extra_bits>]
+//! [--json <path>]`
 //!
 //! ```text
 //! $ provision 16 16
@@ -17,6 +18,7 @@
 //! the density estimate is uncertain, since the efficiency curve falls
 //! gently to the right of the peak but steeply to the left.
 
+use retri_bench::harness::Provenance;
 use retri_bench::table::{self, f};
 use retri_model::lifetime::lifetime_extension;
 use retri_model::optimal::advantage_over_static;
@@ -26,8 +28,19 @@ use retri_model::{
 };
 
 fn usage() -> ! {
-    eprintln!("usage: provision <data_bits> <density> [--safety <extra_bits>]");
+    eprintln!("usage: provision <data_bits> <density> [--safety <extra_bits>] [--json <path>]");
     std::process::exit(2);
+}
+
+/// The calculator's inputs and answer, for `--json` provenance.
+#[derive(Debug, Clone, serde::Serialize)]
+struct ProvisionPoint {
+    data_bits: u32,
+    density: u64,
+    safety_bits: u8,
+    chosen_id_bits: u8,
+    p_success: f64,
+    efficiency: f64,
 }
 
 fn main() {
@@ -41,6 +54,9 @@ fn main() {
                 .next()
                 .and_then(|v| v.parse().ok())
                 .unwrap_or_else(|| usage());
+        } else if arg == "--json" {
+            // Parsed by json_path_from_args; skip the pair here.
+            iter.next();
         } else {
             positional.push(arg.clone());
         }
@@ -62,6 +78,17 @@ fn main() {
     let opt = optimal_id_bits(data, t);
     let chosen_bits = (opt.id_bits.get() + safety).min(64);
     let chosen = IdBits::new(chosen_bits).expect("within range");
+    if let Some(path) = retri_bench::json_path_from_args() {
+        let point = ProvisionPoint {
+            data_bits,
+            density,
+            safety_bits: safety,
+            chosen_id_bits: chosen_bits,
+            p_success: p_success(chosen, t),
+            efficiency: aff_efficiency(data, chosen, t).get(),
+        };
+        retri_bench::write_json(&path, &Provenance::analytic("provision", vec![point]));
+    }
 
     println!(
         "Provisioning for D = {data_bits} data bits/transaction, T = {density} concurrent transactions\n"

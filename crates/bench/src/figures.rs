@@ -1,11 +1,13 @@
 //! Data generation for the paper's four evaluation figures.
 
 use retri_aff::{SelectorPolicy, Testbed};
+use retri_baselines::StaticTestbed;
 use retri_model::stats::Summary;
 use retri_model::sweep;
 use retri_model::{p_collision, DataBits, Density, IdBits};
 use retri_netsim::SimTime;
 
+use crate::harness::{self, Provenance};
 use crate::EffortLevel;
 
 /// One row of Figures 1–2: AFF efficiency per density, plus the static
@@ -116,12 +118,8 @@ pub fn efficiency_vs_load(
             aff: aff_bits
                 .iter()
                 .map(|&bits| {
-                    retri_model::aff_efficiency(
-                        data,
-                        IdBits::new(bits).expect("valid width"),
-                        t,
-                    )
-                    .get()
+                    retri_model::aff_efficiency(data, IdBits::new(bits).expect("valid width"), t)
+                        .get()
                 })
                 .collect(),
             static_lines: static_bits
@@ -168,60 +166,109 @@ pub fn fig4_policies() -> Vec<(&'static str, SelectorPolicy)> {
 
 /// Figure 4: collision rate predicted vs. observed, five transmitters
 /// to one receiver, over a range of identifier sizes, for both
-/// policies. Trials run in parallel across OS threads.
+/// policies. Cells are the (policy, width) grid in sweep order; trials
+/// run in parallel through [`harness::run_cells`], seeded by
+/// [`harness::trial_seed`].
 ///
 /// # Panics
 ///
 /// Panics if a worker thread panics.
 #[must_use]
-pub fn fig4_series(level: EffortLevel, id_sizes: &[u8]) -> Vec<CollisionPoint> {
+pub fn fig4_series(level: EffortLevel, id_sizes: &[u8]) -> Provenance<CollisionPoint> {
     let density = Density::new(5).expect("five transmitters");
-    let mut jobs = Vec::new();
+    let mut cells = Vec::new();
     for (name, policy) in fig4_policies() {
         for &bits in id_sizes {
-            jobs.push((name, policy, bits));
+            cells.push((name, policy, bits));
         }
     }
-    let results = std::sync::Mutex::new(Vec::new());
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(jobs.len());
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(&(name, policy, bits)) = jobs.get(index) else {
-                    break;
-                };
-                let mut testbed = Testbed::paper(bits, policy);
-                testbed.workload.stop = SimTime::from_secs(level.trial_secs());
-                let rates: Vec<f64> = (0..level.trials())
-                    .map(|trial| {
-                        // Seeds disjoint across cells but stable across
-                        // runs.
-                        let seed =
-                            (u64::from(bits) << 32) ^ (trial << 8) ^ name.len() as u64;
-                        testbed.run(seed).collision_loss_rate
-                    })
-                    .collect();
-                let point = CollisionPoint {
-                    id_bits: bits,
-                    policy: name,
-                    observed: Summary::of(&rates),
-                    predicted: p_collision(
-                        IdBits::new(bits).expect("valid width"),
-                        density,
-                    ),
-                };
-                results.lock().expect("no poisoned lock").push(point);
-            });
-        }
+    let runs = harness::run_cells("fig4", level, &cells, |&(_, policy, bits), trial| {
+        let mut testbed = Testbed::paper(bits, policy);
+        testbed.workload.stop = SimTime::from_secs(level.trial_secs());
+        testbed.run(trial.seed).collision_loss_rate
     });
-    let mut points = results.into_inner().expect("threads joined");
-    points.sort_by_key(|p| (p.policy, p.id_bits));
-    points
+    let mut provenance = Provenance::new("fig4", level);
+    for (&(name, _, bits), cell_runs) in cells.iter().zip(runs) {
+        let observed = cell_runs.summarize(|&rate| rate);
+        provenance.push_cell(
+            cell_runs.seeds,
+            CollisionPoint {
+                id_bits: bits,
+                policy: name,
+                observed,
+                predicted: p_collision(IdBits::new(bits).expect("valid width"), density),
+            },
+        );
+    }
+    provenance
+}
+
+/// One row of the measured end-to-end efficiency comparison: a scheme
+/// (AFF at some width, or static addressing at some width) with its
+/// measured Eq. 1 efficiency and identifier-collision loss.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct MeasuredEfficiencyPoint {
+    /// Human-readable scheme label.
+    pub scheme: String,
+    /// Measured useful-bits / transmitted-bits across trials.
+    pub efficiency: Summary,
+    /// Measured identifier-collision loss (always 0 for static).
+    pub collision_loss: Summary,
+}
+
+/// Measured end-to-end efficiency: AFF at several widths vs. static
+/// addressing, on the same simulated radios and workload (the
+/// `efficiency_measured` binary).
+#[must_use]
+pub fn measured_efficiency(level: EffortLevel) -> Provenance<MeasuredEfficiencyPoint> {
+    /// One scheme under test.
+    #[derive(Debug, Clone, Copy)]
+    enum Scheme {
+        Aff(u8),
+        Static(u8),
+    }
+    let packet_bits = 80.0 * 8.0;
+    let mut cells: Vec<Scheme> = [4u8, 6, 8, 10, 12, 16].map(Scheme::Aff).to_vec();
+    cells.extend([16u8, 32, 48].map(Scheme::Static));
+    let runs =
+        harness::run_cells(
+            "efficiency_measured",
+            level,
+            &cells,
+            |scheme, trial| match *scheme {
+                Scheme::Aff(bits) => {
+                    let mut testbed = Testbed::paper(bits, SelectorPolicy::Uniform);
+                    testbed.workload.stop = SimTime::from_secs(level.trial_secs());
+                    let result = testbed.run(trial.seed);
+                    let efficiency =
+                        result.aff_delivered as f64 * packet_bits / result.total_bits_sent as f64;
+                    (efficiency, result.collision_loss_rate)
+                }
+                Scheme::Static(bits) => {
+                    let mut testbed = StaticTestbed::paper(bits);
+                    testbed.workload.stop = SimTime::from_secs(level.trial_secs());
+                    (testbed.run(trial.seed).measured_efficiency(), 0.0)
+                }
+            },
+        );
+    let mut provenance = Provenance::new("efficiency_measured", level);
+    for (scheme, cell_runs) in cells.iter().zip(runs) {
+        let scheme = match *scheme {
+            Scheme::Aff(bits) => format!("AFF {bits}-bit"),
+            Scheme::Static(bits) => format!("static {bits}-bit (+8-bit seq)"),
+        };
+        let efficiency = cell_runs.summarize(|&(eff, _)| eff);
+        let collision_loss = cell_runs.summarize(|&(_, loss)| loss);
+        provenance.push_cell(
+            cell_runs.seeds,
+            MeasuredEfficiencyPoint {
+                scheme,
+                efficiency,
+                collision_loss,
+            },
+        );
+    }
+    provenance
 }
 
 #[cfg(test)]
@@ -266,7 +313,8 @@ mod tests {
 
     #[test]
     fn fig4_quick_run_matches_model_shape() {
-        let points = fig4_series(EffortLevel::Quick, &[3, 8]);
+        let provenance = fig4_series(EffortLevel::Quick, &[3, 8]);
+        let points: Vec<&CollisionPoint> = provenance.points().collect();
         assert_eq!(points.len(), 4);
         for point in &points {
             assert!(point.observed.mean >= 0.0 && point.observed.mean <= 1.0);
@@ -287,5 +335,28 @@ mod tests {
             .find(|p| p.policy == "listening" && p.id_bits == 3)
             .unwrap();
         assert!(listening3.observed.mean < random3.observed.mean);
+    }
+
+    #[test]
+    fn fig4_seeds_pairwise_distinct_across_all_cells() {
+        // The old scheme `(bits << 32) ^ (trial << 8) ^ name.len()`
+        // could alias cells; the harness derivation must give every
+        // (policy, id_bits, trial) coordinate of the full Figure 4 grid
+        // its own seed.
+        let id_sizes: Vec<u8> = (1..=12).collect();
+        let cell_count = fig4_policies().len() * id_sizes.len();
+        let mut seen = std::collections::HashSet::new();
+        for cell_index in 0..cell_count {
+            for trial in 0..EffortLevel::Paper.trials() {
+                assert!(
+                    seen.insert(harness::trial_seed("fig4", cell_index, trial)),
+                    "seed collision at cell {cell_index}, trial {trial}"
+                );
+            }
+        }
+        assert_eq!(
+            seen.len(),
+            cell_count * EffortLevel::Paper.trials() as usize
+        );
     }
 }

@@ -8,6 +8,9 @@
 //! - [`ablations`] — the design-choice studies listed in DESIGN.md:
 //!   listening-window size, hidden terminals, non-uniform transaction
 //!   lengths, dynamic-allocation churn overhead, and density scaling.
+//! - [`harness`] — the deterministic parallel trial executor, the
+//!   single seed-derivation function ([`harness::trial_seed`]), and the
+//!   `--json` provenance document every binary emits.
 //! - [`table`] — plain-text table formatting shared by the binaries.
 //!
 //! Every experiment takes an [`EffortLevel`] so the same code serves
@@ -19,6 +22,7 @@
 
 pub mod ablations;
 pub mod figures;
+pub mod harness;
 pub mod table;
 
 /// How much simulation to spend per experiment point.
@@ -51,6 +55,16 @@ impl EffortLevel {
             EffortLevel::Quick => 15,
             EffortLevel::Standard => 60,
             EffortLevel::Paper => 120,
+        }
+    }
+
+    /// Lowercase name, used in provenance documents.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EffortLevel::Quick => "quick",
+            EffortLevel::Standard => "standard",
+            EffortLevel::Paper => "paper",
         }
     }
 

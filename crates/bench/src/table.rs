@@ -66,10 +66,7 @@ mod tests {
     fn columns_align() {
         let out = render(
             &["a", "longer"],
-            &[
-                vec!["1".into(), "2".into()],
-                vec!["100".into(), "2".into()],
-            ],
+            &[vec!["1".into(), "2".into()], vec!["100".into(), "2".into()]],
         );
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -311,7 +311,10 @@ mod tests {
         assert_eq!(tracker.expire(100), 1);
         assert_eq!(tracker.stats().expired, 1);
         // Reuse after expiry is not a collision.
-        assert_eq!(tracker.packet(id(4), SourceId(2), 101), PacketOutcome::Started);
+        assert_eq!(
+            tracker.packet(id(4), SourceId(2), 101),
+            PacketOutcome::Started
+        );
         assert_eq!(tracker.stats().collisions, 0);
     }
 
@@ -331,7 +334,10 @@ mod tests {
         let mut tracker = TransactionTracker::new(50);
         tracker.packet(id(4), SourceId(1), 0);
         // Bob arrives long after Alice's transaction died; no collision.
-        assert_eq!(tracker.packet(id(4), SourceId(2), 500), PacketOutcome::Started);
+        assert_eq!(
+            tracker.packet(id(4), SourceId(2), 500),
+            PacketOutcome::Started
+        );
         assert_eq!(tracker.stats().collisions, 0);
         assert_eq!(tracker.stats().expired, 1);
     }

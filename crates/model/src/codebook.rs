@@ -112,9 +112,7 @@ pub fn p_conflict_free(code_bits: u8, senders: u64) -> Result<f64, ModelError> {
 /// ```
 #[must_use]
 pub fn min_code_bits(senders: u64, target: f64) -> Option<u8> {
-    (1..=64u8).find(|&bits| {
-        p_conflict_free(bits, senders).is_ok_and(|p| p >= target)
-    })
+    (1..=64u8).find(|&bits| p_conflict_free(bits, senders).is_ok_and(|p| p >= target))
 }
 
 #[cfg(test)]

@@ -118,8 +118,13 @@ mod tests {
 
     #[test]
     fn continuous_peak_brackets_integer_optimum() {
-        for (data, density) in [(16u32, 16u64), (16, 256), (128, 16), (128, 256), (16, 65536)]
-        {
+        for (data, density) in [
+            (16u32, 16u64),
+            (16, 256),
+            (128, 16),
+            (128, 256),
+            (16, 65536),
+        ] {
             let (h_star, e_star) = optimal_width(d(data), t(density));
             let integer = optimal_id_bits(d(data), t(density));
             assert!(

@@ -206,7 +206,10 @@ impl ListeningModel {
 impl Default for ListeningModel {
     /// A blind selector: no listening, no avoidance (Eq. 4 exactly).
     fn default() -> Self {
-        ListeningModel { hear: 0.0, window: 0 }
+        ListeningModel {
+            hear: 0.0,
+            window: 0,
+        }
     }
 }
 

@@ -62,7 +62,10 @@ pub fn optimal_id_bits(data: DataBits, density: Density) -> OptimalPoint {
     let mut best = OptimalPoint {
         id_bits: IdBits::new(1).expect("1 is a valid width"),
         efficiency: aff_efficiency(data, IdBits::new(1).expect("1 is a valid width"), density),
-        p_success: crate::efficiency::p_success(IdBits::new(1).expect("1 is a valid width"), density),
+        p_success: crate::efficiency::p_success(
+            IdBits::new(1).expect("1 is a valid width"),
+            density,
+        ),
     };
     for id in IdBits::all().skip(1) {
         let e = aff_efficiency(data, id, density);
@@ -255,11 +258,7 @@ mod tests {
         assert!(cross.get() < 65536);
         // Exactness: wins at the crossover, loses just past it.
         assert!(aff_beats_static(d(16), cross, h(16)));
-        assert!(!aff_beats_static(
-            d(16),
-            t(cross.get() + 1),
-            h(16)
-        ));
+        assert!(!aff_beats_static(d(16), t(cross.get() + 1), h(16)));
     }
 
     #[test]

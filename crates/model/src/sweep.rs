@@ -254,12 +254,18 @@ mod tests {
     #[test]
     fn geometric_loads_doubles_up_to_max() {
         assert_eq!(
-            geometric_loads(16).iter().map(|x| x.get()).collect::<Vec<_>>(),
+            geometric_loads(16)
+                .iter()
+                .map(|x| x.get())
+                .collect::<Vec<_>>(),
             vec![1, 2, 4, 8, 16]
         );
         // max not itself a power of two: stops below it.
         assert_eq!(
-            geometric_loads(20).iter().map(|x| x.get()).collect::<Vec<_>>(),
+            geometric_loads(20)
+                .iter()
+                .map(|x| x.get())
+                .collect::<Vec<_>>(),
             vec![1, 2, 4, 8, 16]
         );
     }

@@ -1,0 +1,109 @@
+//! Closed-form anchors for the paper's Equations 2–4.
+//!
+//! The property tests in `properties.rs` check the model's *shape*
+//! (monotonicity, bounds); these tests pin it to values a reader can
+//! verify by hand against the paper: exact Eq. 2 fractions, the Eq. 3
+//! factorization, the Eq. 4 closed form recomputed independently, the
+//! complement identity `p_collision + p_success == 1`, and the
+//! Section 4.2 headline result (9-bit optimum at D = 16, T = 16).
+
+use retri_model::{
+    aff_efficiency, optimal_id_bits, p_collision, p_success, static_efficiency, DataBits, Density,
+    IdBits,
+};
+
+fn data(bits: u32) -> DataBits {
+    DataBits::new(bits).expect("positive data size")
+}
+
+fn id(bits: u8) -> IdBits {
+    IdBits::new(bits).expect("valid width")
+}
+
+fn density(t: u64) -> Density {
+    Density::new(t).expect("positive density")
+}
+
+/// Eq. 2: `E_static = D / (D + H)` at hand-checkable points.
+#[test]
+fn eq2_static_efficiency_anchors() {
+    // The paper's running example: 16 data bits under a 16-bit address
+    // is exactly half useful, under a 32-bit address exactly a third.
+    assert!((static_efficiency(data(16), id(16)).get() - 0.5).abs() < 1e-12);
+    assert!((static_efficiency(data(16), id(32)).get() - 1.0 / 3.0).abs() < 1e-12);
+    // 128-bit data amortizes the same 32-bit header to 0.8.
+    assert!((static_efficiency(data(128), id(32)).get() - 0.8).abs() < 1e-12);
+    // One header bit on one data bit: the worst case is still defined.
+    assert!((static_efficiency(data(1), id(1)).get() - 0.5).abs() < 1e-12);
+}
+
+/// Eq. 4: `P(success) = (1 - 2^-H)^(2(T-1))`, recomputed from scratch.
+#[test]
+fn eq4_closed_form_matches_direct_computation() {
+    for h in 1..=24u8 {
+        for t in [1u64, 2, 5, 16, 256] {
+            let expected = (1.0 - (0.5f64).powi(i32::from(h))).powi(2 * (t as i32 - 1));
+            let got = p_success(id(h), density(t));
+            assert!(
+                (got - expected).abs() < 1e-12,
+                "H={h}, T={t}: got {got}, expected {expected}"
+            );
+        }
+    }
+    // T = 1 has no contention: success is certain at every width.
+    for h in 1..=32u8 {
+        assert!((p_success(id(h), density(1)) - 1.0).abs() < 1e-15);
+    }
+}
+
+/// `p_collision` is exactly the complement of `p_success` across the
+/// full sweep of widths and densities.
+#[test]
+fn collision_and_success_are_complements_across_the_sweep() {
+    for h in 1..=32u8 {
+        for t in [1u64, 2, 3, 5, 8, 16, 64, 256, 65536] {
+            let ps = p_success(id(h), density(t));
+            let pc = p_collision(id(h), density(t));
+            assert!(
+                (ps + pc - 1.0).abs() < 1e-12,
+                "H={h}, T={t}: p_success={ps}, p_collision={pc}"
+            );
+            assert!((0.0..=1.0).contains(&ps), "H={h}, T={t}: p_success={ps}");
+            assert!((0.0..=1.0).contains(&pc), "H={h}, T={t}: p_collision={pc}");
+        }
+    }
+}
+
+/// Eq. 3 is Eq. 2 discounted by Eq. 4: `E_aff = E_static * P(success)`.
+#[test]
+fn eq3_factors_into_eq2_times_eq4() {
+    for h in [1u8, 4, 9, 16, 24] {
+        for t in [2u64, 16, 256] {
+            let expected = static_efficiency(data(16), id(h)).get() * p_success(id(h), density(t));
+            let got = aff_efficiency(data(16), id(h), density(t)).get();
+            assert!(
+                (got - expected).abs() < 1e-12,
+                "H={h}, T={t}: got {got}, expected {expected}"
+            );
+        }
+    }
+}
+
+/// The paper's Section 4.2 headline: "AFF works optimally with only 9
+/// identifier bits in a network where there are an average of 16
+/// simultaneous transactions" (16-bit data), beating both static
+/// comparators.
+#[test]
+fn section_4_2_nine_bit_optimum_at_t16_d16() {
+    let opt = optimal_id_bits(data(16), density(16));
+    assert_eq!(opt.id_bits.get(), 9);
+    // The optimum genuinely peaks there: both neighbors do worse.
+    let at = |h: u8| aff_efficiency(data(16), id(h), density(16)).get();
+    assert!(opt.efficiency.get() > at(8));
+    assert!(opt.efficiency.get() > at(10));
+    assert!((opt.efficiency.get() - at(9)).abs() < 1e-12);
+    // And it beats 16- and 32-bit static allocation (the paper's
+    // comparison in Figure 1).
+    assert!(opt.efficiency.get() > static_efficiency(data(16), id(16)).get());
+    assert!(opt.efficiency.get() > static_efficiency(data(16), id(32)).get());
+}

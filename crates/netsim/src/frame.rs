@@ -42,7 +42,10 @@ impl fmt::Display for FrameError {
             }
             FrameError::Empty => write!(f, "frame payload must not be empty"),
             FrameError::TooLarge { bytes, max_bytes } => {
-                write!(f, "payload of {bytes} bytes exceeds {max_bytes}-byte frames")
+                write!(
+                    f,
+                    "payload of {bytes} bytes exceeds {max_bytes}-byte frames"
+                )
             }
         }
     }

@@ -190,7 +190,10 @@ mod tests {
     use crate::topology::Position;
 
     fn frame(src: u32) -> Frame {
-        Frame::new(NodeId(src), FramePayload::from_bytes(vec![src as u8]).unwrap())
+        Frame::new(
+            NodeId(src),
+            FramePayload::from_bytes(vec![src as u8]).unwrap(),
+        )
     }
 
     fn t(micros: u64) -> SimTime {

@@ -316,7 +316,9 @@ mod tests {
             pending_frames: 0,
             max_frame_bytes: 4,
         };
-        assert!(ctx.send(FramePayload::from_bytes(vec![0; 4]).unwrap()).is_ok());
+        assert!(ctx
+            .send(FramePayload::from_bytes(vec![0; 4]).unwrap())
+            .is_ok());
         let err = ctx
             .send(FramePayload::from_bytes(vec![0; 5]).unwrap())
             .unwrap_err();

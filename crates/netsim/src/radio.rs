@@ -289,20 +289,11 @@ mod tests {
     fn awake_during_requires_whole_interval() {
         let duty = DutyCycle::new(SimDuration::from_millis(100), 0.5, SimDuration::ZERO);
         // Fully inside the on-window.
-        assert!(duty.awake_during(
-            SimTime::from_micros(10_000),
-            SimTime::from_micros(40_000)
-        ));
+        assert!(duty.awake_during(SimTime::from_micros(10_000), SimTime::from_micros(40_000)));
         // Starts awake but runs past the window edge at 50 ms.
-        assert!(!duty.awake_during(
-            SimTime::from_micros(45_000),
-            SimTime::from_micros(55_000)
-        ));
+        assert!(!duty.awake_during(SimTime::from_micros(45_000), SimTime::from_micros(55_000)));
         // Starts asleep.
-        assert!(!duty.awake_during(
-            SimTime::from_micros(60_000),
-            SimTime::from_micros(70_000)
-        ));
+        assert!(!duty.awake_during(SimTime::from_micros(60_000), SimTime::from_micros(70_000)));
     }
 
     #[test]

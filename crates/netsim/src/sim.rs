@@ -19,8 +19,8 @@ use crate::medium::{DeliveryFailure, Medium, Verdict};
 use crate::node::{Command, Context, NodeId, Protocol, Timer, TimerHandle};
 use crate::radio::RadioConfig;
 use crate::time::SimTime;
-use crate::trace::{LossReason, TraceEvent, Tracer};
 use crate::topology::{Position, Topology};
+use crate::trace::{LossReason, TraceEvent, Tracer};
 
 /// Medium-level counters for a whole run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -526,7 +526,9 @@ impl<P: Protocol> Simulator<P> {
         let airtime = self.radio.airtime(payload.bits());
         let frame = Frame::new(node, payload);
         let end = self.now + airtime;
-        let seq = self.medium.begin_tx(node, self.now, end, frame, bits_on_air);
+        let seq = self
+            .medium
+            .begin_tx(node, self.now, end, frame, bits_on_air);
         let state = &mut self.nodes[node.index()];
         state.transmitting = true;
         state.meter.record_tx(bits_on_air, airtime.as_micros());
@@ -576,21 +578,23 @@ impl<P: Protocol> Simulator<P> {
                     continue;
                 }
             }
-            let verdict = self
-                .medium
-                .judge(seq, receiver, draw, self.radio.frame_loss, &self.topology);
+            let verdict =
+                self.medium
+                    .judge(seq, receiver, draw, self.radio.frame_loss, &self.topology);
             let at = self.now;
             match verdict {
                 Verdict::Failed(failure) => {
                     match failure {
                         DeliveryFailure::HalfDuplex => self.stats.half_duplex_losses += 1,
                         DeliveryFailure::RfCollision => {
-                            self.nodes[receiver.index()].meter
+                            self.nodes[receiver.index()]
+                                .meter
                                 .record_rx(bits_on_air, tx_end_at.since(tx_start).as_micros());
                             self.stats.rf_collisions += 1;
                         }
                         DeliveryFailure::RandomLoss => {
-                            self.nodes[receiver.index()].meter
+                            self.nodes[receiver.index()]
+                                .meter
                                 .record_rx(bits_on_air, tx_end_at.since(tx_start).as_micros());
                             self.stats.random_losses += 1;
                         }
@@ -604,8 +608,9 @@ impl<P: Protocol> Simulator<P> {
                     });
                 }
                 Verdict::Delivered => {
-                    self.nodes[receiver.index()].meter
-                                .record_rx(bits_on_air, tx_end_at.since(tx_start).as_micros());
+                    self.nodes[receiver.index()]
+                        .meter
+                        .record_rx(bits_on_air, tx_end_at.since(tx_start).as_micros());
                     self.stats.deliveries += 1;
                     self.trace(TraceEvent::Delivered {
                         at,
@@ -701,11 +706,13 @@ mod tests {
     fn csma_serializes_mutually_audible_senders() {
         // Two senders in range of each other and of a receiver: carrier
         // sense + random backoff should avoid almost all collisions.
-        let mut sim = SimBuilder::new(3).mac(MacConfig::csma()).build(|id| Chatter {
-            to_send: if id != NodeId(2) { 20 } else { 0 },
-            heard: 0,
-            payload_bytes: 27,
-        });
+        let mut sim = SimBuilder::new(3)
+            .mac(MacConfig::csma())
+            .build(|id| Chatter {
+                to_send: if id != NodeId(2) { 20 } else { 0 },
+                heard: 0,
+                payload_bytes: 27,
+            });
         sim.add_node_at(Position::new(0.0, 0.0));
         sim.add_node_at(Position::new(10.0, 0.0));
         sim.add_node_at(Position::new(5.0, 5.0));
@@ -851,8 +858,11 @@ mod tests {
             "a 10% duty cycle cannot hear everything"
         );
         assert_eq!(
-            stats.deliveries + stats.sleep_misses + stats.rf_collisions
-                + stats.half_duplex_losses + stats.random_losses,
+            stats.deliveries
+                + stats.sleep_misses
+                + stats.rf_collisions
+                + stats.half_duplex_losses
+                + stats.random_losses,
             40,
             "every attempt lands in exactly one bucket: {stats}"
         );
@@ -933,16 +943,28 @@ mod tests {
         let mut sim = two_node_sim(32);
         sim.enable_trace(64);
         sim.schedule_set_alive(SimTime::from_millis(100), NodeId(1), false);
-        sim.schedule_move(SimTime::from_millis(200), NodeId(1), Position::new(99.0, 0.0));
+        sim.schedule_move(
+            SimTime::from_millis(200),
+            NodeId(1),
+            Position::new(99.0, 0.0),
+        );
         sim.run_until(SimTime::from_secs(1));
         let tracer = sim.tracer().expect("enabled above");
         assert!(tracer.events().any(|e| matches!(
             e,
-            TraceEvent::Liveness { node: NodeId(1), alive: false, .. }
+            TraceEvent::Liveness {
+                node: NodeId(1),
+                alive: false,
+                ..
+            }
         )));
-        assert!(tracer
-            .events()
-            .any(|e| matches!(e, TraceEvent::Moved { node: NodeId(1), .. })));
+        assert!(tracer.events().any(|e| matches!(
+            e,
+            TraceEvent::Moved {
+                node: NodeId(1),
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -191,7 +191,8 @@ impl Topology {
     /// Panics if `node` was never added.
     pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
         let ids = 0..self.sites.len() as u32;
-        ids.map(NodeId).filter(move |&other| self.in_range(node, other))
+        ids.map(NodeId)
+            .filter(move |&other| self.in_range(node, other))
     }
 
     /// All node ids, alive or dead.
@@ -285,8 +286,14 @@ mod tests {
 
     #[test]
     fn distance_is_euclidean() {
-        assert_eq!(Position::new(0.0, 0.0).distance_to(Position::new(3.0, 4.0)), 5.0);
-        assert_eq!(Position::new(1.0, 1.0).distance_to(Position::new(1.0, 1.0)), 0.0);
+        assert_eq!(
+            Position::new(0.0, 0.0).distance_to(Position::new(3.0, 4.0)),
+            5.0
+        );
+        assert_eq!(
+            Position::new(1.0, 1.0).distance_to(Position::new(1.0, 1.0)),
+            0.0
+        );
     }
 
     #[test]

@@ -23,7 +23,11 @@ impl Protocol for Chatter {
 }
 
 fn build_sim(seed: u64, nodes: usize, per_node: u32, loss: f64, csma: bool) -> Simulator<Chatter> {
-    let mac = if csma { MacConfig::csma() } else { MacConfig::aloha() };
+    let mac = if csma {
+        MacConfig::csma()
+    } else {
+        MacConfig::aloha()
+    };
     let mut sim = SimBuilder::new(seed)
         .radio(RadioConfig::radiometrix_rpc().with_frame_loss(loss))
         .mac(mac)

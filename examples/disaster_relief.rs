@@ -53,7 +53,8 @@ fn main() {
 
     // Random air-drop inside an 80 m disc around the collector.
     let mut drop_rng = rand::rngs::StdRng::seed_from_u64(42);
-    let drop = retri_netsim::topology::Topology::random_disc(FIELD_NODES, 80.0, 100.0, &mut drop_rng);
+    let drop =
+        retri_netsim::topology::Topology::random_disc(FIELD_NODES, 80.0, 100.0, &mut drop_rng);
     for id in drop.node_ids() {
         sim.add_node_at(drop.position(id));
     }

@@ -96,7 +96,10 @@ fn main() {
         );
     }
     let sent: u64 = sim.node_ids().map(|id| sim.protocol(id).records_sent).sum();
-    let heard: u64 = sim.node_ids().map(|id| sim.protocol(id).records_heard).sum();
+    let heard: u64 = sim
+        .node_ids()
+        .map(|id| sim.protocol(id).records_heard)
+        .sum();
     println!(
         "\n{} records broadcast; {} receptions across the mesh \
          ({:.1} receivers per record on average)",

@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let packet: Vec<u8> = (0u8..80).collect();
     let id = selector.select(&mut rng);
-    println!("\npacket of {} bytes gets ephemeral identifier {id}", packet.len());
+    println!(
+        "\npacket of {} bytes gets ephemeral identifier {id}",
+        packet.len()
+    );
 
     let fragments = fragmenter.fragment(&packet, id, None)?;
     println!(
@@ -56,6 +59,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     assert_eq!(delivered.as_deref(), Some(&packet[..]));
-    println!("reassembled {} bytes, checksum verified — no addresses anywhere", packet.len());
+    println!(
+        "reassembled {} bytes, checksum verified — no addresses anywhere",
+        packet.len()
+    );
     Ok(())
 }

@@ -1,0 +1,29 @@
+//! Sampling helpers (`sample::Index`).
+
+use rand::RngCore;
+
+use crate::strategy::{Arbitrary, TestRng};
+
+/// A length-agnostic index: drawn once, projected onto any non-empty
+/// slice later via [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Index(u64);
+
+impl Index {
+    /// Projects this sample onto `0..len`. Panics if `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        (self.0 % len as u64) as usize
+    }
+
+    /// Borrow-style projection into a slice.
+    pub fn get<'a, T>(&self, slice: &'a [T]) -> &'a T {
+        &slice[self.index(slice.len())]
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64())
+    }
+}

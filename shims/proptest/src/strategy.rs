@@ -1,0 +1,253 @@
+//! Value-generation strategies.
+
+use core::fmt::Debug;
+use core::marker::PhantomData;
+use core::ops::{Range, RangeInclusive};
+
+use rand::prelude::*;
+
+/// The RNG driving case generation.
+pub type TestRng = StdRng;
+
+/// Generates values of an associated type from an RNG.
+///
+/// Unlike the real proptest there is no shrinking: `generate` is the
+/// whole contract.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Flat-maps: builds a second strategy from each generated value.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Debug + Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`crate::any`].
+pub struct Any<T> {
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Any<T> {
+    pub(crate) fn new() -> Self {
+        Any {
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Probability weight (out of 8) of drawing an edge value instead of a
+/// uniform one — substitutes crudely for proptest's shrinking-driven
+/// edge-case discovery.
+fn edge_case(rng: &mut TestRng) -> bool {
+    rng.gen_range(0u32..8) == 0
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                if edge_case(rng) {
+                    *[0 as $t, 1 as $t, <$t>::MAX]
+                        .as_slice()
+                        .choose(rng)
+                        .expect("non-empty")
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                if edge_case(rng) {
+                    *[0 as $t, 1 as $t, -1 as $t, <$t>::MIN, <$t>::MAX]
+                        .as_slice()
+                        .choose(rng)
+                        .expect("non-empty")
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+arbitrary_int!(i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        if edge_case(rng) {
+            *[0.0, 1.0, -1.0, 0.5]
+                .as_slice()
+                .choose(rng)
+                .expect("non-empty")
+        } else {
+            // Uniform magnitude across a modest exponent range: enough
+            // spread to exercise numeric code without manufacturing
+            // infinities the real strategies rarely produce either.
+            let mantissa: f64 = rng.gen();
+            let exponent = rng.gen_range(-16i32..=16);
+            let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+            sign * mantissa * (2.0f64).powi(exponent)
+        }
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        char::from_u32(rng.gen_range(0u32..=0x10FFFF) & !0xD800).unwrap_or('\u{FFFD}')
+    }
+}
+
+macro_rules! strategy_int_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                if edge_case(rng) {
+                    *[self.start, self.end - 1].as_slice().choose(rng).expect("non-empty")
+                } else {
+                    rng.gen_range(self.clone())
+                }
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty strategy range");
+                if edge_case(rng) {
+                    *[*self.start(), *self.end()].as_slice().choose(rng).expect("non-empty")
+                } else {
+                    rng.gen_range(self.clone())
+                }
+            }
+        }
+    )*};
+}
+strategy_int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        if edge_case(rng) {
+            self.start
+        } else {
+            rng.gen_range(self.clone())
+        }
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start() <= self.end(), "empty strategy range");
+        if edge_case(rng) {
+            *[*self.start(), *self.end()]
+                .as_slice()
+                .choose(rng)
+                .expect("non-empty")
+        } else {
+            rng.gen_range(self.clone())
+        }
+    }
+}
+
+/// `Just`-style constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! strategy_tuple {
+    ($(($($n:tt $s:ident),+)),+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )+};
+}
+strategy_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H)
+);

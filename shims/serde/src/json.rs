@@ -1,0 +1,193 @@
+//! The JSON data model and writers shared by the serde/serde_json
+//! shims.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Object keys keep insertion order so serialized
+/// provenance files diff cleanly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A non-negative integer (serialized without a decimal point).
+    UInt(u64),
+    /// A signed integer.
+    Int(i64),
+    /// A float; non-finite values serialize as `null`, as serde_json
+    /// does.
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+/// Escapes a string per JSON.
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn float_into(out: &mut String, f: f64) {
+    if f.is_finite() {
+        // Rust's shortest round-trip formatting; force a `.0` so the
+        // value reads back as a float.
+        let s = format!("{f}");
+        out.push_str(&s);
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+impl Value {
+    /// Compact (single-line) JSON.
+    #[must_use]
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Value::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Value::Float(f) => float_into(out, *f),
+            Value::String(s) => escape_into(out, s),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Pretty JSON with two-space indentation (serde_json style).
+    #[must_use]
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Value::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Value::Object(fields) if !fields.is_empty() => {
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    escape_into(out, key);
+                    out.push_str(": ");
+                    value.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+            other => other.write_compact(out),
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_escapes_and_formats() {
+        let v = Value::Object(vec![
+            ("a\n".to_string(), Value::UInt(18446744073709551615)),
+            ("b".to_string(), Value::Float(0.5)),
+            ("c".to_string(), Value::Float(f64::NAN)),
+            (
+                "d".to_string(),
+                Value::Array(vec![Value::Null, Value::Bool(true)]),
+            ),
+            ("e".to_string(), Value::Float(3.0)),
+        ]);
+        assert_eq!(
+            v.to_compact_string(),
+            r#"{"a\n":18446744073709551615,"b":0.5,"c":null,"d":[null,true],"e":3.0}"#
+        );
+    }
+
+    #[test]
+    fn pretty_indents_two_spaces() {
+        let v = Value::Object(vec![("xs".to_string(), Value::Array(vec![Value::UInt(1)]))]);
+        assert_eq!(v.to_pretty_string(), "{\n  \"xs\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn empty_containers_stay_inline() {
+        let v = Value::Object(vec![
+            ("a".to_string(), Value::Array(vec![])),
+            ("o".to_string(), Value::Object(vec![])),
+        ]);
+        assert_eq!(v.to_pretty_string(), "{\n  \"a\": [],\n  \"o\": {}\n}");
+    }
+}

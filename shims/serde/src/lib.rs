@@ -1,0 +1,163 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides `Serialize`/`Deserialize` traits and same-named derive
+//! macros with a JSON-only data model ([`json::Value`]), so code
+//! written against the real serde's derive surface compiles and
+//! produces real JSON without crates-io access. `Deserialize` is a
+//! marker: nothing in this workspace parses JSON back (yet).
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+/// Types that can render themselves as a JSON value.
+pub trait Serialize {
+    /// Converts `self` into the JSON data model.
+    fn to_json_value(&self) -> json::Value;
+}
+
+/// Marker for types that could be deserialized (unused operationally;
+/// kept so `#[derive(serde::Deserialize)]` compiles).
+pub trait Deserialize {}
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> json::Value {
+                json::Value::UInt(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+serialize_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::UInt(*self as u64)
+    }
+}
+impl Deserialize for usize {}
+
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> json::Value {
+                json::Value::Int(i64::from(*self))
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+serialize_signed!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Int(*self as i64)
+    }
+}
+impl Deserialize for isize {}
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Float(*self)
+    }
+}
+impl Deserialize for f64 {}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Float(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::String(self.clone())
+    }
+}
+impl Deserialize for String {}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> json::Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => json::Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> json::Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> json::Value {
+        (**self).to_json_value()
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json_value(&self) -> json::Value {
+                json::Value::Array(vec![$(self.$n.to_json_value()),+])
+            }
+        }
+    )+};
+}
+serialize_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+);
+
+impl<K: ToString, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}

@@ -1,0 +1,293 @@
+//! Derive macros for the workspace's offline serde stand-in.
+//!
+//! Hand-rolled over `proc_macro` token trees (no syn/quote available
+//! offline). Supports the shapes this workspace actually uses: plain
+//! structs with named fields, tuple structs, unit structs, and enums
+//! whose variants are unit, tuple, or struct-like. Generic types are
+//! not supported and fail with a clear compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field list.
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skips one attribute if the iterator is positioned at `#`.
+fn skip_attributes(trees: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match trees.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                trees.next();
+                // The bracketed attribute body.
+                trees.next();
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skips a visibility modifier (`pub`, `pub(crate)`, ...).
+fn skip_visibility(trees: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(trees.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        trees.next();
+        if matches!(trees.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            trees.next();
+        }
+    }
+}
+
+/// Consumes tokens of one type (or discriminant) up to a top-level `,`,
+/// tracking `<...>` depth, which proc_macro does not group.
+fn skip_to_comma(trees: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle_depth = 0i32;
+    while let Some(tree) = trees.peek() {
+        match tree {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                trees.next();
+                return;
+            }
+            _ => {}
+        }
+        trees.next();
+    }
+}
+
+/// Parses `{ name: Type, ... }` field lists into field names.
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut trees = group.into_iter().peekable();
+    loop {
+        skip_attributes(&mut trees);
+        skip_visibility(&mut trees);
+        match trees.next() {
+            Some(TokenTree::Ident(name)) => {
+                names.push(name.to_string());
+                // Consume `:` then the type.
+                trees.next();
+                skip_to_comma(&mut trees);
+            }
+            None => break,
+            Some(other) => panic!("unexpected token in field list: {other}"),
+        }
+    }
+    names
+}
+
+/// Counts the fields of a `(Type, ...)` tuple list.
+fn parse_tuple_fields(group: TokenStream) -> usize {
+    let mut count = 0;
+    let mut trees = group.into_iter().peekable();
+    loop {
+        skip_attributes(&mut trees);
+        skip_visibility(&mut trees);
+        if trees.peek().is_none() {
+            break;
+        }
+        count += 1;
+        skip_to_comma(&mut trees);
+    }
+    count
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut trees = input.into_iter().peekable();
+    // Scan past attributes and visibility to the `struct` / `enum`
+    // keyword.
+    let kind = loop {
+        skip_attributes(&mut trees);
+        match trees.next() {
+            Some(TokenTree::Ident(i)) if i.to_string() == "struct" => break "struct",
+            Some(TokenTree::Ident(i)) if i.to_string() == "enum" => break "enum",
+            Some(_) => continue,
+            None => panic!("expected a struct or enum"),
+        }
+    };
+    let name = match trees.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    if matches!(&trees.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic type `{name}`");
+    }
+    if kind == "struct" {
+        let fields = match trees.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(parse_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+            other => panic!("unexpected struct body for `{name}`: {other:?}"),
+        };
+        return Item::Struct { name, fields };
+    }
+    let body = match trees.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("expected enum body for `{name}`, found {other:?}"),
+    };
+    let mut variants = Vec::new();
+    let mut inner = body.into_iter().peekable();
+    loop {
+        skip_attributes(&mut inner);
+        let Some(tree) = inner.next() else { break };
+        let TokenTree::Ident(vname) = tree else {
+            panic!("expected variant name in `{name}`, found {tree}");
+        };
+        let fields = match inner.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                inner.next();
+                Fields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                inner.next();
+                Fields::Tuple(parse_tuple_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional discriminant and the separating comma.
+        skip_to_comma(&mut inner);
+        variants.push(Variant {
+            name: vname.to_string(),
+            fields,
+        });
+    }
+    Item::Enum { name, variants }
+}
+
+/// Derives the shim's `serde::Serialize` (JSON value construction).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let mut pushes = String::new();
+                    for f in &names {
+                        pushes.push_str(&format!(
+                            "fields.push((\"{f}\".to_string(), \
+                             ::serde::Serialize::to_json_value(&self.{f})));\n"
+                        ));
+                    }
+                    format!(
+                        "let mut fields: Vec<(String, ::serde::json::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::json::Value::Object(fields)"
+                    )
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_json_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let mut pushes = String::new();
+                    for i in 0..n {
+                        pushes.push_str(&format!(
+                            "items.push(::serde::Serialize::to_json_value(&self.{i}));\n"
+                        ));
+                    }
+                    format!(
+                        "let mut items: Vec<::serde::json::Value> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::json::Value::Array(items)"
+                    )
+                }
+                Fields::Unit => "::serde::json::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_json_value(&self) -> ::serde::json::Value {{\n{body}\n}}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => \
+                         ::serde::json::Value::String(\"{vname}\".to_string()),\n"
+                    )),
+                    Fields::Named(fields) => {
+                        let bindings = fields.join(", ");
+                        let mut pushes = String::new();
+                        for f in fields {
+                            pushes.push_str(&format!(
+                                "fields.push((\"{f}\".to_string(), \
+                                 ::serde::Serialize::to_json_value({f})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {bindings} }} => {{\n\
+                               let mut fields: Vec<(String, ::serde::json::Value)> = Vec::new();\n\
+                               {pushes}\
+                               ::serde::json::Value::Object(vec![(\"{vname}\".to_string(), \
+                                 ::serde::json::Value::Object(fields))])\n\
+                             }}\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let bindings: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let pattern = bindings.join(", ");
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_json_value(f0)".to_string()
+                        } else {
+                            let items = bindings
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!("::serde::json::Value::Array(vec![{items}])")
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({pattern}) => \
+                             ::serde::json::Value::Object(vec![(\"{vname}\".to_string(), {inner})]),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_json_value(&self) -> ::serde::json::Value {{\n\
+                     match self {{\n{arms}}}\n}}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("derive emitted invalid Rust")
+}
+
+/// Derives the shim's `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = match &item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name.clone(),
+    };
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("derive emitted invalid Rust")
+}

@@ -1,0 +1,64 @@
+//! Offline stand-in for `serde_json`, covering the writer APIs this
+//! workspace uses. Values come from the serde shim's JSON data model.
+
+#![forbid(unsafe_code)]
+
+use std::io;
+
+pub use serde::json::Value;
+
+/// Serialization error (IO only: the data model is already JSON).
+#[derive(Debug)]
+pub struct Error(io::Error);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON write error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<io::Error> for Error {
+    fn from(err: io::Error) -> Self {
+        Error(err)
+    }
+}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().to_compact_string())
+}
+
+/// Serializes `value` as pretty (two-space indented) JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().to_pretty_string())
+}
+
+/// Writes `value` as compact JSON into `writer`.
+pub fn to_writer<W: io::Write, T: serde::Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    writer.write_all(to_string(value)?.as_bytes())?;
+    Ok(())
+}
+
+/// Writes `value` as pretty JSON into `writer`.
+pub fn to_writer_pretty<W: io::Write, T: serde::Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    writer.write_all(to_string_pretty(value)?.as_bytes())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn writer_round_trip() {
+        let mut buf = Vec::new();
+        super::to_writer_pretty(&mut buf, &vec![1u64, 2, 3]).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "[\n  1,\n  2,\n  3\n]");
+    }
+}

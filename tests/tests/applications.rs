@@ -12,7 +12,12 @@ use retri_netsim::topology::Topology;
 
 #[test]
 fn diffusion_delivers_across_many_hops() {
-    let sim = run_line(6, DiffusionConfig::default(), SimDuration::from_secs(60), 11);
+    let sim = run_line(
+        6,
+        DiffusionConfig::default(),
+        SimDuration::from_secs(60),
+        11,
+    );
     // Heights form the line 0..=6.
     for i in 0..=6u32 {
         assert_eq!(sim.protocol(NodeId(i)).height(), Some(i as u8));
@@ -68,13 +73,13 @@ fn compression_savings_match_arithmetic() {
     // The analytic codebook model predicts the same amortized cost:
     // full message = (3 + attrs) bytes, coded message = 3 bytes.
     let uses = definitions + coded;
-    let predicted = retri_model::codebook::expected_bits_per_message(
-        (3 + attrs_len as u32) * 8,
-        3 * 8,
-        uses,
-    );
+    let predicted =
+        retri_model::codebook::expected_bits_per_message((3 + attrs_len as u32) * 8, 3 * 8, uses);
     let measured = stats.bits_sent as f64 / uses as f64;
-    assert!((predicted - measured).abs() < 1e-9, "{predicted} vs {measured}");
+    assert!(
+        (predicted - measured).abs() < 1e-9,
+        "{predicted} vs {measured}"
+    );
 }
 
 #[test]
@@ -90,7 +95,11 @@ fn reinforcement_misdirection_scales_with_id_width() {
             .range(100.0)
             .build(move |id: NodeId| {
                 if id.index() < sensors {
-                    let value = if id.index().is_multiple_of(2) { 2000 } else { 10 };
+                    let value = if id.index().is_multiple_of(2) {
+                        2000
+                    } else {
+                        10
+                    };
                     ReinforcementNode::sensor(
                         space,
                         value,
@@ -116,11 +125,13 @@ fn reinforcement_misdirection_scales_with_id_width() {
         narrow > wide,
         "3-bit spaces must misdirect more than 12-bit: {narrow} vs {wide}"
     );
-    assert_eq!(wide, 0, "12-bit epoch codes among 8 sensors never collide here");
+    assert_eq!(
+        wide, 0,
+        "12-bit epoch codes among 8 sensors never collide here"
+    );
     // Sanity: the birthday analysis agrees with the direction.
     let t = Density::new(8).unwrap();
     assert!(
-        p_all_distinct(IdBits::new(3).unwrap(), t)
-            < p_all_distinct(IdBits::new(12).unwrap(), t)
+        p_all_distinct(IdBits::new(3).unwrap(), t) < p_all_distinct(IdBits::new(12).unwrap(), t)
     );
 }

@@ -64,7 +64,12 @@ fn measured_efficiency_ordering_matches_figure_1() {
 
 #[test]
 fn dynamic_allocation_converges_but_costs_bits() {
-    let sim = run_mesh(6, DynamicAddrConfig::default(), SimDuration::from_secs(30), 4);
+    let sim = run_mesh(
+        6,
+        DynamicAddrConfig::default(),
+        SimDuration::from_secs(30),
+        4,
+    );
     let mut addresses = Vec::new();
     let mut control_bits = 0u64;
     for id in sim.node_ids() {

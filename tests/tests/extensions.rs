@@ -43,7 +43,10 @@ fn duty_cycling_degrades_listening_toward_blind_bound() {
         testbed.workload.stop = SimTime::from_secs(25);
         testbed.run(0xD1).collision_loss_rate
     };
-    assert!(awake < sleepy, "sleep must hurt listening: {awake} vs {sleepy}");
+    assert!(
+        awake < sleepy,
+        "sleep must hurt listening: {awake} vs {sleepy}"
+    );
     assert!(
         sleepy <= blind + 0.1,
         "even deaf listeners are no worse than blind selection: {sleepy} vs {blind}"

@@ -18,7 +18,9 @@ fn run_scenario(
     let wire = WireConfig::aff(retri::IdentifierSpace::new(id_bits).unwrap());
     let radio = RadioConfig::radiometrix_rpc();
     let policy = if listening {
-        SelectorPolicy::Listening { window: 2 * (transmitters + 1) }
+        SelectorPolicy::Listening {
+            window: 2 * (transmitters + 1),
+        }
     } else {
         SelectorPolicy::Uniform
     };
