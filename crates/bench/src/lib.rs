@@ -12,6 +12,8 @@
 //!   single seed-derivation function ([`harness::trial_seed`]), and the
 //!   `--json` provenance document every binary emits.
 //! - [`table`] — plain-text table formatting shared by the binaries.
+//! - [`workloads`] — the fixed wall-clock workload set behind the
+//!   `bench_summary` binary and the `BENCH_netsim.json` trajectory.
 //!
 //! Every experiment takes an [`EffortLevel`] so the same code serves
 //! quick CI smoke runs, the standard reproduction, and the paper's full
@@ -24,6 +26,7 @@ pub mod ablations;
 pub mod figures;
 pub mod harness;
 pub mod table;
+pub mod workloads;
 
 /// How much simulation to spend per experiment point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,0 +1,283 @@
+//! Fixed wall-clock workloads for the recorded benchmark trajectory.
+//!
+//! Each workload is a deterministic batch of trials fanned out through
+//! [`crate::harness::run_trials`], so the serial / parallel dimension
+//! of `BENCH_netsim.json` is exactly the `RETRI_BENCH_WORKERS`
+//! dimension every experiment binary has. The batch is repeated a few
+//! times and the **median** batch wall-clock is recorded — medians are
+//! robust to the occasional scheduler hiccup that poisons a mean.
+//!
+//! The set deliberately spans the three hot layers the simulator
+//! stack exercises:
+//!
+//! - `sim_dense_mesh_32` / `sim_hidden_triple` / `sim_sparse_grid_400`
+//!   — the netsim hot path under ALOHA medium saturation (every
+//!   delivery judged against a full medium), CSMA hidden-terminal
+//!   contention, and large sparse topologies;
+//! - `selector_churn` — identifier selection (the RETRI core);
+//! - `wire_roundtrip` — AFF fragmentation, bit-packing, and
+//!   reassembly.
+//!
+//! Regenerate the trajectory file with
+//! `cargo run -p retri-bench --release --bin bench_summary` (see the
+//! Performance section of EXPERIMENTS.md for the schema).
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use retri::select::{AdaptiveListeningSelector, IdSelector, ListeningSelector};
+use retri::IdentifierSpace;
+use retri_aff::reassembly::Reassembler;
+use retri_aff::wire::WireConfig;
+use retri_aff::Fragmenter;
+use retri_netsim::prelude::*;
+use retri_netsim::topology::Topology;
+
+use crate::harness::run_trials;
+
+/// One named workload: a deterministic trial body plus its batch shape.
+pub struct Workload {
+    /// Stable name, used as the seed-derivation experiment id and as
+    /// the key in `BENCH_netsim.json`.
+    pub name: &'static str,
+    /// One-line description recorded next to the numbers.
+    pub description: &'static str,
+    /// Trials per batch (the unit the parallel harness schedules).
+    pub trials: u64,
+    run: fn(seed: u64, quick: bool),
+}
+
+/// A workload's measured batch wall-clock under one worker setting.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Every repetition's batch wall-clock, nanoseconds, in run order.
+    pub samples_ns: Vec<u64>,
+    /// Median of `samples_ns`.
+    pub median_ns: u64,
+}
+
+/// The fixed workload set, in recording order.
+#[must_use]
+pub fn all() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "sim_dense_mesh_32",
+            description: "32-node full mesh, every node saturating an ALOHA channel",
+            trials: 8,
+            run: sim_dense_mesh,
+        },
+        Workload {
+            name: "sim_hidden_triple",
+            description: "hidden-terminal triple with both senders saturating",
+            trials: 8,
+            run: sim_hidden_triple,
+        },
+        Workload {
+            name: "sim_sparse_grid_400",
+            description: "20x20 grid, nearest-neighbor range, sparse periodic traffic",
+            trials: 4,
+            run: sim_sparse_grid,
+        },
+        Workload {
+            name: "selector_churn",
+            description: "listening + adaptive identifier selection with live windows",
+            trials: 8,
+            run: selector_churn,
+        },
+        Workload {
+            name: "wire_roundtrip",
+            description: "AFF fragment -> wire encode -> reassemble round trips",
+            trials: 8,
+            run: wire_roundtrip,
+        },
+    ]
+}
+
+/// Runs one workload's batch `reps` times under the current
+/// `RETRI_BENCH_WORKERS` setting and returns the per-rep wall-clocks
+/// with their median.
+#[must_use]
+pub fn measure(workload: &Workload, quick: bool, reps: usize) -> Measurement {
+    assert!(reps >= 1, "at least one repetition required");
+    let mut samples_ns: Vec<u64> = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let started = Instant::now();
+        let cells = [()];
+        let runs = run_trials(workload.name, workload.trials, &cells, |(), trial| {
+            (workload.run)(trial.seed, quick);
+        });
+        let elapsed = started.elapsed().as_nanos() as u64;
+        assert_eq!(runs[0].values.len(), workload.trials as usize);
+        samples_ns.push(elapsed);
+    }
+    let mut sorted = samples_ns.clone();
+    sorted.sort_unstable();
+    Measurement {
+        median_ns: sorted[sorted.len() / 2],
+        samples_ns,
+    }
+}
+
+/// Keeps a node's MAC queue topped up so the channel stays saturated —
+/// the paper's "transmit a continuous stream of packets" workload.
+struct Saturator {
+    payload_bytes: usize,
+}
+
+impl Saturator {
+    fn top_up(&self, ctx: &mut Context<'_>) {
+        while ctx.pending_frames() < 4 {
+            ctx.send(FramePayload::from_bytes(vec![0xA5; self.payload_bytes]).expect("non-empty"))
+                .expect("payload fits the radio frame");
+        }
+    }
+}
+
+impl Protocol for Saturator {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.top_up(ctx);
+        ctx.set_timer(SimDuration::from_millis(20), 0);
+    }
+    fn on_frame(&mut self, _ctx: &mut Context<'_>, _frame: &Frame) {}
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _timer: Timer) {
+        self.top_up(ctx);
+        ctx.set_timer(SimDuration::from_millis(20), 0);
+    }
+}
+
+fn sim_dense_mesh(seed: u64, quick: bool) {
+    // ALOHA, not CSMA: with carrier sense the mesh serializes onto one
+    // transmission at a time and the benchmark measures the event heap.
+    // Without it, all 32 radios keep overlapping transmissions on the
+    // air, so every delivery judgment works against a full medium —
+    // the hot path this workload exists to watch.
+    let sim_secs = if quick { 10 } else { 60 };
+    let mut sim = SimBuilder::new(seed)
+        .mac(MacConfig::aloha())
+        .range(100.0)
+        .build(|_| Saturator { payload_bytes: 27 });
+    let topo = Topology::full_mesh(32, 100.0);
+    for id in topo.node_ids() {
+        sim.add_node_at(topo.position(id));
+    }
+    sim.run_until(SimTime::from_secs(sim_secs));
+    assert!(sim.stats().frames_sent > 0);
+    std::hint::black_box(sim.stats());
+}
+
+fn sim_hidden_triple(seed: u64, quick: bool) {
+    let sim_secs = if quick { 60 } else { 240 };
+    let mut sim = SimBuilder::new(seed)
+        .mac(MacConfig::csma())
+        .range(100.0)
+        .build(|id| Saturator {
+            // The middle node (id 1) only listens.
+            payload_bytes: if id == NodeId(1) { 1 } else { 27 },
+        });
+    let (topo, (a, r, b)) = Topology::hidden_terminal(100.0);
+    for id in topo.node_ids() {
+        sim.add_node_at(topo.position(id));
+    }
+    let _ = (a, r, b);
+    sim.run_until(SimTime::from_secs(sim_secs));
+    std::hint::black_box(sim.stats());
+}
+
+/// Staggered periodic senders on a big, mostly disconnected grid.
+struct SparseSender;
+
+impl Protocol for SparseSender {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        let delay = SimDuration::from_millis(10 * u64::from(ctx.node_id().0));
+        ctx.set_timer(delay, 0);
+    }
+    fn on_frame(&mut self, _ctx: &mut Context<'_>, _frame: &Frame) {}
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _timer: Timer) {
+        let _ = ctx.send(FramePayload::from_bytes(vec![1; 8]).expect("non-empty"));
+        ctx.set_timer(SimDuration::from_secs(2), 0);
+    }
+}
+
+fn sim_sparse_grid(seed: u64, quick: bool) {
+    let sim_secs = if quick { 20 } else { 60 };
+    let mut sim = SimBuilder::new(seed).range(60.0).build(|_| SparseSender);
+    let topo = Topology::grid(20, 20, 50.0, 60.0);
+    for id in topo.node_ids() {
+        sim.add_node_at(topo.position(id));
+    }
+    sim.run_until(SimTime::from_secs(sim_secs));
+    std::hint::black_box(sim.stats());
+}
+
+fn selector_churn(seed: u64, quick: bool) {
+    let selections: u64 = if quick { 50_000 } else { 200_000 };
+    let space = IdentifierSpace::new(9).expect("valid width");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut listening = ListeningSelector::new(space, 16);
+    let mut adaptive = AdaptiveListeningSelector::new(space, 64);
+    for tick in 0..selections {
+        let id = listening.select(&mut rng);
+        listening.observe(id);
+        let other = adaptive.select_at(&mut rng, tick);
+        adaptive.observe_at(other, tick);
+        std::hint::black_box((id, other));
+    }
+}
+
+fn wire_roundtrip(seed: u64, quick: bool) {
+    let round_trips: u64 = if quick { 10_000 } else { 40_000 };
+    let space = IdentifierSpace::new(8).expect("valid width");
+    let wire = WireConfig::aff(space);
+    let fragmenter = Fragmenter::new(wire.clone(), 27).expect("fits");
+    let packet: Vec<u8> = (0..80u8).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..round_trips {
+        let key = space.sample(&mut rng);
+        let payloads = fragmenter.fragment(&packet, key, None).expect("fragments");
+        let mut reassembler = Reassembler::new(wire.clone(), u64::MAX / 2);
+        let mut out = None;
+        for payload in &payloads {
+            if let Some(p) = reassembler.accept_payload(payload, 0).expect("parses") {
+                out = Some(p);
+            }
+        }
+        assert!(out.is_some(), "round trip must deliver the packet");
+        std::hint::black_box(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_names_are_unique_and_described() {
+        let set = all();
+        let mut names: Vec<&str> = set.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), set.len(), "duplicate workload name");
+        for w in &set {
+            assert!(!w.description.is_empty());
+            assert!(w.trials >= 1);
+        }
+    }
+
+    #[test]
+    fn measure_reports_median_of_samples() {
+        let tiny = Workload {
+            name: "bench_selftest",
+            description: "tiny workload for harness tests",
+            trials: 2,
+            run: |seed, _quick| {
+                std::hint::black_box(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            },
+        };
+        let m = measure(&tiny, true, 3);
+        assert_eq!(m.samples_ns.len(), 3);
+        let mut sorted = m.samples_ns.clone();
+        sorted.sort_unstable();
+        assert_eq!(m.median_ns, sorted[1]);
+    }
+}

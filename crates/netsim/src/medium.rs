@@ -15,6 +15,31 @@
 //! Evaluating at transmission end is sound because any overlapping
 //! transmission has, by definition, already *started* by then, so the
 //! medium has its record.
+//!
+//! # Indexing and bounded scans
+//!
+//! Sequence numbers are dense, so records live in a [`VecDeque`] offset
+//! by `base_seq`: [`Medium::record`] and [`Medium::end_tx`] are O(1)
+//! and pruning pops only from the front (records are pushed in start
+//! order, so everything older than the horizon is contiguous at the
+//! front). Every query walks records **newest-first** and stops early:
+//!
+//! - [`Medium::busy_for`] visits only *active* (not yet ended)
+//!   transmissions, counted per the `active` total — an interval
+//!   containing `now` cannot have ended, because its `TxEnd` event
+//!   would already have been dispatched.
+//! - The collision scans ([`Medium::transmitting_during`],
+//!   [`Medium::interference_at`]) stop once `record.start` is more than
+//!   one maximum-observed airtime before the queried interval: starts
+//!   are non-decreasing toward the front and no retained record lasts
+//!   longer than `max_airtime`, so nothing earlier can overlap.
+//!
+//! Together with the per-node counts (`transmitting_during` exits
+//! immediately when the sender has no retained records at all), each
+//! judgment touches only the transmissions that can actually matter —
+//! O(concurrent transmissions), not O(retained records).
+
+use std::collections::VecDeque;
 
 use crate::frame::Frame;
 use crate::node::NodeId;
@@ -32,11 +57,14 @@ pub(crate) struct TxRecord {
     pub start: SimTime,
     /// One past the last instant of the transmission.
     pub end: SimTime,
-    /// What is being transmitted.
-    pub frame: Frame,
+    /// What is being transmitted. Taken (not cloned) by
+    /// [`Medium::end_tx`] when the transmission leaves the air.
+    frame: Option<Frame>,
     /// Bits on the air (payload + preamble), for receiver energy
     /// accounting.
     pub bits_on_air: u64,
+    /// Whether the engine has dispatched this transmission's `TxEnd`.
+    ended: bool,
 }
 
 impl TxRecord {
@@ -65,8 +93,22 @@ pub(crate) enum Verdict {
 
 #[derive(Debug, Default)]
 pub(crate) struct Medium {
-    records: Vec<TxRecord>,
+    /// Retained records in seq (= start-time) order; `records[i]` has
+    /// sequence number `base_seq + i`.
+    records: VecDeque<TxRecord>,
+    /// Sequence number of `records[0]`.
+    base_seq: u64,
     next_seq: u64,
+    /// Transmissions on the air (begun, `TxEnd` not yet dispatched).
+    active_total: u32,
+    /// Per-node count of active transmissions, indexed by node.
+    active_by_node: Vec<u32>,
+    /// Per-node count of *retained* records (active or recent).
+    retained_by_node: Vec<u32>,
+    /// Longest airtime ever begun, in microseconds. Monotone, so every
+    /// retained record's duration is bounded by it — the early-exit
+    /// bound for the overlap scans.
+    max_airtime_micros: u64,
 }
 
 impl Medium {
@@ -86,26 +128,86 @@ impl Medium {
     ) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.records.push(TxRecord {
+        debug_assert!(
+            self.records.back().is_none_or(|last| last.start <= start),
+            "transmissions must begin in time order"
+        );
+        let index = sender.index();
+        if index >= self.active_by_node.len() {
+            self.active_by_node.resize(index + 1, 0);
+            self.retained_by_node.resize(index + 1, 0);
+        }
+        self.active_by_node[index] += 1;
+        self.retained_by_node[index] += 1;
+        self.active_total += 1;
+        self.max_airtime_micros = self.max_airtime_micros.max(end.since(start).as_micros());
+        self.records.push_back(TxRecord {
             seq,
             sender,
             start,
             end,
-            frame,
+            frame: Some(frame),
             bits_on_air,
+            ended: false,
         });
         seq
     }
 
+    /// Marks transmission `seq` off the air (its `TxEnd` is being
+    /// dispatched) and takes its frame out of the record — O(1), no
+    /// clone. Returns the frame with the record's bits-on-air, start,
+    /// and end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is unknown, already pruned, or already ended.
+    pub fn end_tx(&mut self, seq: u64) -> (Frame, u64, SimTime, SimTime) {
+        let index = usize::try_from(seq - self.base_seq).expect("record index fits usize");
+        let record = self
+            .records
+            .get_mut(index)
+            .expect("ending unknown transmission");
+        assert!(!record.ended, "transmission {seq} ended twice");
+        record.ended = true;
+        self.active_total -= 1;
+        self.active_by_node[record.sender.index()] -= 1;
+        let frame = record.frame.take().expect("frame taken exactly once");
+        (frame, record.bits_on_air, record.start, record.end)
+    }
+
     /// Whether `listener` hears any ongoing foreign transmission at
     /// `now` (CSMA carrier sense).
+    ///
+    /// Scans only active transmissions: a record satisfying
+    /// `start <= now < end` cannot have ended (its `TxEnd` fires at
+    /// `end > now`), so the newest-first walk stops after `active_total`
+    /// un-ended records.
     pub fn busy_for(&self, listener: NodeId, now: SimTime, topology: &Topology) -> bool {
-        self.records.iter().any(|record| {
-            record.sender != listener
+        let mut remaining = self.active_total;
+        for record in self.records.iter().rev() {
+            if remaining == 0 {
+                break;
+            }
+            if record.ended {
+                continue;
+            }
+            if record.sender != listener
                 && record.start <= now
                 && record.end > now
                 && topology.in_range(record.sender, listener)
-        })
+            {
+                return true;
+            }
+            remaining -= 1;
+        }
+        false
+    }
+
+    /// Whether the newest-first scan can stop at `record`: its start is
+    /// more than one maximum airtime before the queried interval, so
+    /// neither it nor anything earlier can reach into `[start, …)`.
+    fn before_overlap_window(&self, record: &TxRecord, start: SimTime) -> bool {
+        record.start.as_micros() < start.as_micros().saturating_sub(self.max_airtime_micros)
     }
 
     /// Whether `node`'s own radio is transmitting during `[start, end)`.
@@ -116,9 +218,23 @@ impl Medium {
         end: SimTime,
         exclude_seq: u64,
     ) -> bool {
-        self.records.iter().any(|record| {
-            record.seq != exclude_seq && record.sender == node && record.overlaps(start, end)
-        })
+        let Some(&retained) = self.retained_by_node.get(node.index()) else {
+            return false;
+        };
+        let mut remaining = retained;
+        for record in self.records.iter().rev() {
+            if remaining == 0 || self.before_overlap_window(record, start) {
+                break;
+            }
+            if record.sender != node {
+                continue;
+            }
+            if record.seq != exclude_seq && record.overlaps(start, end) {
+                return true;
+            }
+            remaining -= 1;
+        }
+        false
     }
 
     /// Whether any foreign transmission audible at `receiver` overlaps
@@ -131,17 +247,26 @@ impl Medium {
         exclude_seq: u64,
         topology: &Topology,
     ) -> bool {
-        self.records.iter().any(|record| {
-            record.seq != exclude_seq
+        for record in self.records.iter().rev() {
+            if self.before_overlap_window(record, start) {
+                break;
+            }
+            if record.seq != exclude_seq
                 && record.sender != receiver
                 && record.overlaps(start, end)
                 && topology.in_range(record.sender, receiver)
-        })
+            {
+                return true;
+            }
+        }
+        false
     }
 
-    /// Looks up a record by sequence number.
+    /// Looks up a record by sequence number — O(1) via the `base_seq`
+    /// offset. `None` if the record was pruned or never existed.
     pub fn record(&self, seq: u64) -> Option<&TxRecord> {
-        self.records.iter().find(|r| r.seq == seq)
+        let index = usize::try_from(seq.checked_sub(self.base_seq)?).ok()?;
+        self.records.get(index)
     }
 
     /// Decides delivery of transmission `seq` to `receiver`.
@@ -172,8 +297,28 @@ impl Medium {
     /// Drops records that can no longer overlap any future judgment: a
     /// judgment at time `now` only looks back one frame airtime, so
     /// anything ended before `horizon` is garbage.
+    ///
+    /// Pops from the front only. Starts are non-decreasing, but a long
+    /// transmission can outlast a later short one, so a still-needed
+    /// front record may retain a few stale ones behind it — harmless,
+    /// since every query is bounded by the overlap window, not the
+    /// retained count.
     pub fn prune(&mut self, horizon: SimTime) {
-        self.records.retain(|record| record.end >= horizon);
+        while let Some(front) = self.records.front() {
+            if front.end >= horizon {
+                break;
+            }
+            let record = self.records.pop_front().expect("front exists");
+            self.base_seq += 1;
+            let index = record.sender.index();
+            self.retained_by_node[index] -= 1;
+            if !record.ended {
+                // Only reachable when pruning past live transmissions
+                // (never from the engine, whose horizon trails `now`).
+                self.active_total -= 1;
+                self.active_by_node[index] -= 1;
+            }
+        }
     }
 
     /// Number of retained records (for tests and diagnostics).
@@ -319,5 +464,59 @@ mod tests {
         medium.begin_tx(b, t(500), t(600), frame(2), 8);
         medium.prune(t(300));
         assert_eq!(medium.record_count(), 1);
+    }
+
+    #[test]
+    fn record_lookup_survives_pruning() {
+        let (_, a, _, b) = hidden_topology();
+        let mut medium = Medium::new();
+        let sa = medium.begin_tx(a, t(0), t(100), frame(0), 8);
+        let sb = medium.begin_tx(b, t(500), t(600), frame(2), 8);
+        medium.prune(t(300));
+        assert!(medium.record(sa).is_none(), "pruned record must be gone");
+        let kept = medium.record(sb).expect("recent record retained");
+        assert_eq!(kept.seq, sb);
+        assert_eq!(kept.sender, b);
+    }
+
+    #[test]
+    fn end_tx_takes_the_frame_and_clears_carrier_sense() {
+        let (topo, a, r, _) = hidden_topology();
+        let mut medium = Medium::new();
+        let payload = frame(0);
+        let seq = medium.begin_tx(a, t(0), t(100), payload.clone(), 8);
+        assert!(medium.busy_for(r, t(50), &topo));
+        let (taken, bits, start, end) = medium.end_tx(seq);
+        assert_eq!(taken.src, payload.src);
+        assert_eq!((bits, start, end), (8, t(0), t(100)));
+        // Ended records are invisible to carrier sense even before any
+        // pruning, whatever the probe time.
+        assert!(!medium.busy_for(r, t(50), &topo));
+        // ...but still judgeable: a later overlapping frame must still
+        // see the collision.
+        let other = medium.begin_tx(r, t(90), t(190), frame(1), 8);
+        assert_eq!(
+            medium.judge(other, a, 0.9, 0.0, &topo),
+            Verdict::Failed(DeliveryFailure::HalfDuplex)
+        );
+    }
+
+    #[test]
+    fn long_transmission_still_found_behind_later_short_ones() {
+        // A long frame keeps interfering while several later short
+        // frames come and go — the early-exit bound must not skip it.
+        let (topo, a, r, b) = hidden_topology();
+        let mut medium = Medium::new();
+        let long = medium.begin_tx(a, t(0), t(1000), frame(0), 64);
+        for i in 0..5u64 {
+            let s = medium.begin_tx(b, t(100 + i * 10), t(105 + i * 10), frame(2), 4);
+            let _ = medium.end_tx(s);
+        }
+        let late = medium.begin_tx(b, t(900), t(950), frame(2), 4);
+        assert_eq!(
+            medium.judge(late, r, 0.9, 0.0, &topo),
+            Verdict::Failed(DeliveryFailure::RfCollision)
+        );
+        let _ = long;
     }
 }

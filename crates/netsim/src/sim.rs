@@ -191,6 +191,7 @@ impl SimBuilder {
             cancelled: HashSet::new(),
             stats: MediumStats::default(),
             commands: Vec::new(),
+            receiver_scratch: Vec::new(),
             tracer: None,
         }
     }
@@ -212,6 +213,9 @@ pub struct Simulator<P> {
     cancelled: HashSet<TimerHandle>,
     stats: MediumStats,
     commands: Vec<Command>,
+    /// Reused per-transmission receiver list; kept empty between
+    /// `tx_end` calls so the steady state allocates nothing.
+    receiver_scratch: Vec<NodeId>,
     tracer: Option<Tracer>,
 }
 
@@ -381,9 +385,12 @@ impl<P: Protocol> Simulator<P> {
         self.tracer.as_ref()
     }
 
-    fn trace(&mut self, event: TraceEvent) {
+    /// Records a trace event only when tracing is enabled. The closure
+    /// defers event construction, so untraced runs never build a
+    /// [`TraceEvent`] at all.
+    fn trace_with(&mut self, event: impl FnOnce() -> TraceEvent) {
         if let Some(tracer) = &mut self.tracer {
-            tracer.record(event);
+            tracer.record(event());
         }
     }
 
@@ -435,7 +442,10 @@ impl<P: Protocol> Simulator<P> {
                 }
             }
             EventKind::Timer { node, timer } => {
-                if !self.cancelled.remove(&timer.handle) && self.topology.is_alive(node) {
+                // The is_empty guard skips the hash lookup when no
+                // cancellation is pending — the common case.
+                let cancelled = !self.cancelled.is_empty() && self.cancelled.remove(&timer.handle);
+                if !cancelled && self.topology.is_alive(node) {
                     self.with_ctx(node, |protocol, ctx| protocol.on_timer(ctx, timer));
                 }
             }
@@ -444,12 +454,12 @@ impl<P: Protocol> Simulator<P> {
             EventKind::Move { node, to } => {
                 self.topology.set_position(node, to);
                 let at = self.now;
-                self.trace(TraceEvent::Moved { at, node, to });
+                self.trace_with(|| TraceEvent::Moved { at, node, to });
             }
             EventKind::SetAlive { node, alive } => {
                 self.topology.set_alive(node, alive);
                 let at = self.now;
-                self.trace(TraceEvent::Liveness { at, node, alive });
+                self.trace_with(|| TraceEvent::Liveness { at, node, alive });
                 if !alive {
                     let state = &mut self.nodes[node.index()];
                     state.queue.clear();
@@ -483,8 +493,8 @@ impl<P: Protocol> Simulator<P> {
         // Callbacks may enqueue more commands while earlier ones are
         // applied (not currently possible, but drain defensively).
         while !self.commands.is_empty() {
-            let batch: Vec<Command> = self.commands.drain(..).collect();
-            for command in batch {
+            let mut batch = std::mem::take(&mut self.commands);
+            for command in batch.drain(..) {
                 match command {
                     Command::Send { node, payload } => {
                         self.nodes[node.index()].queue.push_back(payload);
@@ -498,6 +508,11 @@ impl<P: Protocol> Simulator<P> {
                         self.cancelled.insert(handle);
                     }
                 }
+            }
+            // Reuse the batch's capacity for future events: the steady
+            // state enqueues and drains commands with no allocation.
+            if self.commands.is_empty() {
+                self.commands = batch;
             }
         }
     }
@@ -534,7 +549,7 @@ impl<P: Protocol> Simulator<P> {
         state.meter.record_tx(bits_on_air, airtime.as_micros());
         self.stats.frames_sent += 1;
         let at = self.now;
-        self.trace(TraceEvent::TxStart {
+        self.trace_with(|| TraceEvent::TxStart {
             at,
             node,
             seq,
@@ -545,22 +560,14 @@ impl<P: Protocol> Simulator<P> {
 
     fn tx_end(&mut self, seq: u64, node: NodeId) {
         self.nodes[node.index()].transmitting = false;
-        let (frame, bits_on_air, tx_start, tx_end_at) = {
-            let record = self.medium.record(seq).expect("transmission just ended");
-            (
-                record.frame.clone(),
-                record.bits_on_air,
-                record.start,
-                record.end,
-            )
-        };
-        // Receivers in deterministic id order.
-        let receivers: Vec<NodeId> = self
-            .topology
-            .node_ids()
-            .filter(|&r| self.topology.in_range(node, r))
-            .collect();
-        for receiver in receivers {
+        // O(1) record lookup; takes the frame out of the record instead
+        // of cloning it.
+        let (frame, bits_on_air, tx_start, tx_end_at) = self.medium.end_tx(seq);
+        // Receivers in deterministic id order, straight off the
+        // adjacency cache into a reused scratch buffer.
+        let mut receivers = std::mem::take(&mut self.receiver_scratch);
+        receivers.extend(self.topology.neighbors(node));
+        for &receiver in &receivers {
             // Draw before any filtering so the RNG stream is identical
             // across duty-cycle configurations.
             let draw: f64 = self.rng.gen_range(0.0..1.0);
@@ -568,7 +575,7 @@ impl<P: Protocol> Simulator<P> {
                 if !duty.awake_during(tx_start, tx_end_at) {
                     self.stats.sleep_misses += 1;
                     let at = self.now;
-                    self.trace(TraceEvent::Lost {
+                    self.trace_with(|| TraceEvent::Lost {
                         at,
                         from: node,
                         to: receiver,
@@ -599,7 +606,7 @@ impl<P: Protocol> Simulator<P> {
                             self.stats.random_losses += 1;
                         }
                     }
-                    self.trace(TraceEvent::Lost {
+                    self.trace_with(|| TraceEvent::Lost {
                         at,
                         from: node,
                         to: receiver,
@@ -612,7 +619,7 @@ impl<P: Protocol> Simulator<P> {
                         .meter
                         .record_rx(bits_on_air, tx_end_at.since(tx_start).as_micros());
                     self.stats.deliveries += 1;
-                    self.trace(TraceEvent::Delivered {
+                    self.trace_with(|| TraceEvent::Delivered {
                         at,
                         from: node,
                         to: receiver,
@@ -622,6 +629,8 @@ impl<P: Protocol> Simulator<P> {
                 }
             }
         }
+        receivers.clear();
+        self.receiver_scratch = receivers;
         // Next frame, after the inter-frame space.
         let at = self.now + self.mac.ifs;
         self.schedule(at, EventKind::MacTry(node));

@@ -5,6 +5,23 @@
 //! simple — the paper's arguments depend on *limited range* (locality,
 //! spatial reuse, hidden terminals), not on fading detail — and it keeps
 //! experiments exactly reproducible.
+//!
+//! # The adjacency cache
+//!
+//! Connectivity queries are the simulator's innermost loop (carrier
+//! sense and collision judgment call [`Topology::in_range`] for every
+//! candidate transmission), so the topology maintains a per-node
+//! adjacency cache: each site stores its live in-range neighbors as an
+//! id-sorted `Vec<NodeId>`. Queries never touch coordinates —
+//! [`Topology::in_range`] is a binary search and
+//! [`Topology::neighbors`] walks the cached list. Only the *dynamics*
+//! pay for geometry: [`Topology::add`], [`Topology::set_position`], and
+//! [`Topology::set_alive`] rebuild the affected node's links in
+//! O(n), which is exactly when the unit-disk graph actually changes.
+//!
+//! Distance tests compare squared distances (`d² ≤ range²`), avoiding
+//! the square root on the hot path. The boundary case `d == range` is
+//! still in range, matching [`Position::distance_to`]` <= range`.
 
 use core::fmt;
 
@@ -40,7 +57,14 @@ impl Position {
     /// Euclidean distance to another position, meters.
     #[must_use]
     pub fn distance_to(self, other: Position) -> f64 {
-        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+        self.distance_sq_to(other).sqrt()
+    }
+
+    /// Squared Euclidean distance, meters² — the radius comparison the
+    /// adjacency cache uses, with no square root.
+    #[must_use]
+    pub fn distance_sq_to(self, other: Position) -> f64 {
+        (self.x - other.x).powi(2) + (self.y - other.y).powi(2)
     }
 }
 
@@ -54,6 +78,10 @@ impl fmt::Display for Position {
 struct NodeSite {
     position: Position,
     alive: bool,
+    /// Live in-range neighbors, sorted by id. Empty while the node is
+    /// dead. The invariant is symmetric: `b ∈ neighbors(a)` iff
+    /// `a ∈ neighbors(b)`.
+    neighbors: Vec<NodeId>,
 }
 
 /// Positions and liveness of every node, plus the shared radio range.
@@ -81,6 +109,7 @@ struct NodeSite {
 #[derive(Debug, Clone)]
 pub struct Topology {
     range: f64,
+    range_sq: f64,
     sites: Vec<NodeSite>,
 }
 
@@ -98,6 +127,7 @@ impl Topology {
         );
         Topology {
             range,
+            range_sq: range * range,
             sites: Vec::new(),
         }
     }
@@ -123,9 +153,24 @@ impl Topology {
     /// Adds a node at `position`, returning its id.
     pub fn add(&mut self, position: Position) -> NodeId {
         let id = NodeId(self.sites.len() as u32);
+        let neighbors: Vec<NodeId> = self
+            .sites
+            .iter()
+            .enumerate()
+            .filter(|(_, site)| {
+                site.alive && site.position.distance_sq_to(position) <= self.range_sq
+            })
+            .map(|(i, _)| NodeId(i as u32))
+            .collect();
+        // `id` is larger than every existing id, so pushing keeps each
+        // neighbor list sorted.
+        for &neighbor in &neighbors {
+            self.sites[neighbor.0 as usize].neighbors.push(id);
+        }
         self.sites.push(NodeSite {
             position,
             alive: true,
+            neighbors,
         });
         id
     }
@@ -147,6 +192,7 @@ impl Topology {
     /// Panics if `node` was never added.
     pub fn set_position(&mut self, node: NodeId, position: Position) {
         self.site_mut(node).position = position;
+        self.relink(node);
     }
 
     /// Whether a node is alive (participating in the network).
@@ -165,11 +211,17 @@ impl Topology {
     ///
     /// Panics if `node` was never added.
     pub fn set_alive(&mut self, node: NodeId, alive: bool) {
+        if self.site(node).alive == alive {
+            return;
+        }
         self.site_mut(node).alive = alive;
+        self.relink(node);
     }
 
     /// Whether `a` and `b` are distinct, both alive, and within range of
     /// each other.
+    ///
+    /// O(log degree): a binary search in `a`'s cached neighbor list.
     ///
     /// # Panics
     ///
@@ -180,19 +232,29 @@ impl Topology {
             return false;
         }
         let sa = self.site(a);
-        let sb = self.site(b);
-        sa.alive && sb.alive && sa.position.distance_to(sb.position) <= self.range
+        let _ = self.site(b);
+        sa.neighbors.binary_search(&b).is_ok()
     }
 
-    /// The live neighbors of `node`.
+    /// The live neighbors of `node`, in ascending id order.
+    ///
+    /// O(degree): walks the cached list; no geometry.
     ///
     /// # Panics
     ///
     /// Panics if `node` was never added.
     pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        let ids = 0..self.sites.len() as u32;
-        ids.map(NodeId)
-            .filter(move |&other| self.in_range(node, other))
+        self.site(node).neighbors.iter().copied()
+    }
+
+    /// The number of live neighbors of `node`, in O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was never added.
+    #[must_use]
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.site(node).neighbors.len()
     }
 
     /// All node ids, alive or dead.
@@ -210,6 +272,41 @@ impl Topology {
         self.sites
             .get_mut(node.0 as usize)
             .unwrap_or_else(|| panic!("unknown node {node}"))
+    }
+
+    /// Rebuilds `node`'s adjacency after a move or liveness change:
+    /// detaches it from every current neighbor, then (if alive)
+    /// recomputes its neighbor set and reattaches symmetrically.
+    fn relink(&mut self, node: NodeId) {
+        let index = node.0 as usize;
+        let old = std::mem::take(&mut self.sites[index].neighbors);
+        for neighbor in &old {
+            let list = &mut self.sites[neighbor.0 as usize].neighbors;
+            if let Ok(at) = list.binary_search(&node) {
+                list.remove(at);
+            }
+        }
+        let mut fresh = old;
+        fresh.clear();
+        if self.sites[index].alive {
+            let position = self.sites[index].position;
+            for (i, site) in self.sites.iter().enumerate() {
+                if i != index
+                    && site.alive
+                    && site.position.distance_sq_to(position) <= self.range_sq
+                {
+                    fresh.push(NodeId(i as u32));
+                }
+            }
+            for neighbor in &fresh {
+                let list = &mut self.sites[neighbor.0 as usize].neighbors;
+                let at = list
+                    .binary_search(&node)
+                    .expect_err("node was detached from every list above");
+                list.insert(at, node);
+            }
+        }
+        self.sites[index].neighbors = fresh;
     }
 }
 
@@ -346,7 +443,54 @@ mod tests {
         topo.set_alive(d, false);
         let neighbors: Vec<NodeId> = topo.neighbors(a).collect();
         assert_eq!(neighbors, vec![b]);
+        assert_eq!(topo.degree(a), 1);
         let _ = c;
+    }
+
+    /// Brute-force connectivity with the same squared-distance predicate
+    /// the cache uses — the ground truth the cache must match.
+    fn brute_in_range(topo: &Topology, a: NodeId, b: NodeId) -> bool {
+        a != b
+            && topo.is_alive(a)
+            && topo.is_alive(b)
+            && topo.position(a).distance_sq_to(topo.position(b)) <= topo.range() * topo.range()
+    }
+
+    fn assert_cache_matches_brute_force(topo: &Topology) {
+        for a in topo.node_ids() {
+            let cached: Vec<NodeId> = topo.neighbors(a).collect();
+            let brute: Vec<NodeId> = topo
+                .node_ids()
+                .filter(|&b| brute_in_range(topo, a, b))
+                .collect();
+            assert_eq!(cached, brute, "neighbor cache diverged for {a}");
+            assert!(cached.windows(2).all(|w| w[0] < w[1]), "unsorted for {a}");
+            for b in topo.node_ids() {
+                assert_eq!(topo.in_range(a, b), brute_in_range(topo, a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_cache_survives_dynamics() {
+        let mut topo = Topology::new(50.0);
+        let a = topo.add(Position::new(0.0, 0.0));
+        let b = topo.add(Position::new(30.0, 0.0));
+        let c = topo.add(Position::new(60.0, 0.0));
+        assert_cache_matches_brute_force(&topo);
+        topo.set_position(c, Position::new(20.0, 0.0));
+        assert_cache_matches_brute_force(&topo);
+        topo.set_alive(b, false);
+        assert_cache_matches_brute_force(&topo);
+        topo.set_alive(b, false); // idempotent kill
+        assert_cache_matches_brute_force(&topo);
+        topo.set_position(b, Position::new(100.0, 0.0)); // move while dead
+        assert_cache_matches_brute_force(&topo);
+        topo.set_alive(b, true); // revive at the new position
+        assert_cache_matches_brute_force(&topo);
+        let d = topo.add(Position::new(10.0, 10.0)); // join late
+        assert_cache_matches_brute_force(&topo);
+        let _ = (a, d);
     }
 
     #[test]

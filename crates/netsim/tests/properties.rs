@@ -169,6 +169,91 @@ proptest! {
         );
     }
 
+    /// The incrementally maintained adjacency cache agrees with a
+    /// brute-force recomputation after every topology mutation: random
+    /// `add` / `set_position` / `set_alive` sequences never desync the
+    /// cached `neighbors` lists or the `in_range` answers.
+    #[test]
+    fn adjacency_cache_matches_brute_force(
+        seed in any::<u64>(),
+        ops in 1usize..60,
+    ) {
+        use rand::prelude::*;
+        use retri_netsim::topology::Position;
+
+        let range = 60.0;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let random_position = |rng: &mut StdRng| {
+            // A ~3-range square, so pairs land both in and out of range.
+            Position::new(rng.gen_range(0.0..180.0), rng.gen_range(0.0..180.0))
+        };
+        let mut topo = Topology::new(range);
+        for _ in 0..3 {
+            let p = random_position(&mut rng);
+            topo.add(p);
+        }
+        for _ in 0..ops {
+            let nodes = topo.node_ids().count() as u32;
+            match rng.gen_range(0u32..4) {
+                0 => {
+                    let p = random_position(&mut rng);
+                    topo.add(p);
+                }
+                1 => {
+                    let node = NodeId(rng.gen_range(0..nodes));
+                    let p = random_position(&mut rng);
+                    topo.set_position(node, p);
+                }
+                _ => {
+                    let node = NodeId(rng.gen_range(0..nodes));
+                    let alive = rng.gen_range(0u32..2) == 0;
+                    topo.set_alive(node, alive);
+                }
+            }
+            // Ground truth uses the same squared-distance predicate the
+            // cache is specified against: live, distinct, d² ≤ range².
+            let brute_in_range = |a: NodeId, b: NodeId| {
+                a != b
+                    && topo.is_alive(a)
+                    && topo.is_alive(b)
+                    && topo.position(a).distance_sq_to(topo.position(b)) <= range * range
+            };
+            for a in topo.node_ids() {
+                let brute: Vec<NodeId> =
+                    topo.node_ids().filter(|&b| brute_in_range(a, b)).collect();
+                let cached: Vec<NodeId> = topo.neighbors(a).collect();
+                prop_assert_eq!(&cached, &brute, "neighbor cache desync at {:?}", a);
+                prop_assert_eq!(topo.degree(a), brute.len());
+                for b in topo.node_ids() {
+                    prop_assert_eq!(topo.in_range(a, b), brute_in_range(a, b));
+                }
+            }
+        }
+    }
+
+    /// Tracing is observation only: a traced run and an untraced run of
+    /// the same seed produce identical statistics and energy meters.
+    #[test]
+    fn tracing_does_not_perturb_the_simulation(
+        seed in any::<u64>(),
+        nodes in 2usize..6,
+        per_node in 1u32..5,
+        csma in any::<bool>(),
+    ) {
+        let mut plain = build_sim(seed, nodes, per_node, 0.2, csma);
+        let mut traced = build_sim(seed, nodes, per_node, 0.2, csma);
+        traced.enable_trace(4096);
+        plain.run_until(SimTime::from_secs(60));
+        traced.run_until(SimTime::from_secs(60));
+        prop_assert_eq!(plain.stats(), traced.stats());
+        for n in plain.node_ids() {
+            prop_assert_eq!(plain.meter(n), traced.meter(n));
+            prop_assert_eq!(plain.protocol(n).heard, traced.protocol(n).heard);
+        }
+        // The traced run actually recorded something.
+        prop_assert!(traced.tracer().expect("enabled").events().count() > 0);
+    }
+
     /// With a lossless radio and a single sender, every frame reaches
     /// every other node exactly once (no spurious losses in a quiet
     /// network).

@@ -4,7 +4,8 @@
 //! macros with a JSON-only data model ([`json::Value`]), so code
 //! written against the real serde's derive surface compiles and
 //! produces real JSON without crates-io access. `Deserialize` is a
-//! marker: nothing in this workspace parses JSON back (yet).
+//! marker; reading JSON back happens untyped, via the serde_json
+//! shim's `from_str` into [`json::Value`].
 
 #![forbid(unsafe_code)]
 
@@ -151,6 +152,13 @@ serialize_tuple!(
     (0 A, 1 B, 2 C, 3 D),
     (0 A, 1 B, 2 C, 3 D, 4 E)
 );
+
+impl Serialize for json::Value {
+    fn to_json_value(&self) -> json::Value {
+        self.clone()
+    }
+}
+impl Deserialize for json::Value {}
 
 impl<K: ToString, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
     fn to_json_value(&self) -> json::Value {

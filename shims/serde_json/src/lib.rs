@@ -1,5 +1,6 @@
 //! Offline stand-in for `serde_json`, covering the writer APIs this
-//! workspace uses. Values come from the serde shim's JSON data model.
+//! workspace uses plus a small strict reader ([`from_str`]). Values
+//! come from the serde shim's JSON data model.
 
 #![forbid(unsafe_code)]
 
@@ -7,13 +8,28 @@ use std::io;
 
 pub use serde::json::Value;
 
-/// Serialization error (IO only: the data model is already JSON).
+/// Serialization or parse error.
 #[derive(Debug)]
-pub struct Error(io::Error);
+pub enum Error {
+    /// Underlying IO failure while writing.
+    Io(io::Error),
+    /// Malformed JSON text (byte offset and description).
+    Parse {
+        /// Byte offset of the failure in the input.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "JSON write error: {}", self.0)
+        match self {
+            Error::Io(err) => write!(f, "JSON write error: {err}"),
+            Error::Parse { offset, message } => {
+                write!(f, "JSON parse error at byte {offset}: {message}")
+            }
+        }
     }
 }
 
@@ -21,7 +37,7 @@ impl std::error::Error for Error {}
 
 impl From<io::Error> for Error {
     fn from(err: io::Error) -> Self {
-        Error(err)
+        Error::Io(err)
     }
 }
 
@@ -53,12 +69,303 @@ pub fn to_writer_pretty<W: io::Write, T: serde::Serialize + ?Sized>(
     Ok(())
 }
 
+/// Parses a JSON document into a [`Value`].
+///
+/// Strict: exactly one top-level value, no trailing garbage, no
+/// comments, no trailing commas. Numbers parse as [`Value::UInt`],
+/// [`Value::Int`], or [`Value::Float`] — matching what the writers emit
+/// so a parse/serialize round trip is lossless for workspace documents.
+///
+/// # Errors
+///
+/// Returns [`Error::Parse`] with the byte offset of the first problem.
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters after the document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> Error {
+        Error::Parse {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn consume_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b't') if self.consume_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.consume_literal("false") => Ok(Value::Bool(false)),
+            Some(b'n') if self.consume_literal("null") => Ok(Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(byte) = self.peek() else {
+                return Err(self.error("unterminated string"));
+            };
+            match byte {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(escape) = self.peek() else {
+                        return Err(self.error("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by the
+                            // writers; reject rather than mis-decode.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.error("unpaired surrogate in \\u escape"))?;
+                            out.push(c);
+                        }
+                        _ => return Err(self.error("unknown escape character")),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // boundaries are valid).
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|_| self.error("invalid UTF-8 in string"))?,
+                    );
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number characters are ASCII");
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.error("malformed number"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     fn writer_round_trip() {
         let mut buf = Vec::new();
         super::to_writer_pretty(&mut buf, &vec![1u64, 2, 3]).unwrap();
         assert_eq!(String::from_utf8(buf).unwrap(), "[\n  1,\n  2,\n  3\n]");
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let value = Value::Object(vec![
+            (
+                "label".to_string(),
+                Value::String("pr2 \"x\"\n".to_string()),
+            ),
+            ("count".to_string(), Value::UInt(18446744073709551615)),
+            ("delta".to_string(), Value::Int(-3)),
+            ("ratio".to_string(), Value::Float(0.5)),
+            (
+                "items".to_string(),
+                Value::Array(vec![Value::Null, Value::Bool(true), Value::Float(2.0)]),
+            ),
+            ("empty".to_string(), Value::Object(vec![])),
+        ]);
+        for text in [value.to_compact_string(), value.to_pretty_string()] {
+            assert_eq!(from_str(&text).unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "nul",
+            "1 2",
+            "\"abc",
+            "{\"a\":}",
+            "[1,]",
+            "--1",
+        ] {
+            assert!(from_str(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_reads_escapes_and_unicode() {
+        let v = from_str(r#""aA\n\t\\ é""#).unwrap();
+        assert_eq!(v.as_str(), Some("aA\n\t\\ é"));
+    }
+
+    #[test]
+    fn accessors_navigate_parsed_documents() {
+        let doc = from_str(r#"{"entries": [{"median_ns": 120, "label": "a"}]}"#).unwrap();
+        let entries = doc.get("entries").unwrap().as_array().unwrap();
+        assert_eq!(entries[0].get("median_ns").unwrap().as_u64(), Some(120));
+        assert_eq!(entries[0].get("median_ns").unwrap().as_f64(), Some(120.0));
+        assert_eq!(entries[0].get("label").unwrap().as_str(), Some("a"));
+        assert!(doc.get("missing").is_none());
     }
 }
