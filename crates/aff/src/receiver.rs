@@ -33,6 +33,10 @@ pub struct ReceiverStats {
     pub truth_delivered: u64,
     /// Frames that failed to parse as fragments.
     pub decode_errors: u64,
+    /// Ground-truth assemblies completed but rejected by the CRC-16 —
+    /// proof of bit corruption surviving parse (only the fault channel
+    /// can cause this; RF collisions lose whole frames).
+    pub truth_crc_rejections: u64,
     /// Collision notifications broadcast (Section 3.2 mechanism; only
     /// nonzero on wires built with notifications enabled).
     pub notifications_sent: u64,
@@ -157,6 +161,8 @@ impl AffReceiver {
                     let assembly = self.truth.remove(&src).expect("just updated");
                     if crc16(&assembly.buffer) == assembly.checksum {
                         self.stats.truth_delivered += 1;
+                    } else {
+                        self.stats.truth_crc_rejections += 1;
                     }
                 }
             }
@@ -306,6 +312,29 @@ mod tests {
             deliver(&mut r, 0, &payload);
         }
         assert_eq!(r.truth_delivered(), 1);
+    }
+
+    #[test]
+    fn corrupted_payload_bytes_are_rejected_by_truth_crc() {
+        let (f, mut r) = receiver(8);
+        let id = f.wire().space().id(6).unwrap();
+        let payloads = f.fragment(&[9u8; 80], id, None).unwrap();
+        for (i, payload) in payloads.iter().enumerate() {
+            if i == 1 {
+                // A structurally valid data fragment carrying wrong
+                // bytes — what a surviving bit flip looks like after
+                // parse. The CRC-16 must catch it.
+                let mut fragment = f.wire().decode(payload).unwrap();
+                if let Fragment::Data { payload: bytes, .. } = &mut fragment {
+                    bytes[0] ^= 0xFF;
+                }
+                deliver(&mut r, 0, &f.wire().encode(&fragment).unwrap());
+            } else {
+                deliver(&mut r, 0, payload);
+            }
+        }
+        assert_eq!(r.truth_delivered(), 0);
+        assert_eq!(r.stats().truth_crc_rejections, 1);
     }
 
     #[test]

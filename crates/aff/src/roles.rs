@@ -92,6 +92,10 @@ pub struct Testbed {
     /// observations without affecting transmission. Phases are staggered
     /// across transmitters. The designated receiver always listens.
     pub sender_duty: Option<(SimDuration, f64)>,
+    /// Channel faults to inject (bit errors, bursts, erasures, churn,
+    /// partitions). Defaults to [`FaultModel::none`], which leaves the
+    /// trial byte-identical to a fault-unaware build.
+    pub faults: FaultModel,
 }
 
 impl Testbed {
@@ -118,6 +122,7 @@ impl Testbed {
             reassembly_ttl_micros: 300_000,
             notifications: false,
             sender_duty: None,
+            faults: FaultModel::none(),
         }
     }
 
@@ -164,6 +169,7 @@ impl Testbed {
             .radio(radio)
             .mac(self.mac)
             .range(100.0)
+            .faults(self.faults.clone())
             .build(move |id: NodeId| {
                 if (id.index()) < transmitters {
                     AffNode::Sender(
@@ -227,6 +233,10 @@ impl Testbed {
             packets_offered,
             retransmissions,
             notifications_sent: rx.stats().notifications_sent,
+            decode_errors: rx.stats().decode_errors,
+            truth_crc_rejections: rx.stats().truth_crc_rejections,
+            checksum_failures: rx.aff_stats().checksum_failures,
+            identifier_conflicts: rx.aff_stats().identifier_conflicts(),
             medium: sim.stats(),
             total_bits_sent: sim.total_meter().tx_bits(),
         };
@@ -270,6 +280,17 @@ pub struct TrialResult {
     /// Collision notifications the receiver broadcast (0 unless
     /// enabled).
     pub notifications_sent: u64,
+    /// Frames that failed fragment parsing at the receiver (only the
+    /// fault channel's bit errors can cause this in a clean topology).
+    pub decode_errors: u64,
+    /// Ground-truth assemblies rejected by the CRC-16: bit corruption
+    /// that survived parse.
+    pub truth_crc_rejections: u64,
+    /// AFF-pipeline assemblies rejected by the CRC-16 (identifier
+    /// collisions or surviving corruption).
+    pub checksum_failures: u64,
+    /// AFF identifier/bounds conflicts observed by the reassembler.
+    pub identifier_conflicts: u64,
     /// Medium counters.
     pub medium: MediumStats,
     /// Total bits transmitted network-wide.
@@ -393,6 +414,41 @@ mod tests {
         assert!(
             sleepy.collision_loss_rate > awake.collision_loss_rate,
             "sleepy {sleepy:?} vs awake {awake:?}"
+        );
+    }
+
+    #[test]
+    fn fault_off_trials_match_the_unfaulted_build() {
+        let mut with_none = quick_testbed(6, SelectorPolicy::Uniform);
+        with_none.faults = FaultModel::none();
+        let base = quick_testbed(6, SelectorPolicy::Uniform).run(9);
+        assert_eq!(base, with_none.run(9));
+    }
+
+    #[test]
+    fn injected_bit_errors_flow_through_real_decode() {
+        // A noticeable i.i.d. BER must surface as parse failures and/or
+        // CRC rejections — never as silently delivered wrong bytes. The
+        // ground-truth pipeline separates "lost to corruption" from
+        // "lost to identifier collision".
+        let mut testbed = quick_testbed(8, SelectorPolicy::Uniform);
+        testbed.faults = FaultModel::none().with_channel(GilbertElliott::iid(ChannelState {
+            bit_error_rate: 0.002,
+            frame_erasure: 0.0,
+        }));
+        let result = testbed.run(21);
+        assert!(result.medium.corrupted_deliveries > 0, "{result:?}");
+        assert!(
+            result.decode_errors > 0,
+            "some flips must break parsing: {result:?}"
+        );
+        assert!(
+            result.truth_crc_rejections + result.checksum_failures > 0,
+            "some flips must survive parse and die at the CRC: {result:?}"
+        );
+        assert!(
+            result.truth_delivered > 0,
+            "a 0.2% BER must not kill the channel: {result:?}"
         );
     }
 

@@ -88,6 +88,64 @@ proptest! {
         }
     }
 
+    /// Every single-bit flip is *accounted for*: it either leaves the
+    /// delivery byte-identical to the original (the flip hit a padding
+    /// bit or a self-correcting header field), or its damage is visible
+    /// in the stats — a parse error, a CRC rejection, an
+    /// identifier/bounds conflict, or a stranded incomplete assembly
+    /// that expiry reclaims. A wrong-byte delivery, or damage that
+    /// vanishes without a trace, is a test failure.
+    #[test]
+    fn single_bit_flips_are_always_accounted_for(
+        bits in 2u8..=12,
+        packet in proptest::collection::vec(any::<u8>(), 30..150),
+        flip_frame in any::<prop::sample::Index>(),
+        flip_bit in any::<prop::sample::Index>(),
+    ) {
+        let (fragmenter, mut reassembler) = stack(bits, false);
+        let key = fragmenter.wire().space().id(1 & fragmenter.wire().space().mask()).unwrap();
+        let mut payloads = fragmenter.fragment(&packet, key, None).unwrap();
+        let frame_index = flip_frame.index(payloads.len());
+        let bit = flip_bit.index(payloads[frame_index].bits() as usize) as u32;
+        payloads[frame_index].flip_bit(bit);
+
+        let mut parse_errors = 0u64;
+        let mut delivered = Vec::new();
+        for payload in &payloads {
+            match fragmenter.wire().decode(payload) {
+                Err(_) => parse_errors += 1,
+                Ok(fragment) => {
+                    if let Some(out) = reassembler.accept(&fragment, 0) {
+                        delivered.push(out);
+                    }
+                }
+            }
+        }
+        // No forgery, ever.
+        for out in &delivered {
+            prop_assert_eq!(out, &packet, "a forged packet was delivered");
+        }
+        // Full accounting: either the packet still arrived intact, or
+        // the flip's damage is observable somewhere.
+        if delivered.is_empty() {
+            let stats = reassembler.stats();
+            let stranded = reassembler.pending_len() as u64;
+            let expired = reassembler.expire(u64::MAX) as u64;
+            prop_assert!(
+                parse_errors
+                    + stats.checksum_failures
+                    + stats.identifier_conflicts()
+                    + stranded
+                    > 0,
+                "flip of bit {} in frame {} vanished untraced: {:?}",
+                bit,
+                frame_index,
+                stats
+            );
+            prop_assert_eq!(stranded, expired, "expiry reclaims every stranded assembly");
+        }
+    }
+
     /// Truncating frames at arbitrary bit boundaries is handled as a
     /// clean error or ignored fragment.
     #[test]

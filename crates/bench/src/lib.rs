@@ -8,6 +8,9 @@
 //! - [`ablations`] — the design-choice studies listed in DESIGN.md:
 //!   listening-window size, hidden terminals, non-uniform transaction
 //!   lengths, dynamic-allocation churn overhead, and density scaling.
+//! - [`differential`] — the statistical differential tests proving the
+//!   simulator against the paper's Eq. 2–4, and the fault-injection
+//!   scenario matrix behind the `fault_matrix` binary.
 //! - [`harness`] — the deterministic parallel trial executor, the
 //!   single seed-derivation function ([`harness::trial_seed`]), and the
 //!   `--json` provenance document every binary emits.
@@ -23,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod differential;
 pub mod figures;
 pub mod harness;
 pub mod table;

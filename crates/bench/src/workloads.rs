@@ -14,6 +14,8 @@
 //!   — the netsim hot path under ALOHA medium saturation (every
 //!   delivery judged against a full medium), CSMA hidden-terminal
 //!   contention, and large sparse topologies;
+//! - `sim_fault_channel` — the paper testbed under a bursty
+//!   Gilbert-Elliott bit-error channel (the fault-injection hot path);
 //! - `selector_churn` — identifier selection (the RETRI core);
 //! - `wire_roundtrip` — AFF fragmentation, bit-packing, and
 //!   reassembly.
@@ -30,7 +32,7 @@ use retri::select::{AdaptiveListeningSelector, IdSelector, ListeningSelector};
 use retri::IdentifierSpace;
 use retri_aff::reassembly::Reassembler;
 use retri_aff::wire::WireConfig;
-use retri_aff::Fragmenter;
+use retri_aff::{Fragmenter, SelectorPolicy, Testbed};
 use retri_netsim::prelude::*;
 use retri_netsim::topology::Topology;
 
@@ -78,6 +80,12 @@ pub fn all() -> Vec<Workload> {
             description: "20x20 grid, nearest-neighbor range, sparse periodic traffic",
             trials: 4,
             run: sim_sparse_grid,
+        },
+        Workload {
+            name: "sim_fault_channel",
+            description: "paper testbed under a bursty Gilbert-Elliott bit-error channel",
+            trials: 8,
+            run: sim_fault_channel,
         },
         Workload {
             name: "selector_churn",
@@ -208,6 +216,27 @@ fn sim_sparse_grid(seed: u64, quick: bool) {
     }
     sim.run_until(SimTime::from_secs(sim_secs));
     std::hint::black_box(sim.stats());
+}
+
+fn sim_fault_channel(seed: u64, quick: bool) {
+    // The Section 5.1 testbed with every delivery additionally judged by
+    // a bursty Gilbert-Elliott channel: exercises the fault RNG stream,
+    // per-bit corruption, and the receiver's reject paths together.
+    let sim_secs = if quick { 10 } else { 40 };
+    let mut testbed = Testbed::paper(8, SelectorPolicy::Uniform);
+    testbed.workload.stop = SimTime::from_secs(sim_secs);
+    testbed.faults = FaultModel::none().with_channel(GilbertElliott::bursty(
+        ChannelState::clean(),
+        ChannelState {
+            bit_error_rate: 0.02,
+            frame_erasure: 0.0,
+        },
+        0.05,
+        0.20,
+    ));
+    let result = testbed.run(seed);
+    assert!(result.truth_delivered > 0);
+    std::hint::black_box(result);
 }
 
 fn selector_churn(seed: u64, quick: bool) {

@@ -26,6 +26,9 @@
 //!   instrumentation methodology of the paper's Section 5.1).
 //! - [`codebook`] — ephemeral identifier-to-value codebooks (the
 //!   attribute-based name-compression context of Section 6).
+//! - [`seed`] — labeled seed-stream derivation, so one root seed can
+//!   drive several independent RNG streams (simulation, fault
+//!   injection, workloads) without cross-talk.
 //!
 //! # Quick start
 //!
@@ -60,6 +63,7 @@
 pub mod codebook;
 pub mod density;
 pub mod id;
+pub mod seed;
 pub mod select;
 pub mod track;
 

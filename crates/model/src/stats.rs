@@ -166,6 +166,73 @@ impl fmt::Display for Summary {
     }
 }
 
+/// Two-sided z critical value for a 99% confidence level.
+pub const Z_99: f64 = 2.575_829_303_548_901;
+
+/// A Wilson score interval for a binomial proportion.
+///
+/// The differential harness uses it to ask "is the analytic success
+/// probability of Eq. 4 statistically consistent with the simulator's
+/// observed success count?" — the Wilson interval stays well-behaved at
+/// proportions near 0 or 1 and at the modest trial counts of a quick
+/// sweep, where the normal approximation interval collapses or escapes
+/// `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WilsonInterval {
+    /// Lower bound (clamped to `[0, 1]` by construction).
+    pub low: f64,
+    /// Upper bound (clamped to `[0, 1]` by construction).
+    pub high: f64,
+}
+
+impl WilsonInterval {
+    /// Computes the interval for `successes` out of `trials` at the
+    /// two-sided critical value `z` (e.g. [`Z_99`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials` is zero, `successes > trials`, or `z` is not
+    /// positive.
+    #[must_use]
+    pub fn of(successes: u64, trials: u64, z: f64) -> Self {
+        assert!(trials > 0, "Wilson interval needs at least one trial");
+        assert!(
+            successes <= trials,
+            "successes {successes} exceed trials {trials}"
+        );
+        assert!(z > 0.0, "critical value must be positive, got {z}");
+        let n = trials as f64;
+        let p = successes as f64 / n;
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+        WilsonInterval {
+            low: (center - half).max(0.0),
+            high: (center + half).min(1.0),
+        }
+    }
+
+    /// Whether `p` lies inside the interval (inclusive).
+    #[must_use]
+    pub fn contains(&self, p: f64) -> bool {
+        self.low <= p && p <= self.high
+    }
+
+    /// The interval's width.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.high - self.low
+    }
+}
+
+impl fmt::Display for WilsonInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:.4}, {:.4}]", self.low, self.high)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,5 +304,56 @@ mod tests {
         let text = Summary::of(&[1.0, 2.0]).to_string();
         assert!(text.contains("1.5"));
         assert!(text.contains("n=2"));
+    }
+
+    #[test]
+    fn wilson_matches_reference_values() {
+        // Classic textbook case: 8 successes in 10 trials at 95%
+        // (z = 1.959964): Wilson gives [0.4901, 0.9433].
+        let w = WilsonInterval::of(8, 10, 1.959_964);
+        assert!((w.low - 0.4901).abs() < 5e-4, "low {}", w.low);
+        assert!((w.high - 0.9433).abs() < 5e-4, "high {}", w.high);
+    }
+
+    #[test]
+    fn wilson_contains_the_sample_proportion() {
+        for &(s, n) in &[(0u64, 5u64), (1, 7), (50, 100), (99, 100), (100, 100)] {
+            let w = WilsonInterval::of(s, n, Z_99);
+            let p = s as f64 / n as f64;
+            assert!(w.contains(p), "{w} must contain {p}");
+            assert!((0.0..=1.0).contains(&w.low));
+            assert!((0.0..=1.0).contains(&w.high));
+        }
+    }
+
+    #[test]
+    fn wilson_narrows_with_more_trials() {
+        let small = WilsonInterval::of(8, 10, Z_99);
+        let large = WilsonInterval::of(800, 1000, Z_99);
+        assert!(large.width() < small.width());
+        assert!(large.contains(0.8));
+    }
+
+    #[test]
+    fn wilson_extremes_stay_informative() {
+        // All failures / all successes still give nondegenerate bounds.
+        let none = WilsonInterval::of(0, 20, Z_99);
+        assert_eq!(none.low, 0.0);
+        assert!(none.high > 0.0 && none.high < 0.5);
+        let all = WilsonInterval::of(20, 20, Z_99);
+        assert_eq!(all.high, 1.0);
+        assert!(all.low > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn wilson_rejects_empty_samples() {
+        let _ = WilsonInterval::of(0, 0, Z_99);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed trials")]
+    fn wilson_rejects_impossible_counts() {
+        let _ = WilsonInterval::of(5, 4, Z_99);
     }
 }

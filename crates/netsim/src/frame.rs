@@ -131,6 +131,20 @@ impl FramePayload {
     pub fn byte_len(&self) -> usize {
         self.bytes.len()
     }
+
+    /// Flips one logical bit in place (MSB-first within each byte).
+    ///
+    /// Used by the fault channel to model bit corruption: only logical
+    /// bits can flip, so padding in a partially-used final byte is
+    /// never touched and the payload stays structurally valid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= self.bits()`.
+    pub fn flip_bit(&mut self, bit: u32) {
+        assert!(bit < self.bits, "bit {bit} out of range ({})", self.bits);
+        self.bytes[bit as usize / 8] ^= 1 << (7 - (bit % 8));
+    }
 }
 
 /// A frame as received: the payload plus ground-truth metadata.
@@ -199,6 +213,24 @@ mod tests {
         ] {
             assert!(!err.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn flip_bit_targets_logical_bits_msb_first() {
+        let mut p = FramePayload::from_bits(vec![0x00, 0x00], 13).unwrap();
+        p.flip_bit(0);
+        assert_eq!(p.bytes(), &[0x80, 0x00]);
+        p.flip_bit(12); // last logical bit: bit 4 of the second byte
+        assert_eq!(p.bytes(), &[0x80, 0x08]);
+        p.flip_bit(0); // flipping twice restores
+        assert_eq!(p.bytes(), &[0x00, 0x08]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flip_bit_rejects_padding_bits() {
+        let mut p = FramePayload::from_bits(vec![0x00, 0x00], 13).unwrap();
+        p.flip_bit(13);
     }
 
     #[test]

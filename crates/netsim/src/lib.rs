@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod energy;
+pub mod fault;
 pub mod frame;
 pub mod mac;
 pub mod medium;
@@ -70,6 +71,7 @@ pub mod trace;
 /// Commonly used simulator types, importable in one line.
 pub mod prelude {
     pub use crate::energy::EnergyMeter;
+    pub use crate::fault::{ChannelState, FaultModel, GilbertElliott, PartitionWindow};
     pub use crate::frame::{Frame, FramePayload};
     pub use crate::mac::MacConfig;
     pub use crate::node::{Context, NodeId, Protocol, Timer};
@@ -79,6 +81,7 @@ pub mod prelude {
     pub use crate::topology::{Position, Topology};
 }
 
+pub use fault::{ChannelState, FaultModel, GilbertElliott, PartitionWindow};
 pub use frame::{Frame, FramePayload};
 pub use node::{Context, NodeId, Protocol, Timer};
 pub use radio::RadioConfig;

@@ -13,6 +13,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::energy::EnergyMeter;
+use crate::fault::{fault_stream_seed, ChurnEvent, FaultModel};
 use crate::frame::{Frame, FramePayload};
 use crate::mac::MacConfig;
 use crate::medium::{DeliveryFailure, Medium, Verdict};
@@ -39,19 +40,33 @@ pub struct MediumStats {
     /// Deliveries missed because the receiver's radio was duty-cycled
     /// off.
     pub sleep_misses: u64,
+    /// Deliveries erased outright by the fault channel.
+    pub fault_erasures: u64,
+    /// Deliveries severed by a fault-model partition window.
+    pub partition_losses: u64,
+    /// Deliveries that arrived with at least one flipped payload bit
+    /// (included in `deliveries`: the frame did reach the protocol).
+    pub corrupted_deliveries: u64,
+    /// Total payload bits flipped across all corrupted deliveries.
+    pub flipped_bits: u64,
 }
 
 impl core::fmt::Display for MediumStats {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(
             f,
-            "{} sent, {} delivered, {} RF-collided, {} half-duplex, {} random losses, {} sleep misses",
+            "{} sent, {} delivered, {} RF-collided, {} half-duplex, {} random losses, \
+             {} sleep misses, {} fault erasures, {} partition losses, {} corrupted ({} bits)",
             self.frames_sent,
             self.deliveries,
             self.rf_collisions,
             self.half_duplex_losses,
             self.random_losses,
-            self.sleep_misses
+            self.sleep_misses,
+            self.fault_erasures,
+            self.partition_losses,
+            self.corrupted_deliveries,
+            self.flipped_bits
         )
     }
 }
@@ -132,6 +147,7 @@ pub struct SimBuilder {
     radio: RadioConfig,
     mac: MacConfig,
     range: f64,
+    faults: FaultModel,
 }
 
 impl SimBuilder {
@@ -144,6 +160,7 @@ impl SimBuilder {
             radio: RadioConfig::radiometrix_rpc(),
             mac: MacConfig::csma(),
             range: 100.0,
+            faults: FaultModel::none(),
         }
     }
 
@@ -168,6 +185,21 @@ impl SimBuilder {
         self
     }
 
+    /// Sets the fault model (default: [`FaultModel::none`]).
+    ///
+    /// All fault randomness comes from a dedicated RNG stream derived
+    /// from the builder seed via
+    /// [`fault_stream_seed`](crate::fault::fault_stream_seed), so a
+    /// run with `FaultModel::none()` is byte-identical to one that
+    /// never called this method: no draw of the main RNG moves.
+    /// Scheduled churn events must name nodes that are added before
+    /// the event time is reached.
+    #[must_use]
+    pub fn faults(mut self, faults: FaultModel) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Builds the simulator; `factory` creates the protocol instance for
     /// each node added later.
     pub fn build<P, F>(self, factory: F) -> Simulator<P>
@@ -176,7 +208,8 @@ impl SimBuilder {
         F: FnMut(NodeId) -> P + 'static,
     {
         self.mac.validate();
-        Simulator {
+        let fault_rng = StdRng::seed_from_u64(fault_stream_seed(self.seed));
+        let mut sim = Simulator {
             now: SimTime::ZERO,
             radio: self.radio,
             mac: self.mac,
@@ -193,7 +226,15 @@ impl SimBuilder {
             commands: Vec::new(),
             receiver_scratch: Vec::new(),
             tracer: None,
+            faults: self.faults,
+            fault_rng,
+            fault_bad: Vec::new(),
+        };
+        let churn: Vec<ChurnEvent> = sim.faults.churn().to_vec();
+        for event in churn {
+            sim.schedule_set_alive(event.at, event.node, event.alive);
         }
+        sim
     }
 }
 
@@ -217,6 +258,12 @@ pub struct Simulator<P> {
     /// `tx_end` calls so the steady state allocates nothing.
     receiver_scratch: Vec<NodeId>,
     tracer: Option<Tracer>,
+    faults: FaultModel,
+    /// Dedicated fault RNG stream; never consulted when the model has
+    /// no channel, so fault-off runs keep the main stream untouched.
+    fault_rng: StdRng,
+    /// Per-receiver Gilbert–Elliott state (`true` = bad).
+    fault_bad: Vec<bool>,
 }
 
 impl<P> core::fmt::Debug for Simulator<P> {
@@ -253,6 +300,7 @@ impl<P: Protocol> Simulator<P> {
             transmitting: false,
             duty_cycle: None,
         });
+        self.fault_bad.push(false);
         let at = self.now;
         self.schedule(at, EventKind::NodeStart(id));
         id
@@ -569,8 +617,20 @@ impl<P: Protocol> Simulator<P> {
         receivers.extend(self.topology.neighbors(node));
         for &receiver in &receivers {
             // Draw before any filtering so the RNG stream is identical
-            // across duty-cycle configurations.
+            // across duty-cycle and fault configurations.
             let draw: f64 = self.rng.gen_range(0.0..1.0);
+            if self.faults.severs(node, receiver, self.now) {
+                self.stats.partition_losses += 1;
+                let at = self.now;
+                self.trace_with(|| TraceEvent::Lost {
+                    at,
+                    from: node,
+                    to: receiver,
+                    seq,
+                    reason: LossReason::Partitioned,
+                });
+                continue;
+            }
             if let Some(duty) = self.nodes[receiver.index()].duty_cycle {
                 if !duty.awake_during(tx_start, tx_end_at) {
                     self.stats.sleep_misses += 1;
@@ -618,14 +678,66 @@ impl<P: Protocol> Simulator<P> {
                     self.nodes[receiver.index()]
                         .meter
                         .record_rx(bits_on_air, tx_end_at.since(tx_start).as_micros());
+                    // The fault channel judges the frame last, from its
+                    // own RNG stream: erasure drops it, a positive BER
+                    // may flip payload bits on a per-receiver copy.
+                    let mut corrupted: Option<(Frame, u64)> = None;
+                    if let Some(channel) = self.faults.channel() {
+                        let fault = channel.judge_frame(
+                            &mut self.fault_bad[receiver.index()],
+                            &mut self.fault_rng,
+                        );
+                        if fault.erased {
+                            self.stats.fault_erasures += 1;
+                            self.trace_with(|| TraceEvent::Lost {
+                                at,
+                                from: node,
+                                to: receiver,
+                                seq,
+                                reason: LossReason::FaultErasure,
+                            });
+                            continue;
+                        }
+                        if fault.bit_error_rate > 0.0 {
+                            let mut mangled = frame.clone();
+                            let mut flipped = 0u64;
+                            for bit in 0..mangled.payload.bits() {
+                                if self.fault_rng.gen_range(0.0..1.0) < fault.bit_error_rate {
+                                    mangled.payload.flip_bit(bit);
+                                    flipped += 1;
+                                }
+                            }
+                            if flipped > 0 {
+                                corrupted = Some((mangled, flipped));
+                            }
+                        }
+                    }
                     self.stats.deliveries += 1;
-                    self.trace_with(|| TraceEvent::Delivered {
-                        at,
-                        from: node,
-                        to: receiver,
-                        seq,
-                    });
-                    self.with_ctx(receiver, |protocol, ctx| protocol.on_frame(ctx, &frame));
+                    match corrupted {
+                        Some((mangled, flipped)) => {
+                            self.stats.corrupted_deliveries += 1;
+                            self.stats.flipped_bits += flipped;
+                            self.trace_with(|| TraceEvent::Corrupted {
+                                at,
+                                from: node,
+                                to: receiver,
+                                seq,
+                                flipped_bits: flipped,
+                            });
+                            self.with_ctx(receiver, |protocol, ctx| {
+                                protocol.on_frame(ctx, &mangled);
+                            });
+                        }
+                        None => {
+                            self.trace_with(|| TraceEvent::Delivered {
+                                at,
+                                from: node,
+                                to: receiver,
+                                seq,
+                            });
+                            self.with_ctx(receiver, |protocol, ctx| protocol.on_frame(ctx, &frame));
+                        }
+                    }
                 }
             }
         }
@@ -985,6 +1097,205 @@ mod tests {
             last = at;
         }
         assert!(sim.stats().frames_sent > 0);
+    }
+
+    #[test]
+    fn fault_off_is_byte_identical_to_no_fault_model() {
+        use crate::fault::FaultModel;
+        let mut base = two_node_sim(7);
+        let mut with_none = SimBuilder::new(7)
+            .faults(FaultModel::none())
+            .build(|id| Chatter {
+                to_send: if id == NodeId(0) { 3 } else { 0 },
+                heard: 0,
+                payload_bytes: 10,
+            });
+        with_none.add_node_at(Position::new(0.0, 0.0));
+        with_none.add_node_at(Position::new(10.0, 0.0));
+        base.run_until(SimTime::from_secs(2));
+        with_none.run_until(SimTime::from_secs(2));
+        assert_eq!(base.stats(), with_none.stats());
+        assert_eq!(base.meter(NodeId(0)), with_none.meter(NodeId(0)));
+        assert_eq!(base.meter(NodeId(1)), with_none.meter(NodeId(1)));
+        assert_eq!(
+            base.protocol(NodeId(1)).heard,
+            with_none.protocol(NodeId(1)).heard
+        );
+    }
+
+    #[test]
+    fn fault_erasure_drops_frames_without_touching_the_main_stream() {
+        use crate::fault::{ChannelState, FaultModel, GilbertElliott};
+        let erase_all = FaultModel::none().with_channel(GilbertElliott::iid(ChannelState {
+            bit_error_rate: 0.0,
+            frame_erasure: 1.0,
+        }));
+        let mut base = two_node_sim(13);
+        let mut faulty = SimBuilder::new(13).faults(erase_all).build(|id| Chatter {
+            to_send: if id == NodeId(0) { 3 } else { 0 },
+            heard: 0,
+            payload_bytes: 10,
+        });
+        faulty.add_node_at(Position::new(0.0, 0.0));
+        faulty.add_node_at(Position::new(10.0, 0.0));
+        base.run_until(SimTime::from_secs(2));
+        faulty.run_until(SimTime::from_secs(2));
+        assert_eq!(faulty.protocol(NodeId(1)).heard, 0);
+        assert_eq!(faulty.stats().fault_erasures, 3);
+        assert_eq!(faulty.stats().deliveries, 0);
+        // The main RNG stream must be untouched by fault draws: the MAC
+        // schedule, and hence the sender's meter, match the clean run.
+        assert_eq!(base.stats().frames_sent, faulty.stats().frames_sent);
+        assert_eq!(base.meter(NodeId(0)), faulty.meter(NodeId(0)));
+    }
+
+    #[test]
+    fn bit_errors_corrupt_deliveries_and_are_traced() {
+        use crate::fault::{ChannelState, FaultModel, GilbertElliott};
+        use crate::trace::TraceEvent;
+        // BER 1.0 flips every payload bit: frames still arrive, but
+        // every delivery is counted and traced as corrupted.
+        let flip_all = FaultModel::none().with_channel(GilbertElliott::iid(ChannelState {
+            bit_error_rate: 1.0,
+            frame_erasure: 0.0,
+        }));
+        let mut sim = SimBuilder::new(14).faults(flip_all).build(|id| Chatter {
+            to_send: if id == NodeId(0) { 3 } else { 0 },
+            heard: 0,
+            payload_bytes: 10,
+        });
+        sim.add_node_at(Position::new(0.0, 0.0));
+        sim.add_node_at(Position::new(10.0, 0.0));
+        sim.enable_trace(64);
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(sim.protocol(NodeId(1)).heard, 3);
+        let stats = sim.stats();
+        assert_eq!(stats.deliveries, 3);
+        assert_eq!(stats.corrupted_deliveries, 3);
+        assert_eq!(stats.flipped_bits, 3 * 80);
+        let corrupted = sim
+            .tracer()
+            .expect("enabled above")
+            .events()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TraceEvent::Corrupted {
+                        flipped_bits: 80,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(corrupted, 3);
+    }
+
+    #[test]
+    fn partition_window_severs_cross_group_frames() {
+        use crate::fault::{FaultModel, PartitionWindow};
+        use crate::trace::{LossReason, TraceEvent};
+        // The sender bursts 40 back-to-back frames (~7 ms each); the
+        // first 100 ms are partitioned, so early frames are severed and
+        // later ones delivered.
+        let faults = FaultModel::none().with_partition(PartitionWindow::new(
+            SimTime::ZERO,
+            SimTime::from_millis(100),
+            vec![NodeId(0)],
+        ));
+        let mut sim = SimBuilder::new(15).faults(faults).build(|id| Chatter {
+            to_send: if id == NodeId(0) { 40 } else { 0 },
+            heard: 0,
+            payload_bytes: 27,
+        });
+        sim.add_node_at(Position::new(0.0, 0.0));
+        sim.add_node_at(Position::new(10.0, 0.0));
+        sim.enable_trace(128);
+        sim.run_until(SimTime::from_secs(10));
+        let stats = sim.stats();
+        assert!(stats.partition_losses > 0, "{stats}");
+        assert!(stats.deliveries > 0, "{stats}");
+        assert_eq!(stats.partition_losses + stats.deliveries, 40, "{stats}");
+        assert_eq!(
+            sim.protocol(NodeId(1)).heard as u64,
+            stats.deliveries,
+            "partitioned frames never reach the protocol"
+        );
+        assert!(sim.tracer().expect("enabled above").events().any(|e| {
+            matches!(
+                e,
+                TraceEvent::Lost {
+                    reason: LossReason::Partitioned,
+                    ..
+                }
+            )
+        }));
+    }
+
+    #[test]
+    fn fault_model_churn_kills_and_revives_on_schedule() {
+        use crate::fault::FaultModel;
+        // The receiver dies before any frame lands and revives at
+        // 100 ms, partway through the sender's ~300 ms burst.
+        let faults = FaultModel::none()
+            .with_churn_event(SimTime::from_micros(1), NodeId(1), false)
+            .with_churn_event(SimTime::from_millis(100), NodeId(1), true);
+        let mut sim = SimBuilder::new(16).faults(faults).build(|id| Chatter {
+            to_send: if id == NodeId(0) { 40 } else { 0 },
+            heard: 0,
+            payload_bytes: 27,
+        });
+        sim.add_node_at(Position::new(0.0, 0.0));
+        sim.add_node_at(Position::new(10.0, 0.0));
+        sim.run_until(SimTime::from_secs(10));
+        let heard = sim.protocol(NodeId(1)).heard;
+        assert!(heard > 0, "revived node must hear again");
+        assert!(heard < 40, "dead interval must cost frames: {heard}");
+    }
+
+    #[test]
+    fn every_attempt_lands_in_exactly_one_bucket_under_faults() {
+        use crate::fault::{ChannelState, FaultModel, GilbertElliott, PartitionWindow};
+        let faults = FaultModel::none()
+            .with_channel(GilbertElliott::bursty(
+                ChannelState::clean(),
+                ChannelState {
+                    bit_error_rate: 0.01,
+                    frame_erasure: 0.5,
+                },
+                0.2,
+                0.3,
+            ))
+            .with_partition(PartitionWindow::new(
+                SimTime::from_millis(100),
+                SimTime::from_millis(250),
+                vec![NodeId(0)],
+            ));
+        let mut sim = SimBuilder::new(17).faults(faults).build(|id| Chatter {
+            to_send: if id == NodeId(0) { 60 } else { 0 },
+            heard: 0,
+            payload_bytes: 27,
+        });
+        sim.add_node_at(Position::new(0.0, 0.0));
+        sim.add_node_at(Position::new(10.0, 0.0));
+        sim.run_until(SimTime::from_secs(20));
+        let stats = sim.stats();
+        assert!(stats.fault_erasures > 0, "{stats}");
+        assert!(stats.partition_losses > 0, "{stats}");
+        assert_eq!(
+            stats.deliveries
+                + stats.sleep_misses
+                + stats.rf_collisions
+                + stats.half_duplex_losses
+                + stats.random_losses
+                + stats.fault_erasures
+                + stats.partition_losses,
+            60,
+            "every attempt lands in exactly one bucket: {stats}"
+        );
+        assert!(
+            stats.corrupted_deliveries <= stats.deliveries,
+            "corruption is a flavor of delivery, not a loss: {stats}"
+        );
     }
 
     #[test]

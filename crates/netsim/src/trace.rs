@@ -42,6 +42,22 @@ pub enum TraceEvent {
         /// Medium sequence number.
         seq: u64,
     },
+    /// A receiver got the frame, but the fault channel flipped payload
+    /// bits in transit: what arrived is not what was sent. Whether the
+    /// corruption is *detected* is up to the protocol's decoder (for
+    /// AFF, `wire` parsing and the CRC-16 verdict).
+    Corrupted {
+        /// When (transmission end).
+        at: SimTime,
+        /// Transmitting node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+        /// Medium sequence number.
+        seq: u64,
+        /// How many payload bits were flipped.
+        flipped_bits: u64,
+    },
     /// A receiver in range did not get the frame.
     Lost {
         /// When (transmission end).
@@ -86,6 +102,10 @@ pub enum LossReason {
     RandomLoss,
     /// The receiver's radio was duty-cycled off.
     Asleep,
+    /// The fault channel erased the whole frame.
+    FaultErasure,
+    /// A fault-model partition window severed the link.
+    Partitioned,
 }
 
 impl From<DeliveryFailure> for LossReason {

@@ -1,0 +1,177 @@
+//! End-to-end churn: nodes dying mid-transaction and reviving must
+//! never complete a packet with mixed bytes from different senders or
+//! incarnations, and every mixing attempt must land in the
+//! identifier/bounds-conflict or checksum accounting.
+//!
+//! The scenario leans on two netsim churn semantics: a death clears the
+//! node's MAC queue (stranding partially transmitted transactions at
+//! the receiver), and a revival re-fires `on_start` (a reborn node
+//! boots afresh). Each incarnation of each sender transmits packets
+//! with a self-describing byte pattern — every byte is a tag encoding
+//! `(sender, incarnation)`, and the packet length is a function of the
+//! tag — so a single foreign fragment in a delivered packet is
+//! detectable by inspection.
+
+use retri::IdentifierSpace;
+use retri_aff::service::AffService;
+use retri_aff::{SelectorPolicy, WireConfig};
+use retri_netsim::prelude::*;
+use retri_netsim::topology::Topology;
+
+/// `(sender, incarnation)` packed into the fill byte every packet is
+/// made of: sender in the high nibble, incarnation (mod 16) in the low.
+fn tag(sender: u8, incarnation: u8) -> u8 {
+    (sender << 4) | (incarnation & 0x0F)
+}
+
+/// Packet length is derived from the tag, so reused identifiers from
+/// different senders or incarnations disagree on `total_len` — the
+/// reassembler's bounds-conflict accounting must catch the mix.
+fn packet_len(fill: u8) -> usize {
+    let sender = usize::from(fill >> 4);
+    let incarnation = usize::from(fill & 0x0F);
+    30 + 16 * sender + 8 * (incarnation % 3)
+}
+
+struct ChurnNode {
+    aff: AffService,
+    /// `Some(k)` for sender `k`, `None` for the receiver.
+    sender: Option<u8>,
+    /// Bumped on every `on_start`: 1 at boot, +1 per revival.
+    incarnation: u8,
+    delivered: Vec<Vec<u8>>,
+}
+
+impl ChurnNode {
+    fn send_next(&mut self, ctx: &mut Context<'_>) {
+        if let Some(sender) = self.sender {
+            let fill = tag(sender, self.incarnation);
+            let packet = vec![fill; packet_len(fill)];
+            self.aff.send(ctx, &packet).expect("packet fits");
+        }
+    }
+}
+
+impl Protocol for ChurnNode {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        if self.sender.is_some() {
+            self.incarnation += 1;
+            self.send_next(ctx);
+            ctx.set_timer(SimDuration::from_millis(120), 0);
+        }
+    }
+
+    fn on_frame(&mut self, ctx: &mut Context<'_>, frame: &Frame) {
+        self.aff.handle_frame(ctx, frame);
+        while let Some(packet) = self.aff.poll_delivered() {
+            self.delivered.push(packet);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _timer: Timer) {
+        self.send_next(ctx);
+        ctx.set_timer(SimDuration::from_millis(120), 0);
+    }
+}
+
+/// Two senders and one receiver on a tiny identifier space, with both
+/// senders repeatedly killed mid-stream. The long reassembly TTL keeps
+/// stranded partial transactions around so revived senders and the
+/// surviving sender demonstrably reuse their identifiers.
+fn run_churn_trial(seed: u64) -> (Vec<Vec<u8>>, u64, u64) {
+    let wire = WireConfig::aff(IdentifierSpace::new(3).expect("valid width"));
+    let mut faults = FaultModel::none();
+    // Node 0 dies and revives every 800 ms, offset so deaths land
+    // mid-transaction; node 1 churns twice at a slower cadence.
+    for cycle in 0..10u64 {
+        faults = faults
+            .with_churn_event(SimTime::from_millis(450 + 800 * cycle), NodeId(0), false)
+            .with_churn_event(SimTime::from_millis(850 + 800 * cycle), NodeId(0), true);
+    }
+    for cycle in 0..2u64 {
+        faults = faults
+            .with_churn_event(
+                SimTime::from_millis(2_030 + 4_000 * cycle),
+                NodeId(1),
+                false,
+            )
+            .with_churn_event(SimTime::from_millis(2_530 + 4_000 * cycle), NodeId(1), true);
+    }
+    let wire_for_factory = wire.clone();
+    let mut sim = SimBuilder::new(seed)
+        .mac(MacConfig::csma())
+        .range(100.0)
+        .faults(faults)
+        .build(move |id: NodeId| ChurnNode {
+            aff: AffService::new(wire_for_factory.clone(), 27, SelectorPolicy::Uniform)
+                .expect("wire fits the radio")
+                .with_reassembly_ttl(1_500_000),
+            sender: (id.index() < 2).then_some(id.index() as u8),
+            incarnation: 0,
+            delivered: Vec::new(),
+        });
+    let topo = Topology::full_mesh(3, 100.0);
+    for id in topo.node_ids() {
+        sim.add_node_at(topo.position(id));
+    }
+    sim.run_until(SimTime::from_secs(12));
+    let receiver = sim.protocol(NodeId(2));
+    let stats = receiver.aff.reassembly_stats();
+    (
+        receiver.delivered.clone(),
+        stats.identifier_conflicts(),
+        stats.checksum_failures,
+    )
+}
+
+#[test]
+fn churned_senders_never_deliver_mixed_bytes() {
+    let (delivered, conflicts, checksum_failures) = run_churn_trial(0xC0FFEE);
+    assert!(
+        delivered.len() > 20,
+        "the network must keep delivering through churn: {}",
+        delivered.len()
+    );
+    let mut tags_seen = std::collections::BTreeSet::new();
+    for packet in &delivered {
+        let fill = packet[0];
+        assert!(
+            packet.iter().all(|&b| b == fill),
+            "a delivered packet mixed bytes from different transactions: {packet:?}"
+        );
+        assert_eq!(
+            packet.len(),
+            packet_len(fill),
+            "a delivered packet has another incarnation's length: fill {fill:#04x}"
+        );
+        tags_seen.insert(fill);
+    }
+    // Churn demonstrably happened: node 0 delivered packets from at
+    // least two incarnations (tags 0x01, 0x02, ... share a zero high
+    // nibble), and node 1 delivered too.
+    let node0_incarnations = tags_seen.iter().filter(|&&t| t >> 4 == 0).count();
+    assert!(
+        node0_incarnations >= 2,
+        "revivals must produce fresh incarnations: {tags_seen:?}"
+    );
+    assert!(
+        tags_seen.iter().any(|&t| t >> 4 == 1),
+        "the second sender must deliver: {tags_seen:?}"
+    );
+    // The mixing attempts the tiny identifier space provokes are all
+    // accounted for — stranded partials colliding with reused
+    // identifiers surface as bounds conflicts or CRC rejections.
+    assert!(
+        conflicts + checksum_failures > 0,
+        "identifier reuse across churn must hit the conflict accounting \
+         (conflicts {conflicts}, checksum failures {checksum_failures})"
+    );
+}
+
+#[test]
+fn churn_trials_are_reproducible() {
+    let a = run_churn_trial(7);
+    let b = run_churn_trial(7);
+    assert_eq!(a.0, b.0);
+    assert_eq!((a.1, a.2), (b.1, b.2));
+}

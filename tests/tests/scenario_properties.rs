@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use retri_aff::sender::{Workload, WorkloadMode};
-use retri_aff::{AffNode, AffReceiver, AffSender, SelectorPolicy, WireConfig};
+use retri_aff::{AffNode, AffReceiver, AffSender, SelectorPolicy, Testbed, WireConfig};
 use retri_netsim::prelude::*;
 use retri_netsim::topology::Topology;
 
@@ -109,5 +109,70 @@ proptest! {
         let a = run_scenario(seed, transmitters, id_bits, 80, false, 5);
         let b = run_scenario(seed, transmitters, id_bits, 80, false, 5);
         prop_assert_eq!(a, b);
+    }
+}
+
+/// A fault model that touches every injection mechanism at once.
+fn composite_faults() -> FaultModel {
+    FaultModel::none()
+        .with_channel(GilbertElliott::bursty(
+            ChannelState {
+                bit_error_rate: 1e-4,
+                frame_erasure: 0.0,
+            },
+            ChannelState {
+                bit_error_rate: 5e-3,
+                frame_erasure: 0.05,
+            },
+            0.1,
+            0.3,
+        ))
+        .with_churn_event(SimTime::from_secs(1), NodeId(0), false)
+        .with_churn_event(SimTime::from_secs(2), NodeId(0), true)
+        .with_partition(PartitionWindow::new(
+            SimTime::from_secs(3),
+            SimTime::from_secs(4),
+            vec![NodeId(1)],
+        ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The fault RNG lives on its own seed stream: a channel that is
+    /// configured but clean (zero error rates) consumes no draws and
+    /// leaves the whole trial byte-identical to `FaultModel::none()` —
+    /// the integration-level face of the golden-capture guarantee.
+    #[test]
+    fn clean_channel_is_byte_identical_to_no_fault_model(
+        seed in any::<u64>(),
+        id_bits in 3u8..12,
+    ) {
+        let mut baseline = Testbed::paper(id_bits, SelectorPolicy::Uniform);
+        baseline.workload.stop = SimTime::from_secs(5);
+        let mut clean = baseline.clone();
+        clean.faults = FaultModel::none().with_channel(GilbertElliott::iid(ChannelState::clean()));
+        prop_assert_eq!(baseline.run(seed), clean.run(seed));
+    }
+
+    /// Fault-enabled runs are exactly as reproducible as clean ones:
+    /// same seed, same composite fault model, byte-identical result —
+    /// and the faults demonstrably fire.
+    #[test]
+    fn fault_enabled_same_seed_runs_are_byte_identical(
+        seed in any::<u64>(),
+        id_bits in 4u8..12,
+    ) {
+        let mut testbed = Testbed::paper(id_bits, SelectorPolicy::Uniform);
+        testbed.workload.stop = SimTime::from_secs(5);
+        testbed.faults = composite_faults();
+        let a = testbed.run(seed);
+        let b = testbed.run(seed);
+        prop_assert_eq!(a, b);
+        prop_assert!(
+            a.medium.corrupted_deliveries + a.medium.fault_erasures > 0,
+            "the composite channel must actually fire: {a:?}"
+        );
+        prop_assert!(a.medium.partition_losses > 0, "{a:?}");
     }
 }
