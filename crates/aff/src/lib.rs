@@ -69,6 +69,7 @@
 pub mod bitio;
 pub mod crc;
 pub mod frag;
+pub(crate) mod obs;
 pub mod reassembly;
 pub mod receiver;
 pub mod roles;
@@ -79,7 +80,7 @@ pub mod wire;
 pub use frag::Fragmenter;
 pub use reassembly::Reassembler;
 pub use receiver::AffReceiver;
-pub use roles::{AffNode, Testbed, TrialResult};
+pub use roles::{AffNode, ObservedTrialResult, Testbed, TrialResult};
 pub use sender::{AffSender, SelectorPolicy, Workload};
 pub use service::AffService;
 pub use wire::{Fragment, HeaderScheme, WireConfig};

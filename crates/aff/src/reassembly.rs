@@ -53,6 +53,19 @@ pub struct ReassemblyStats {
     /// introduction, this can only happen when two senders share the
     /// key (the paper's "other inconsistencies"); newest wins.
     pub bounds_conflicts: u64,
+    /// Fragments whose reassembly completed and verified (fate:
+    /// delivered).
+    pub fragments_delivered: u64,
+    /// Fragments whose reassembly completed but failed the CRC-16
+    /// (fate: rejected with the collided packet).
+    pub fragments_checksum_rejected: u64,
+    /// Fragments discarded when a conflicting introduction or bounds
+    /// conflict restarted their reassembly newest-wins (fate:
+    /// conflicted).
+    pub fragments_conflict_discarded: u64,
+    /// Fragments in reassemblies evicted by the timeout (fate:
+    /// expired/stranded).
+    pub fragments_expired: u64,
 }
 
 impl ReassemblyStats {
@@ -61,6 +74,18 @@ impl ReassemblyStats {
     #[must_use]
     pub fn identifier_conflicts(&self) -> u64 {
         self.conflicting_intros + self.bounds_conflicts
+    }
+
+    /// Accepted fragments already assigned a terminal fate. The
+    /// remainder (`fragments_accepted - fragments_resolved()`) must sit
+    /// in pending buffers — [`Reassembler::pending_fragments`] asserts
+    /// exactly that, and `trace_report` audits it per trial.
+    #[must_use]
+    pub fn fragments_resolved(&self) -> u64 {
+        self.fragments_delivered
+            + self.fragments_checksum_rejected
+            + self.fragments_conflict_discarded
+            + self.fragments_expired
     }
 }
 
@@ -71,6 +96,9 @@ struct Pending {
     buffer: Vec<u8>,
     covered: Vec<bool>,
     last_heard: u64,
+    /// Fragments accepted into this incarnation of the buffer; credited
+    /// to exactly one fate counter when the buffer resolves.
+    fragments: u64,
 }
 
 impl Pending {
@@ -81,6 +109,7 @@ impl Pending {
             buffer: Vec::new(),
             covered: Vec::new(),
             last_heard: now,
+            fragments: 0,
         }
     }
 
@@ -169,6 +198,20 @@ impl Reassembler {
         self.pending.len()
     }
 
+    /// Fragments sitting in incomplete buffers — the unresolved
+    /// remainder of the conservation identity `fragments_accepted ==
+    /// fragments_resolved() + pending_fragments()`.
+    #[must_use]
+    pub fn pending_fragments(&self) -> u64 {
+        self.pending.values().map(|entry| entry.fragments).sum()
+    }
+
+    /// Bytes currently allocated across pending reassembly buffers.
+    #[must_use]
+    pub fn buffered_bytes(&self) -> usize {
+        self.pending.values().map(|entry| entry.buffer.len()).sum()
+    }
+
     /// Decodes a frame payload and feeds it in.
     ///
     /// # Errors
@@ -219,9 +262,11 @@ impl Reassembler {
                     // packet is claiming this key. Newest wins; the old
                     // reassembly is lost.
                     self.stats.conflicting_intros += 1;
+                    self.stats.fragments_conflict_discarded += entry.fragments;
                     *entry = Pending::new(now);
                 } else if oversized {
                     self.stats.bounds_conflicts += 1;
+                    self.stats.fragments_conflict_discarded += entry.fragments;
                     *entry = Pending::new(now);
                 }
                 entry.total_len = Some(*total_len);
@@ -244,6 +289,7 @@ impl Reassembler {
                     // the introduced reassembly is abandoned rather than
                     // polluted with bytes the checksum cannot vouch for.
                     self.stats.bounds_conflicts += 1;
+                    self.stats.fragments_conflict_discarded += entry.fragments;
                     *entry = Pending::new(now);
                 }
                 entry.ensure_len(end);
@@ -261,15 +307,21 @@ impl Reassembler {
             }
             Fragment::Notify { .. } => unreachable!("filtered above"),
         }
+        // Credited after the conflict checks so a restart-triggering
+        // fragment counts toward the incarnation it starts, not the one
+        // it destroys.
+        entry.fragments += 1;
         if entry.is_complete() {
             let entry = self.pending.remove(&key).expect("entry exists");
             let total = entry.total_len.expect("complete implies intro") as usize;
             let packet = &entry.buffer[..total];
             if crc16(packet) == entry.checksum.expect("complete implies intro") {
                 self.stats.delivered += 1;
+                self.stats.fragments_delivered += entry.fragments;
                 return Some(packet.to_vec());
             }
             self.stats.checksum_failures += 1;
+            self.stats.fragments_checksum_rejected += entry.fragments;
         }
         None
     }
@@ -277,9 +329,15 @@ impl Reassembler {
     /// Evicts reassemblies idle past the ttl; returns how many.
     pub fn expire(&mut self, now: u64) -> usize {
         let ttl = self.ttl;
+        let stats = &mut self.stats;
         let before = self.pending.len();
-        self.pending
-            .retain(|_, entry| now.saturating_sub(entry.last_heard) <= ttl);
+        self.pending.retain(|_, entry| {
+            let keep = now.saturating_sub(entry.last_heard) <= ttl;
+            if !keep {
+                stats.fragments_expired += entry.fragments;
+            }
+            keep
+        });
         let dropped = before - self.pending.len();
         self.stats.expired += dropped as u64;
         dropped
@@ -509,6 +567,69 @@ mod tests {
             assert_eq!(delivered, Some(packet), "round {round}");
         }
         assert_eq!(r.stats().delivered, 3);
+    }
+
+    fn assert_conserved(r: &Reassembler) {
+        let stats = r.stats();
+        assert_eq!(
+            stats.fragments_accepted,
+            stats.fragments_resolved() + r.pending_fragments(),
+            "every accepted fragment must have exactly one fate: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn every_fate_path_conserves_fragments() {
+        let (f, mut r) = setup(8);
+        // Delivered.
+        for payload in f.fragment(&[1u8; 60], key(&f, 20), None).unwrap() {
+            let _ = r.accept_payload(&payload, 0).unwrap();
+            assert_conserved(&r);
+        }
+        assert!(r.stats().fragments_delivered > 0);
+        // Checksum-rejected: interleave two packets on a shared key so
+        // the surviving reassembly completes with foreign bytes.
+        let shared = key(&f, 21);
+        let frags_a = f.fragment(&[0xAA; 80], shared, None).unwrap();
+        let frags_b = f.fragment(&[0xBB; 80], shared, None).unwrap();
+        let _ = r.accept_payload(&frags_a[0], 0).unwrap();
+        for payload in &frags_b[1..] {
+            let _ = r.accept_payload(payload, 0).unwrap();
+            assert_conserved(&r);
+        }
+        assert!(r.stats().fragments_checksum_rejected > 0);
+        // Conflict-discarded: a contradicting introduction restarts.
+        let shared = key(&f, 22);
+        let frags_c = f.fragment(&[0xCC; 40], shared, None).unwrap();
+        let frags_d = f.fragment(&[0xDD; 80], shared, None).unwrap();
+        let _ = r.accept_payload(&frags_c[0], 0).unwrap();
+        let _ = r.accept_payload(&frags_c[1], 0).unwrap();
+        let _ = r.accept_payload(&frags_d[0], 0).unwrap();
+        assert_conserved(&r);
+        assert!(r.stats().fragments_conflict_discarded >= 2);
+        // Expired: a lone fragment left to time out.
+        let _ = r
+            .accept_payload(&f.fragment(&[0xEE; 80], key(&f, 23), None).unwrap()[1], 0)
+            .unwrap();
+        r.expire(u64::MAX);
+        assert_conserved(&r);
+        assert!(r.stats().fragments_expired > 0);
+        assert_eq!(r.pending_fragments(), 0);
+        assert_eq!(r.buffered_bytes(), 0);
+    }
+
+    #[test]
+    fn restarting_fragment_belongs_to_the_new_incarnation() {
+        let (f, mut r) = setup(8);
+        let shared = key(&f, 24);
+        let frags_a = f.fragment(&[0x11; 40], shared, None).unwrap();
+        let frags_b = f.fragment(&[0x22; 40], shared, None).unwrap();
+        let _ = r.accept_payload(&frags_a[0], 0).unwrap();
+        let _ = r.accept_payload(&frags_b[0], 0).unwrap(); // restart
+        assert_eq!(r.stats().fragments_conflict_discarded, 1);
+        // The conflicting intro itself survives into the new buffer.
+        assert_eq!(r.pending_fragments(), 1);
+        assert_conserved(&r);
     }
 
     #[test]

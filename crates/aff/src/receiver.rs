@@ -21,6 +21,7 @@ use std::collections::HashMap;
 use retri_netsim::{Context, Frame, NodeId, Protocol, Timer};
 
 use crate::crc::crc16;
+use crate::obs::ReceiverObs;
 use crate::reassembly::{Reassembler, ReassemblyStats};
 use crate::wire::{Fragment, WireConfig};
 
@@ -40,6 +41,10 @@ pub struct ReceiverStats {
     /// Collision notifications broadcast (Section 3.2 mechanism; only
     /// nonzero on wires built with notifications enabled).
     pub notifications_sent: u64,
+    /// Frames that parsed as fragments (notifications included), so
+    /// every frame handed to the receiver is either a decode error or a
+    /// parsed fragment: `frames == decode_errors + fragments_parsed`.
+    pub fragments_parsed: u64,
 }
 
 /// Streaming per-source reassembly: sound because each sender's
@@ -66,6 +71,7 @@ pub struct AffReceiver {
     aff: Reassembler,
     truth: HashMap<NodeId, TruthAssembly>,
     stats: ReceiverStats,
+    obs: Option<ReceiverObs>,
 }
 
 impl AffReceiver {
@@ -78,7 +84,35 @@ impl AffReceiver {
             wire,
             truth: HashMap::new(),
             stats: ReceiverStats::default(),
+            obs: None,
         }
+    }
+
+    /// Mirrors this receiver's counters into `obs` (the `aff_*` metric
+    /// families). A disabled handle is a no-op: nothing is registered,
+    /// and `on_frame` stays on its native-counter path.
+    pub fn enable_obs(&mut self, obs: &retri_obs::Obs) {
+        self.obs = obs.is_enabled().then(|| ReceiverObs::new(obs));
+    }
+
+    /// Pushes the latest counters and occupancy into the registry, if
+    /// observability is on.
+    fn record_obs(&mut self) {
+        if let Some(obs) = &mut self.obs {
+            obs.record(
+                self.aff.stats(),
+                self.stats,
+                self.aff.pending_len(),
+                self.aff.buffered_bytes(),
+            );
+        }
+    }
+
+    /// The AFF reassembler (read-only), for occupancy and conservation
+    /// audits.
+    #[must_use]
+    pub fn reassembler(&self) -> &Reassembler {
+        &self.aff
     }
 
     /// Counters of the ground-truth pipeline and the decoder.
@@ -179,10 +213,13 @@ impl Protocol for AffReceiver {
             Ok(fragment) => fragment,
             Err(_) => {
                 self.stats.decode_errors += 1;
+                self.record_obs();
                 return;
             }
         };
+        self.stats.fragments_parsed += 1;
         if matches!(fragment, Fragment::Notify { .. }) {
+            self.record_obs();
             return; // another receiver's notification
         }
         let now = ctx.now().as_micros();
@@ -212,6 +249,7 @@ impl Protocol for AffReceiver {
         }
         // Pipeline 2: ground truth from the simulator's frame metadata.
         self.feed_truth(frame.src, &fragment);
+        self.record_obs();
     }
 
     fn on_timer(&mut self, _ctx: &mut Context<'_>, _timer: Timer) {}

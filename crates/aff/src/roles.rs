@@ -8,13 +8,19 @@
 
 use retri::IdentifierSpace;
 use retri_netsim::prelude::*;
+use retri_netsim::trace::TraceEvent;
+use retri_obs::{Obs, Snapshot};
 
-use crate::receiver::AffReceiver;
-use crate::sender::{AffSender, SelectorPolicy, Workload};
+use crate::reassembly::ReassemblyStats;
+use crate::receiver::{AffReceiver, ReceiverStats};
+use crate::sender::{AffSender, SelectorPolicy, SenderStats, Workload};
 use crate::wire::WireConfig;
 
 /// Either role of the AFF experiment.
+// Exactly one Receiver exists per testbed, so the size skew between the
+// variants never multiplies across the node population.
 #[derive(Debug)]
+#[allow(clippy::large_enum_variant)]
 pub enum AffNode {
     /// A transmitting node.
     Sender(AffSender),
@@ -153,6 +159,74 @@ impl Testbed {
     /// Panics under the same conditions as [`Testbed::run`].
     #[must_use]
     pub fn run_with_energy(&self, seed: u64) -> EnergyTrialResult {
+        let sim = self.run_sim(seed, None, None);
+        self.collect(&sim)
+    }
+
+    /// Runs one trial with observability and tracing on: every
+    /// `netsim_*` and `aff_*` metric is recorded into a per-trial
+    /// registry, the medium keeps a [`TraceEvent`] ring of
+    /// `trace_capacity` events, and the result carries everything the
+    /// `trace_report` lifecycle audit needs. The registry lives and
+    /// dies inside this call, so the testbed itself stays `Sync` and
+    /// plain [`Testbed::run`] stays on the obs-off zero-cost path.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Testbed::run`].
+    #[must_use]
+    pub fn run_observed(&self, seed: u64, trace_capacity: usize) -> ObservedTrialResult {
+        let obs = Obs::enabled();
+        let sim = self.run_sim(seed, Some(&obs), Some(trace_capacity));
+        let energy = self.collect(&sim);
+        let mut sender = SenderStats::default();
+        for id in sim.node_ids().take(self.transmitters) {
+            let stats = sim
+                .protocol(id)
+                .as_sender()
+                .expect("first nodes are senders")
+                .stats();
+            sender.packets_sent += stats.packets_sent;
+            sender.fragments_sent += stats.fragments_sent;
+            sender.data_bits_sent += stats.data_bits_sent;
+            sender.retransmissions += stats.retransmissions;
+        }
+        // Sender-side totals are folded in once at the end of the run:
+        // they change on every queued fragment, and per-event mirroring
+        // would buy nothing over the senders' native counters.
+        obs.counter("aff_packets_offered_total", &[])
+            .add(sender.packets_sent);
+        obs.counter("aff_fragments_sent_total", &[])
+            .add(sender.fragments_sent);
+        obs.counter("aff_data_bits_sent_total", &[])
+            .add(sender.data_bits_sent);
+        obs.counter("aff_retransmissions_total", &[])
+            .add(sender.retransmissions);
+        let rx = sim
+            .protocol(NodeId(self.transmitters as u32))
+            .as_receiver()
+            .expect("last node is the receiver");
+        let tracer = sim.tracer().expect("run_observed enables tracing");
+        ObservedTrialResult {
+            energy,
+            snapshot: obs.snapshot().expect("obs was built enabled"),
+            trace: tracer.events().copied().collect(),
+            trace_dropped: tracer.dropped(),
+            sender,
+            receiver: rx.stats(),
+            reassembly: rx.aff_stats(),
+            pending_fragments: rx.reassembler().pending_fragments(),
+        }
+    }
+
+    /// Builds the testbed network and runs it to the trial deadline,
+    /// optionally attaching observability and tracing.
+    fn run_sim(
+        &self,
+        seed: u64,
+        obs: Option<&Obs>,
+        trace_capacity: Option<usize>,
+    ) -> Simulator<AffNode> {
         let space = IdentifierSpace::new(self.id_bits).expect("valid identifier width");
         let wire = if self.notifications {
             WireConfig::aff(space).with_notifications()
@@ -165,6 +239,7 @@ impl Testbed {
         let radio = self.radio;
         let ttl = self.reassembly_ttl_micros;
         let wire_for_factory = wire.clone();
+        let obs_for_factory = obs.cloned();
         let mut sim = SimBuilder::new(seed)
             .radio(radio)
             .mac(self.mac)
@@ -183,9 +258,19 @@ impl Testbed {
                         .expect("testbed wire fits the radio"),
                     )
                 } else {
-                    AffNode::Receiver(AffReceiver::new(wire_for_factory.clone(), ttl))
+                    let mut receiver = AffReceiver::new(wire_for_factory.clone(), ttl);
+                    if let Some(obs) = &obs_for_factory {
+                        receiver.enable_obs(obs);
+                    }
+                    AffNode::Receiver(receiver)
                 }
             });
+        if let Some(obs) = obs {
+            sim.enable_obs(obs);
+        }
+        if let Some(capacity) = trace_capacity {
+            sim.enable_trace(capacity);
+        }
         // Fully connected ring: transmitters first, then the receiver.
         let topo = Topology::full_mesh(transmitters + 1, 100.0);
         for id in topo.node_ids() {
@@ -206,11 +291,17 @@ impl Testbed {
                 );
             }
         }
-        let receiver = NodeId(transmitters as u32);
         // Run until the workload stops plus drain time.
         let deadline = self.workload.stop + SimDuration::from_secs(2);
         sim.run_until(deadline);
+        sim
+    }
 
+    /// Extracts the trial verdicts and energy readings from a finished
+    /// simulator.
+    fn collect(&self, sim: &Simulator<AffNode>) -> EnergyTrialResult {
+        let transmitters = self.transmitters;
+        let receiver = NodeId(transmitters as u32);
         let rx = sim
             .protocol(receiver)
             .as_receiver()
@@ -249,6 +340,31 @@ impl Testbed {
             receiver_energy_nj: sim.energy_nj(receiver),
         }
     }
+}
+
+/// Everything one observed trial produces: the ordinary results plus
+/// the metrics snapshot, the medium trace, and the receiver-side
+/// fragment accounting the `trace_report` audit cross-validates.
+#[derive(Debug, Clone)]
+pub struct ObservedTrialResult {
+    /// The protocol-level outcome with energy readings.
+    pub energy: EnergyTrialResult,
+    /// Every `netsim_*` and `aff_*` metric recorded during the trial.
+    pub snapshot: Snapshot,
+    /// The retained medium-event window, oldest first.
+    pub trace: Vec<TraceEvent>,
+    /// Events the ring buffer evicted (0 when `trace_capacity` covered
+    /// the whole run).
+    pub trace_dropped: u64,
+    /// Aggregated transmitter-side counters.
+    pub sender: SenderStats,
+    /// The designated receiver's frame-level counters.
+    pub receiver: ReceiverStats,
+    /// The AFF reassembly pipeline's fragment-fate counters.
+    pub reassembly: ReassemblyStats,
+    /// Fragments still sitting in incomplete buffers at the deadline
+    /// (the "stranded" fate).
+    pub pending_fragments: u64,
 }
 
 /// A [`TrialResult`] augmented with measured radio energy.
@@ -414,6 +530,64 @@ mod tests {
         assert!(
             sleepy.collision_loss_rate > awake.collision_loss_rate,
             "sleepy {sleepy:?} vs awake {awake:?}"
+        );
+    }
+
+    #[test]
+    fn observed_trial_matches_the_plain_trial() {
+        // Observability and tracing never touch an RNG stream, so the
+        // protocol-level outcome must be bit-identical with them on.
+        let testbed = quick_testbed(6, SelectorPolicy::Uniform);
+        let plain = testbed.run(9);
+        let observed = testbed.run_observed(9, 1 << 16);
+        assert_eq!(plain, observed.energy.trial);
+    }
+
+    #[test]
+    fn observed_trial_snapshot_mirrors_native_counters() {
+        let mut testbed = quick_testbed(4, SelectorPolicy::Uniform);
+        testbed.faults = FaultModel::none().with_channel(GilbertElliott::iid(ChannelState {
+            bit_error_rate: 0.0005,
+            frame_erasure: 0.05,
+        }));
+        let observed = testbed.run_observed(17, 1 << 16);
+        let snap = &observed.snapshot;
+        let medium = observed.energy.trial.medium;
+        assert_eq!(snap.counter("netsim_frames_sent_total"), medium.frames_sent);
+        assert_eq!(snap.counter("netsim_deliveries_total"), medium.deliveries);
+        assert_eq!(
+            snap.counter("aff_fragments_accepted_total"),
+            observed.reassembly.fragments_accepted
+        );
+        assert_eq!(
+            snap.counter("aff_fragments_sent_total"),
+            observed.sender.fragments_sent
+        );
+        assert_eq!(
+            snap.counter("aff_decode_errors_total"),
+            observed.receiver.decode_errors
+        );
+        assert_eq!(
+            snap.counter("aff_truth_delivered_total"),
+            observed.energy.trial.truth_delivered
+        );
+        // Every frame the receiver heard either parsed or did not.
+        assert_eq!(
+            observed.receiver.fragments_parsed + observed.receiver.decode_errors,
+            snap.counter("aff_fragments_parsed_total") + snap.counter("aff_decode_errors_total")
+        );
+    }
+
+    #[test]
+    fn observed_trial_conserves_fragment_fates() {
+        let testbed = quick_testbed(3, SelectorPolicy::Uniform);
+        let observed = testbed.run_observed(23, 1 << 16);
+        let stats = observed.reassembly;
+        assert!(stats.fragments_accepted > 0);
+        assert_eq!(
+            stats.fragments_accepted,
+            stats.fragments_resolved() + observed.pending_fragments,
+            "every accepted fragment must have exactly one fate: {stats:?}"
         );
     }
 

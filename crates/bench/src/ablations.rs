@@ -137,7 +137,7 @@ pub fn listening_window(level: EffortLevel) -> Provenance<WindowPoint> {
         let observed = cell_runs.summarize(|&rate| rate);
         provenance.push_cell(cell_runs.seeds, WindowPoint { window, observed });
     }
-    provenance
+    provenance.with_run_metrics()
 }
 
 // ---------------------------------------------------------------------
@@ -204,7 +204,7 @@ pub fn hidden_terminal(level: EffortLevel) -> Provenance<GeometryPoint> {
             },
         );
     }
-    provenance
+    provenance.with_run_metrics()
 }
 
 // ---------------------------------------------------------------------
@@ -307,7 +307,7 @@ pub fn mixed_lengths(level: EffortLevel) -> Provenance<MixedLengthResult> {
             mixed_prediction: mixed_model.p_collision(h, t),
         },
     );
-    provenance
+    provenance.with_run_metrics()
 }
 
 // ---------------------------------------------------------------------
@@ -406,7 +406,7 @@ pub fn dynamic_churn(level: EffortLevel) -> Provenance<ChurnPoint> {
         let (control, data) = cell_runs.values[0];
         provenance.push_cell(cell_runs.seeds, churn_point(churn, control, data));
     }
-    provenance
+    provenance.with_run_metrics()
 }
 
 /// The centralized (WINS-style) comparator at the same churn levels:
@@ -478,7 +478,7 @@ pub fn central_churn(level: EffortLevel) -> Provenance<ChurnPoint> {
         let (control, data) = cell_runs.values[0];
         provenance.push_cell(cell_runs.seeds, churn_point(churn, control, data));
     }
-    provenance
+    provenance.with_run_metrics()
 }
 
 // ---------------------------------------------------------------------
@@ -574,7 +574,7 @@ pub fn density_scaling(level: EffortLevel) -> Provenance<ScalingPoint> {
             },
         );
     }
-    provenance
+    provenance.with_run_metrics()
 }
 
 // ---------------------------------------------------------------------
@@ -636,7 +636,7 @@ pub fn mac_robustness(level: EffortLevel) -> Provenance<MacPoint> {
             },
         );
     }
-    provenance
+    provenance.with_run_metrics()
 }
 
 // ---------------------------------------------------------------------
@@ -683,7 +683,7 @@ pub fn density_sweep(level: EffortLevel) -> Provenance<DensityPoint> {
             },
         );
     }
-    provenance
+    provenance.with_run_metrics()
 }
 
 // ---------------------------------------------------------------------
@@ -753,7 +753,7 @@ pub fn duty_cycle(level: EffortLevel) -> Provenance<DutyCyclePoint> {
             },
         );
     }
-    provenance
+    provenance.with_run_metrics()
 }
 
 // ---------------------------------------------------------------------
@@ -805,7 +805,7 @@ pub fn listening_energy(level: EffortLevel) -> Provenance<EnergyPoint> {
             },
         );
     }
-    provenance
+    provenance.with_run_metrics()
 }
 
 // ---------------------------------------------------------------------
@@ -875,7 +875,7 @@ pub fn notification(level: EffortLevel) -> Provenance<NotificationPoint> {
             },
         );
     }
-    provenance
+    provenance.with_run_metrics()
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 //! measured rates should track it, completing the validation of both
 //! model parameters.
 //!
-//! Usage: `ablation_density [--quick | --paper] [--json <path>]`.
+//! Usage: `ablation_density [--quick | --paper] [--json <path>] [--obs]`.
 
 use retri_bench::ablations;
 use retri_bench::table::{self, f};
@@ -15,6 +15,7 @@ use retri_bench::EffortLevel;
 
 fn main() {
     let level = EffortLevel::from_args();
+    retri_bench::obs_from_args();
     println!(
         "Ablation: collision rate vs. transaction density, 6-bit ids\n\
          ({} trials x {} s per point)\n",

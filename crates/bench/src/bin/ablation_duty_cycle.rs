@@ -12,7 +12,7 @@
 //! bound — bracketed by this repository's listening-model extension
 //! evaluated at the corresponding hear probabilities.
 //!
-//! Usage: `ablation_duty_cycle [--quick | --paper] [--json <path>]`.
+//! Usage: `ablation_duty_cycle [--quick | --paper] [--json <path>] [--obs]`.
 
 use retri_bench::ablations;
 use retri_bench::table::{self, f};
@@ -20,6 +20,7 @@ use retri_bench::EffortLevel;
 
 fn main() {
     let level = EffortLevel::from_args();
+    retri_bench::obs_from_args();
     println!(
         "Ablation: duty-cycled listeners, 4-bit ids, T=5 ({} trials x {} s)\n",
         level.trials(),

@@ -7,7 +7,7 @@
 //! contrast, is a constant `H` header bits per `D`-bit transaction —
 //! churn-free by construction.
 //!
-//! Usage: `ablation_dynamic_addr [--quick | --paper]`.
+//! Usage: `ablation_dynamic_addr [--quick | --paper] [--obs]`.
 
 use retri_bench::ablations;
 use retri_bench::harness::Provenance;
@@ -39,6 +39,7 @@ fn churn_table(provenance: &Provenance<ablations::ChurnPoint>) -> String {
 
 fn main() {
     let level = EffortLevel::from_args();
+    retri_bench::obs_from_args();
     println!("Ablation: allocation overhead vs. churn, 8 nodes, 2-byte readings / 30 s\n");
     let dynamic = ablations::dynamic_churn(level);
     let central = ablations::central_churn(level);

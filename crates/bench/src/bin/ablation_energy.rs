@@ -9,7 +9,7 @@
 //! collision loss *and* the measured per-transmitter radio energy
 //! (transmit + receive + idle listening).
 //!
-//! Usage: `ablation_energy [--quick | --paper] [--json <path>]`.
+//! Usage: `ablation_energy [--quick | --paper] [--json <path>] [--obs]`.
 
 use retri_bench::ablations;
 use retri_bench::table::{self, f};
@@ -17,6 +17,7 @@ use retri_bench::EffortLevel;
 
 fn main() {
     let level = EffortLevel::from_args();
+    retri_bench::obs_from_args();
     println!(
         "Ablation: energy cost of listening, 4-bit ids, T=5 ({} trials x {} s)\n",
         level.trials(),

@@ -7,7 +7,7 @@
 //! of the receiver's range, mutually inaudible, and compares against
 //! the same load fully connected.
 //!
-//! Usage: `ablation_hidden [--quick | --paper]`.
+//! Usage: `ablation_hidden [--quick | --paper] [--obs]`.
 
 use retri_bench::ablations;
 use retri_bench::table::{self, f};
@@ -15,6 +15,7 @@ use retri_bench::EffortLevel;
 
 fn main() {
     let level = EffortLevel::from_args();
+    retri_bench::obs_from_args();
     println!(
         "Ablation: hidden terminals, 2 senders + middle receiver, 2-bit ids, listening on\n\
          ({} trials x {} s)\n",

@@ -8,7 +8,7 @@
 //! repository's mixed-length model extension
 //! (`retri_model::lengths::MixedLengthModel`).
 //!
-//! Usage: `ablation_lengths [--quick | --paper]`.
+//! Usage: `ablation_lengths [--quick | --paper] [--obs]`.
 
 use retri_bench::ablations;
 use retri_bench::table::{self, f};
@@ -16,6 +16,7 @@ use retri_bench::EffortLevel;
 
 fn main() {
     let level = EffortLevel::from_args();
+    retri_bench::obs_from_args();
     println!(
         "Ablation: mixed packet sizes 20/20/80/80/200 B, 6-bit ids, T=5 ({} trials x {} s)\n",
         level.trials(),

@@ -6,7 +6,7 @@
 //! 16T, showing the diminishing returns the paper predicts ("listening
 //! is usually not as helpful as making the identifier pool larger").
 //!
-//! Usage: `ablation_listening [--quick | --paper]`.
+//! Usage: `ablation_listening [--quick | --paper] [--obs]`.
 
 use retri_bench::ablations;
 use retri_bench::table::{self, f};
@@ -14,6 +14,7 @@ use retri_bench::EffortLevel;
 
 fn main() {
     let level = EffortLevel::from_args();
+    retri_bench::obs_from_args();
     println!(
         "Ablation: listening window at 4-bit identifiers, T=5 ({} trials x {} s)\n",
         level.trials(),

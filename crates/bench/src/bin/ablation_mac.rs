@@ -9,7 +9,7 @@
 //! the packets that do get through, are a property of identifier
 //! selection and concurrency, not of the channel-access discipline.
 //!
-//! Usage: `ablation_mac [--quick | --paper]`.
+//! Usage: `ablation_mac [--quick | --paper] [--obs]`.
 
 use retri_bench::ablations;
 use retri_bench::table::{self, f};
@@ -17,6 +17,7 @@ use retri_bench::EffortLevel;
 
 fn main() {
     let level = EffortLevel::from_args();
+    retri_bench::obs_from_args();
     println!(
         "Ablation: MAC robustness, paced load (packet per 300 ms per sender), T=5\n\
          ({} trials x {} s per point)\n",

@@ -9,7 +9,7 @@
 //! plus the notification frames themselves; the benefit is recovered
 //! deliveries at narrow identifier widths.
 //!
-//! Usage: `ablation_notification [--quick | --paper] [--json <path>]`.
+//! Usage: `ablation_notification [--quick | --paper] [--json <path>] [--obs]`.
 
 use retri_bench::ablations;
 use retri_bench::table::{self, f};
@@ -17,6 +17,7 @@ use retri_bench::EffortLevel;
 
 fn main() {
     let level = EffortLevel::from_args();
+    retri_bench::obs_from_args();
     println!(
         "Ablation: collision notifications + fresh-id retransmission, T=5\n\
          ({} trials x {} s per point)\n",

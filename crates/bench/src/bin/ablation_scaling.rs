@@ -7,7 +7,7 @@
 //! identifier space. Per-cluster collision loss stays flat; the bits a
 //! globally unique static allocation needs grow with every doubling.
 //!
-//! Usage: `ablation_scaling [--quick | --paper]`.
+//! Usage: `ablation_scaling [--quick | --paper] [--obs]`.
 
 use retri_bench::ablations;
 use retri_bench::table::{self, f};
@@ -15,6 +15,7 @@ use retri_bench::EffortLevel;
 
 fn main() {
     let level = EffortLevel::from_args();
+    retri_bench::obs_from_args();
     println!(
         "Ablation: density scaling — growing the network at constant local density\n\
          ({} trials x {} s)\n",

@@ -9,7 +9,7 @@
 //! sit below the analytic curves, but the ordering — who wins at which
 //! identifier width — is the paper's claim under test.
 //!
-//! Usage: `efficiency_measured [--quick | --paper] [--json <path>]`.
+//! Usage: `efficiency_measured [--quick | --paper] [--json <path>] [--obs]`.
 
 use retri_bench::figures;
 use retri_bench::table::{self, f};
@@ -17,6 +17,7 @@ use retri_bench::EffortLevel;
 
 fn main() {
     let level = EffortLevel::from_args();
+    retri_bench::obs_from_args();
     println!(
         "Measured efficiency, 80-byte packets, 5 transmitters -> 1 receiver ({} trials x {} s)\n",
         level.trials(),

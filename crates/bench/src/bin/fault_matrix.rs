@@ -14,14 +14,33 @@
 //! identifier/bounds conflicts — never as silently delivered wrong
 //! bytes.
 //!
-//! Usage: `fault_matrix [--quick | --paper] [--json <path>]`.
+//! Usage: `fault_matrix [--quick | --paper] [--json <path>] [--obs]
+//! [--trace <dir>]`.
+//!
+//! `--trace <dir>` additionally re-runs trial 0 of every scenario with
+//! full tracing and metrics enabled and writes one
+//! `retri-trace-recording/v1` document per scenario to
+//! `<dir>/trace_<scenario>.json` — the input format of the
+//! `trace_report` lifecycle audit.
 
 use retri_bench::differential;
 use retri_bench::table::{self, f};
 use retri_bench::EffortLevel;
 
+/// Parses `--trace <dir>` from argv.
+fn trace_dir_from_args() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+    }
+    None
+}
+
 fn main() {
     let level = EffortLevel::from_args();
+    retri_bench::obs_from_args();
     println!(
         "Differential model check + fault matrix ({} trials x {} s per cell)\n",
         level.trials(),
@@ -30,6 +49,14 @@ fn main() {
     let report = differential::report(level);
     if let Some(path) = retri_bench::json_path_from_args() {
         retri_bench::write_json(&path, &report);
+    }
+    if let Some(dir) = trace_dir_from_args() {
+        std::fs::create_dir_all(&dir)
+            .unwrap_or_else(|err| panic!("cannot create {}: {err}", dir.display()));
+        for recording in differential::record_fault_traces(level) {
+            let path = dir.join(format!("trace_{}.json", recording.scenario));
+            retri_bench::write_json(&path, &recording.to_json_value());
+        }
     }
 
     let rows: Vec<Vec<String>> = report

@@ -9,7 +9,7 @@
 //! with the adaptive listening heuristic — and compare against the
 //! Eq. 4 prediction for T = 5.
 //!
-//! Usage: `fig4 [--quick | --paper]` (default: 5 trials × 60 s; the
+//! Usage: `fig4 [--quick | --paper] [--obs]` (default: 5 trials × 60 s; the
 //! paper's exact protocol is `--paper`: 10 trials × 120 s).
 
 use retri_bench::figures;
@@ -18,6 +18,7 @@ use retri_bench::EffortLevel;
 
 fn main() {
     let level = EffortLevel::from_args();
+    retri_bench::obs_from_args();
     let id_sizes: Vec<u8> = (1..=12).collect();
     println!(
         "Figure 4: collision rate, model vs. implementation (T=5, {} trials x {} s per point)\n",

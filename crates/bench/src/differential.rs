@@ -206,7 +206,7 @@ pub fn differential_sweep(level: EffortLevel) -> Provenance<DifferentialCell> {
             },
         );
     }
-    provenance
+    provenance.with_run_metrics()
 }
 
 /// One fault-injection scenario's aggregated loss accounting.
@@ -364,7 +364,46 @@ pub fn fault_matrix(level: EffortLevel) -> Provenance<FaultScenarioCell> {
             },
         );
     }
-    provenance
+    provenance.with_run_metrics()
+}
+
+/// Records one observed trial per fault scenario for the
+/// `trace_report` lifecycle audit: trial 0 of each scenario cell is
+/// re-run with tracing and metrics enabled (the same
+/// [`harness::trial_seed`] derivation as [`fault_matrix`], so the
+/// recording replays exactly what the matrix measured) and flattened
+/// into an [`audit::Recording`](crate::audit::Recording).
+///
+/// # Panics
+///
+/// Panics if the testbed fails to run.
+#[must_use]
+pub fn record_fault_traces(level: EffortLevel) -> Vec<crate::audit::Recording> {
+    let cells = [
+        Scenario::Clean,
+        Scenario::IidBer,
+        Scenario::Burst,
+        Scenario::Erasure,
+        Scenario::Churn,
+        Scenario::Partition,
+    ];
+    cells
+        .iter()
+        .enumerate()
+        .map(|(cell_index, &scenario)| {
+            let seed = harness::trial_seed("fault_matrix", cell_index, 0);
+            let mut testbed = Testbed::paper(8, SelectorPolicy::Uniform);
+            testbed.workload.stop = SimTime::from_secs(level.trial_secs());
+            testbed.faults = scenario.faults(seed, level.trial_secs());
+            let observed = testbed.run_observed(seed, 1 << 20);
+            crate::audit::Recording::from_observed(
+                scenario.name(),
+                seed,
+                testbed.transmitters as u32,
+                &observed,
+            )
+        })
+        .collect()
 }
 
 /// The combined document the `fault_matrix` binary emits with `--json`.

@@ -200,7 +200,7 @@ pub fn fig4_series(level: EffortLevel, id_sizes: &[u8]) -> Provenance<CollisionP
             },
         );
     }
-    provenance
+    provenance.with_run_metrics()
 }
 
 /// One row of the measured end-to-end efficiency comparison: a scheme
@@ -268,7 +268,7 @@ pub fn measured_efficiency(level: EffortLevel) -> Provenance<MeasuredEfficiencyP
             },
         );
     }
-    provenance
+    provenance.with_run_metrics()
 }
 
 #[cfg(test)]

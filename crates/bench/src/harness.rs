@@ -21,13 +21,88 @@
 //!   running an experiment twice produces identical JSON (wall-clock
 //!   timing is reported on stderr instead of being embedded).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 use retri_model::stats::Summary;
+use retri_obs::{Registry, Snapshot};
 
 use crate::EffortLevel;
+
+/// Whether [`enable_run_metrics`] has been called: the fast-path gate
+/// the worker loop checks before doing any timing work at all, so an
+/// un-instrumented run pays one relaxed atomic load per trial.
+static RUN_METRICS_ON: AtomicBool = AtomicBool::new(false);
+
+/// The process-wide run-metrics registry, populated by the worker
+/// threads while [`RUN_METRICS_ON`] is set.
+static RUN_METRICS: Mutex<Option<Registry>> = Mutex::new(None);
+
+/// Per-trial wall-clock bounds, microseconds: 1 ms to 100 s.
+const TRIAL_WALL_BOUNDS: [f64; 8] = [1e3, 1e4, 1e5, 3e5, 1e6, 3e6, 1e7, 1e8];
+
+/// Sweep-throughput bounds, trials per second.
+const THROUGHPUT_BOUNDS: [f64; 8] = [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+
+/// Turns on run metrics for this process: every subsequent
+/// [`run_trials`] sweep records per-trial wall-clock histograms
+/// (`bench_trial_wall_micros{experiment,cell}`), trial counters, and a
+/// sweep-throughput histogram (`bench_trials_per_second{experiment}`)
+/// into a process-wide registry. Off by default — the `--obs` flag in
+/// the experiment binaries calls this, and the disabled path costs one
+/// relaxed atomic load per trial.
+pub fn enable_run_metrics() {
+    *RUN_METRICS.lock().expect("no poisoned lock") = Some(Registry::new());
+    RUN_METRICS_ON.store(true, Ordering::SeqCst);
+}
+
+/// Whether [`enable_run_metrics`] has been called.
+#[must_use]
+pub fn run_metrics_enabled() -> bool {
+    RUN_METRICS_ON.load(Ordering::Relaxed)
+}
+
+/// Drains the accumulated run metrics: returns a snapshot of
+/// everything recorded since [`enable_run_metrics`] (or the previous
+/// `take_run_metrics`) and resets the registry, so successive
+/// experiments in one process each embed only their own timings.
+/// `None` when run metrics were never enabled.
+#[must_use]
+pub fn take_run_metrics() -> Option<Snapshot> {
+    if !run_metrics_enabled() {
+        return None;
+    }
+    let mut guard = RUN_METRICS.lock().expect("no poisoned lock");
+    guard.replace(Registry::new()).map(|r| r.snapshot())
+}
+
+/// Records one trial's wall clock into the run-metrics registry.
+fn record_trial_metrics(experiment_id: &str, cell_index: usize, elapsed_micros: f64) {
+    let cell = cell_index.to_string();
+    let mut guard = RUN_METRICS.lock().expect("no poisoned lock");
+    let Some(registry) = guard.as_mut() else {
+        return;
+    };
+    let labels = [("experiment", experiment_id), ("cell", cell.as_str())];
+    let hist = registry.histogram("bench_trial_wall_micros", &labels, &TRIAL_WALL_BOUNDS);
+    registry.observe(hist, elapsed_micros);
+    let trials = registry.counter("bench_trials_total", &[("experiment", experiment_id)]);
+    registry.add(trials, 1);
+}
+
+/// Records one sweep's overall throughput into the registry.
+fn record_sweep_metrics(experiment_id: &str, jobs: usize, elapsed_secs: f64, workers: usize) {
+    let mut guard = RUN_METRICS.lock().expect("no poisoned lock");
+    let Some(registry) = guard.as_mut() else {
+        return;
+    };
+    let labels = [("experiment", experiment_id)];
+    let hist = registry.histogram("bench_trials_per_second", &labels, &THROUGHPUT_BOUNDS);
+    registry.observe(hist, jobs as f64 / elapsed_secs.max(f64::EPSILON));
+    let gauge = registry.gauge("bench_workers", &labels);
+    registry.set(gauge, workers as f64);
+}
 
 /// Fixed initial state of the seed chain; an arbitrary constant that
 /// pins the whole derivation (change it and every experiment's random
@@ -165,7 +240,18 @@ where
                 let Some(&trial) = jobs.get(index) else {
                     break;
                 };
-                let value = run(&cells[trial.cell_index], trial);
+                let value = if RUN_METRICS_ON.load(Ordering::Relaxed) {
+                    let trial_started = Instant::now();
+                    let value = run(&cells[trial.cell_index], trial);
+                    record_trial_metrics(
+                        experiment_id,
+                        trial.cell_index,
+                        trial_started.elapsed().as_secs_f64() * 1e6,
+                    );
+                    value
+                } else {
+                    run(&cells[trial.cell_index], trial)
+                };
                 results
                     .lock()
                     .expect("no poisoned lock")
@@ -186,10 +272,13 @@ where
         grouped[trial.cell_index].seeds.push(trial.seed);
         grouped[trial.cell_index].values.push(value);
     }
+    let elapsed = started.elapsed().as_secs_f64();
+    if RUN_METRICS_ON.load(Ordering::Relaxed) {
+        record_sweep_metrics(experiment_id, jobs.len(), elapsed, workers);
+    }
     eprintln!(
-        "[harness] {experiment_id}: {} cells x {trials} trials on {workers} worker(s) in {:.2} s",
+        "[harness] {experiment_id}: {} cells x {trials} trials on {workers} worker(s) in {elapsed:.2} s",
         cells.len(),
-        started.elapsed().as_secs_f64()
     );
     grouped
 }
@@ -244,6 +333,11 @@ pub struct Provenance<Cell> {
     pub seed_algorithm: String,
     /// One entry per experiment cell, in sweep order.
     pub cells: Vec<ProvenanceCell<Cell>>,
+    /// Run-metrics snapshot ([`take_run_metrics`]) when the binary ran
+    /// with `--obs`; `None` — and **absent from the JSON** — otherwise,
+    /// so un-instrumented documents stay byte-identical to before the
+    /// field existed.
+    pub obs: Option<Snapshot>,
 }
 
 impl<Cell> Provenance<Cell> {
@@ -257,6 +351,7 @@ impl<Cell> Provenance<Cell> {
             trial_secs: level.trial_secs(),
             seed_algorithm: SEED_ALGORITHM.to_string(),
             cells: Vec::new(),
+            obs: None,
         }
     }
 
@@ -278,6 +373,7 @@ impl<Cell> Provenance<Cell> {
                     cell,
                 })
                 .collect(),
+            obs: None,
         }
     }
 
@@ -293,6 +389,17 @@ impl<Cell> Provenance<Cell> {
     /// The cells' point values, in sweep order.
     pub fn points(&self) -> impl Iterator<Item = &Cell> {
         self.cells.iter().map(|c| &c.cell)
+    }
+
+    /// Embeds the drained run-metrics snapshot ([`take_run_metrics`])
+    /// into the document. A no-op (and byte-identical JSON) unless the
+    /// process enabled run metrics with `--obs` /
+    /// [`enable_run_metrics`]. Every experiment returns through this,
+    /// so each document carries only its own sweep's timings.
+    #[must_use]
+    pub fn with_run_metrics(mut self) -> Self {
+        self.obs = take_run_metrics();
+        self
     }
 }
 
@@ -316,7 +423,7 @@ impl<Cell: serde::Serialize> serde::Serialize for ProvenanceCell<Cell> {
 
 impl<Cell: serde::Serialize> serde::Serialize for Provenance<Cell> {
     fn to_json_value(&self) -> serde::json::Value {
-        serde::json::Value::Object(vec![
+        let mut fields = vec![
             ("experiment".to_string(), self.experiment.to_json_value()),
             ("effort".to_string(), self.effort.to_json_value()),
             (
@@ -329,7 +436,14 @@ impl<Cell: serde::Serialize> serde::Serialize for Provenance<Cell> {
                 self.seed_algorithm.to_json_value(),
             ),
             ("cells".to_string(), self.cells.to_json_value()),
-        ])
+        ];
+        // Emitted only when populated: documents from runs without
+        // `--obs` must stay byte-identical to the pre-obs format (the
+        // golden quick-provenance capture pins this).
+        if let Some(obs) = &self.obs {
+            fields.push(("obs".to_string(), obs.to_json_value()));
+        }
+        serde::json::Value::Object(fields)
     }
 }
 
@@ -424,6 +538,48 @@ mod tests {
         // worker_count caps at the job count and floors at 1.
         assert_eq!(worker_count(1), 1);
         assert!(worker_count(1_000_000) >= 1);
+    }
+
+    #[test]
+    fn run_metrics_capture_trial_timings() {
+        enable_run_metrics();
+        run_trials("harness_obs_test", 3, &[0u8, 1], |_, t| t.seed);
+        let snapshot = take_run_metrics().expect("metrics were enabled");
+        assert_eq!(
+            snapshot.counter_with("bench_trials_total", &[("experiment", "harness_obs_test")]),
+            Some(6)
+        );
+        let hist = snapshot
+            .histogram_with(
+                "bench_trial_wall_micros",
+                &[("experiment", "harness_obs_test"), ("cell", "0")],
+            )
+            .expect("per-cell wall histogram exists");
+        assert_eq!(hist.count(), 3);
+        assert!(snapshot
+            .histogram_with(
+                "bench_trials_per_second",
+                &[("experiment", "harness_obs_test")]
+            )
+            .is_some());
+        // Draining resets: a second take has no harness_obs_test data.
+        let drained = take_run_metrics().expect("still enabled");
+        assert_eq!(
+            drained.counter_with("bench_trials_total", &[("experiment", "harness_obs_test")]),
+            None
+        );
+    }
+
+    #[test]
+    fn provenance_obs_key_is_absent_unless_populated() {
+        let mut prov = Provenance::new("harness_test", EffortLevel::Quick);
+        prov.push_cell(vec![1], 0.5f64);
+        let plain = serde_json::to_string_pretty(&prov).unwrap();
+        assert!(!plain.contains("\"obs\""));
+        prov.obs = Some(Snapshot::default());
+        let with_obs = serde_json::to_string_pretty(&prov).unwrap();
+        assert!(with_obs.contains("\"obs\""));
+        assert!(with_obs.starts_with(&plain[..plain.len() - 2]));
     }
 
     #[test]

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod audit;
 pub mod differential;
 pub mod figures;
 pub mod harness;
@@ -89,6 +90,20 @@ impl EffortLevel {
         }
         level
     }
+}
+
+/// Parses `--obs` from argv and, when present, enables the process-wide
+/// run-metrics registry ([`harness::enable_run_metrics`]): every sweep
+/// then records per-trial wall-clock and throughput histograms, and
+/// each provenance document embeds its own metrics snapshot under an
+/// `"obs"` key. Without the flag this is a no-op and the emitted JSON
+/// is byte-identical to an un-instrumented build.
+pub fn obs_from_args() -> bool {
+    let on = std::env::args().skip(1).any(|arg| arg == "--obs");
+    if on {
+        harness::enable_run_metrics();
+    }
+    on
 }
 
 /// Parses `--json <path>` from argv: where to additionally write the

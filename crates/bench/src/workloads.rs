@@ -14,6 +14,9 @@
 //!   — the netsim hot path under ALOHA medium saturation (every
 //!   delivery judged against a full medium), CSMA hidden-terminal
 //!   contention, and large sparse topologies;
+//! - `sim_dense_mesh_32_obs` — the dense mesh again with the metrics
+//!   registry and airtime spans live, so the trajectory records the
+//!   obs-on overhead next to the obs-off baseline;
 //! - `sim_fault_channel` — the paper testbed under a bursty
 //!   Gilbert-Elliott bit-error channel (the fault-injection hot path);
 //! - `selector_churn` — identifier selection (the RETRI core);
@@ -35,6 +38,7 @@ use retri_aff::wire::WireConfig;
 use retri_aff::{Fragmenter, SelectorPolicy, Testbed};
 use retri_netsim::prelude::*;
 use retri_netsim::topology::Topology;
+use retri_obs::Obs;
 
 use crate::harness::run_trials;
 
@@ -68,6 +72,12 @@ pub fn all() -> Vec<Workload> {
             description: "32-node full mesh, every node saturating an ALOHA channel",
             trials: 8,
             run: sim_dense_mesh,
+        },
+        Workload {
+            name: "sim_dense_mesh_32_obs",
+            description: "the same dense mesh with metrics and span recording enabled",
+            trials: 8,
+            run: sim_dense_mesh_obs,
         },
         Workload {
             name: "sim_hidden_triple",
@@ -172,6 +182,33 @@ fn sim_dense_mesh(seed: u64, quick: bool) {
     sim.run_until(SimTime::from_secs(sim_secs));
     assert!(sim.stats().frames_sent > 0);
     std::hint::black_box(sim.stats());
+}
+
+fn sim_dense_mesh_obs(seed: u64, quick: bool) {
+    // The obs-overhead probe: byte-for-byte the `sim_dense_mesh_32`
+    // workload plus a live metrics registry (counters, per-reason drop
+    // accounting, energy gauges, airtime spans). The trajectory entry
+    // comparing this median against the base workload's is the recorded
+    // obs-on overhead.
+    let sim_secs = if quick { 10 } else { 60 };
+    let obs = Obs::enabled();
+    let mut sim = SimBuilder::new(seed)
+        .mac(MacConfig::aloha())
+        .range(100.0)
+        .build(|_| Saturator { payload_bytes: 27 });
+    let topo = Topology::full_mesh(32, 100.0);
+    for id in topo.node_ids() {
+        sim.add_node_at(topo.position(id));
+    }
+    sim.enable_obs(&obs);
+    sim.run_until(SimTime::from_secs(sim_secs));
+    let snapshot = obs.snapshot().expect("obs is enabled");
+    assert_eq!(
+        snapshot.counter("netsim_frames_sent_total"),
+        sim.stats().frames_sent,
+        "recorded metrics must mirror the native counters"
+    );
+    std::hint::black_box(snapshot);
 }
 
 fn sim_hidden_triple(seed: u64, quick: bool) {

@@ -62,6 +62,7 @@ pub mod frame;
 pub mod mac;
 pub mod medium;
 pub mod node;
+pub(crate) mod obs;
 pub mod radio;
 pub mod sim;
 pub mod time;

@@ -12,12 +12,15 @@ use std::collections::{BinaryHeap, HashSet, VecDeque};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use retri_obs::Obs;
+
 use crate::energy::EnergyMeter;
 use crate::fault::{fault_stream_seed, ChurnEvent, FaultModel};
 use crate::frame::{Frame, FramePayload};
 use crate::mac::MacConfig;
 use crate::medium::{DeliveryFailure, Medium, Verdict};
 use crate::node::{Command, Context, NodeId, Protocol, Timer, TimerHandle};
+use crate::obs::NetsimObs;
 use crate::radio::RadioConfig;
 use crate::time::SimTime;
 use crate::topology::{Position, Topology};
@@ -226,6 +229,7 @@ impl SimBuilder {
             commands: Vec::new(),
             receiver_scratch: Vec::new(),
             tracer: None,
+            obs: None,
             faults: self.faults,
             fault_rng,
             fault_bad: Vec::new(),
@@ -258,6 +262,9 @@ pub struct Simulator<P> {
     /// `tx_end` calls so the steady state allocates nothing.
     receiver_scratch: Vec<NodeId>,
     tracer: Option<Tracer>,
+    /// Pre-resolved metric handles; `None` (the default) is the
+    /// provably zero-cost path — one branch per would-be recording.
+    obs: Option<NetsimObs>,
     faults: FaultModel,
     /// Dedicated fault RNG stream; never consulted when the model has
     /// no channel, so fault-off runs keep the main stream untouched.
@@ -433,6 +440,17 @@ impl<P: Protocol> Simulator<P> {
         self.tracer.as_ref()
     }
 
+    /// Attaches an observability handle (see [`retri_obs`]). When
+    /// `obs` is enabled, the simulator registers its medium-level
+    /// metrics (`netsim_*` counters, gauges, and the
+    /// `netsim_tx_airtime` span) and records into them; when `obs` is
+    /// disabled this is a no-op and the run stays on the zero-cost
+    /// path. Recording never consults any RNG stream, so enabling
+    /// observability cannot change simulation output.
+    pub fn enable_obs(&mut self, obs: &Obs) {
+        self.obs = obs.is_enabled().then(|| NetsimObs::new(obs));
+    }
+
     /// Records a trace event only when tracing is enabled. The closure
     /// defers event construction, so untraced runs never build a
     /// [`TraceEvent`] at all.
@@ -577,6 +595,10 @@ impl<P: Protocol> Simulator<P> {
         }
         if self.mac.carrier_sense && self.medium.busy_for(node, self.now, &self.topology) {
             let slots = u64::from(self.rng.gen_range(1..=self.mac.max_backoff_slots));
+            if let Some(o) = &self.obs {
+                o.mac_backoffs.inc();
+                o.mac_backoff_slots.add(slots);
+            }
             let at = self.now + self.mac.backoff_slot * slots;
             self.schedule(at, EventKind::MacTry(node));
             return;
@@ -603,6 +625,14 @@ impl<P: Protocol> Simulator<P> {
             seq,
             bits: bits_on_air,
         });
+        if let Some(o) = &mut self.obs {
+            o.frames_sent.inc();
+            o.tx_bits.add(bits_on_air);
+            o.airtime_micros.add(airtime.as_micros());
+            o.energy_tx_nj
+                .shift(bits_on_air as f64 * self.radio.energy.tx_nj_per_bit);
+            o.tx_span_start(seq, at.as_micros());
+        }
         self.schedule(end, EventKind::TxEnd { seq, node });
     }
 
@@ -611,6 +641,10 @@ impl<P: Protocol> Simulator<P> {
         // O(1) record lookup; takes the frame out of the record instead
         // of cloning it.
         let (frame, bits_on_air, tx_start, tx_end_at) = self.medium.end_tx(seq);
+        if let Some(o) = &mut self.obs {
+            o.tx_span_end(seq, tx_end_at.as_micros());
+        }
+        let rx_nj = bits_on_air as f64 * self.radio.energy.rx_nj_per_bit;
         // Receivers in deterministic id order, straight off the
         // adjacency cache into a reused scratch buffer.
         let mut receivers = std::mem::take(&mut self.receiver_scratch);
@@ -621,6 +655,9 @@ impl<P: Protocol> Simulator<P> {
             let draw: f64 = self.rng.gen_range(0.0..1.0);
             if self.faults.severs(node, receiver, self.now) {
                 self.stats.partition_losses += 1;
+                if let Some(o) = &self.obs {
+                    o.drop_for(LossReason::Partitioned);
+                }
                 let at = self.now;
                 self.trace_with(|| TraceEvent::Lost {
                     at,
@@ -634,6 +671,9 @@ impl<P: Protocol> Simulator<P> {
             if let Some(duty) = self.nodes[receiver.index()].duty_cycle {
                 if !duty.awake_during(tx_start, tx_end_at) {
                     self.stats.sleep_misses += 1;
+                    if let Some(o) = &self.obs {
+                        o.drop_for(LossReason::Asleep);
+                    }
                     let at = self.now;
                     self.trace_with(|| TraceEvent::Lost {
                         at,
@@ -666,6 +706,12 @@ impl<P: Protocol> Simulator<P> {
                             self.stats.random_losses += 1;
                         }
                     }
+                    if let Some(o) = &self.obs {
+                        o.drop_for(failure.into());
+                        if !matches!(failure, DeliveryFailure::HalfDuplex) {
+                            o.energy_rx_nj.shift(rx_nj);
+                        }
+                    }
                     self.trace_with(|| TraceEvent::Lost {
                         at,
                         from: node,
@@ -678,6 +724,9 @@ impl<P: Protocol> Simulator<P> {
                     self.nodes[receiver.index()]
                         .meter
                         .record_rx(bits_on_air, tx_end_at.since(tx_start).as_micros());
+                    if let Some(o) = &self.obs {
+                        o.energy_rx_nj.shift(rx_nj);
+                    }
                     // The fault channel judges the frame last, from its
                     // own RNG stream: erasure drops it, a positive BER
                     // may flip payload bits on a per-receiver copy.
@@ -689,6 +738,9 @@ impl<P: Protocol> Simulator<P> {
                         );
                         if fault.erased {
                             self.stats.fault_erasures += 1;
+                            if let Some(o) = &self.obs {
+                                o.drop_for(LossReason::FaultErasure);
+                            }
                             self.trace_with(|| TraceEvent::Lost {
                                 at,
                                 from: node,
@@ -713,10 +765,17 @@ impl<P: Protocol> Simulator<P> {
                         }
                     }
                     self.stats.deliveries += 1;
+                    if let Some(o) = &self.obs {
+                        o.deliveries.inc();
+                    }
                     match corrupted {
                         Some((mangled, flipped)) => {
                             self.stats.corrupted_deliveries += 1;
                             self.stats.flipped_bits += flipped;
+                            if let Some(o) = &self.obs {
+                                o.corrupted_deliveries.inc();
+                                o.flipped_bits.add(flipped);
+                            }
                             self.trace_with(|| TraceEvent::Corrupted {
                                 at,
                                 from: node,
@@ -1296,6 +1355,110 @@ mod tests {
             stats.corrupted_deliveries <= stats.deliveries,
             "corruption is a flavor of delivery, not a loss: {stats}"
         );
+    }
+
+    #[test]
+    fn obs_counters_match_medium_stats() {
+        use crate::fault::{ChannelState, FaultModel, GilbertElliott};
+        let faults = FaultModel::none().with_channel(GilbertElliott::iid(ChannelState {
+            bit_error_rate: 0.001,
+            frame_erasure: 0.3,
+        }));
+        let obs = Obs::enabled();
+        let mut sim = SimBuilder::new(40).faults(faults).build(|id| Chatter {
+            to_send: if id == NodeId(0) { 30 } else { 0 },
+            heard: 0,
+            payload_bytes: 27,
+        });
+        sim.enable_obs(&obs);
+        sim.add_node_at(Position::new(0.0, 0.0));
+        sim.add_node_at(Position::new(10.0, 0.0));
+        sim.run_until(SimTime::from_secs(20));
+        let stats = sim.stats();
+        let snap = obs.snapshot().expect("enabled");
+        assert_eq!(snap.counter("netsim_frames_sent_total"), stats.frames_sent);
+        assert_eq!(snap.counter("netsim_deliveries_total"), stats.deliveries);
+        assert_eq!(
+            snap.counter_with("netsim_drops_total", &[("reason", "fault_erasure")]),
+            Some(stats.fault_erasures)
+        );
+        assert_eq!(
+            snap.counter("netsim_corrupted_deliveries_total"),
+            stats.corrupted_deliveries
+        );
+        assert_eq!(
+            snap.counter("netsim_flipped_bits_total"),
+            stats.flipped_bits
+        );
+        // Airtime counter and completed spans agree with frames sent.
+        assert_eq!(
+            snap.counter("netsim_tx_airtime_completed_total"),
+            stats.frames_sent
+        );
+        let spans = snap
+            .histogram_with("netsim_tx_airtime_micros", &[])
+            .expect("span histogram registered");
+        assert_eq!(spans.count(), stats.frames_sent);
+        assert!(
+            (spans.sum() - snap.counter("netsim_airtime_micros_total") as f64).abs() < 1e-6,
+            "span durations must sum to total airtime"
+        );
+        // Energy gauges agree with the meters.
+        let total = sim.total_meter();
+        assert!(
+            (snap.gauge("netsim_energy_tx_nj") - total.tx_energy_nj(&sim.radio().energy)).abs()
+                < 1e-6
+        );
+        assert!(
+            (snap.gauge("netsim_energy_rx_nj") - total.rx_energy_nj(&sim.radio().energy)).abs()
+                < 1e-6
+        );
+    }
+
+    #[test]
+    fn obs_on_run_is_identical_to_obs_off() {
+        // Metrics are pure observations: the RNG streams, stats, and
+        // meters of an observed run must equal the unobserved run.
+        let mut plain = two_node_sim(41);
+        let mut observed = two_node_sim(41);
+        let obs = Obs::enabled();
+        observed.enable_obs(&obs);
+        plain.run_until(SimTime::from_secs(2));
+        observed.run_until(SimTime::from_secs(2));
+        assert_eq!(plain.stats(), observed.stats());
+        assert_eq!(plain.meter(NodeId(0)), observed.meter(NodeId(0)));
+        assert_eq!(plain.meter(NodeId(1)), observed.meter(NodeId(1)));
+        assert_eq!(
+            plain.protocol(NodeId(1)).heard,
+            observed.protocol(NodeId(1)).heard
+        );
+        // And attaching a *disabled* handle stays on the None path.
+        let mut disabled = two_node_sim(41);
+        disabled.enable_obs(&Obs::disabled());
+        disabled.run_until(SimTime::from_secs(2));
+        assert_eq!(plain.stats(), disabled.stats());
+    }
+
+    #[test]
+    fn backoff_metrics_count_carrier_sense_deferrals() {
+        let obs = Obs::enabled();
+        let mut sim = SimBuilder::new(42)
+            .mac(MacConfig::csma())
+            .build(|id| Chatter {
+                to_send: if id != NodeId(2) { 20 } else { 0 },
+                heard: 0,
+                payload_bytes: 27,
+            });
+        sim.enable_obs(&obs);
+        sim.add_node_at(Position::new(0.0, 0.0));
+        sim.add_node_at(Position::new(10.0, 0.0));
+        sim.add_node_at(Position::new(5.0, 5.0));
+        sim.run_until(SimTime::from_secs(30));
+        let snap = obs.snapshot().expect("enabled");
+        let backoffs = snap.counter("netsim_mac_backoffs_total");
+        let slots = snap.counter("netsim_mac_backoff_slots_total");
+        assert!(backoffs > 0, "two saturating senders must defer");
+        assert!(slots >= backoffs, "every backoff waits at least one slot");
     }
 
     #[test]

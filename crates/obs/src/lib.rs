@@ -1,0 +1,250 @@
+//! `retri-obs`: deterministic, allocation-light observability for the
+//! RETRI workspace.
+//!
+//! The crate has three layers:
+//!
+//! - [`Registry`] — counters, gauges, and fixed-bucket histograms
+//!   keyed by `(name, label set)`, updated through dense index handles
+//!   so the hot path never hashes or allocates.
+//! - [`SpanTracker`] — sim-time spans (start/end keyed by `u64`,
+//!   durations in simulated microseconds) folded into registry
+//!   metrics.
+//! - [`Snapshot`] — a frozen, plain-data, `Send` view with JSONL and
+//!   Prometheus-text exporters, a `serde::Serialize` impl for
+//!   embedding in provenance JSON, and a parser for reading
+//!   recordings back.
+//!
+//! # The zero-cost disabled path
+//!
+//! Instrumented code holds an [`Obs`] handle. A disabled handle is
+//! `None` all the way down: every recording call is a single
+//! `Option` branch — no registry, no `RefCell`, no allocation, and
+//! crucially **no RNG draws and no change to any simulation output**.
+//! The workspace enforces this contract with a byte-identity test
+//! against the golden provenance capture (`tests/golden/`): an
+//! obs-off run must serialize to exactly the same bytes as before
+//! this crate existed.
+//!
+//! Metrics are pure observations. Enabling obs must never change
+//! simulation behaviour either — the simulator's RNG streams are
+//! never consulted by any recording call, which is proven by the
+//! obs-on-equals-obs-off stats tests in `retri-netsim` and
+//! `retri-aff`.
+
+#![forbid(unsafe_code)]
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+mod export;
+mod histogram;
+mod registry;
+mod span;
+
+pub use export::{MetricKind, MetricValue, Snapshot};
+pub use histogram::Histogram;
+pub use registry::{CounterId, GaugeId, HistogramId, Registry};
+pub use span::SpanTracker;
+
+/// A cloneable handle to a shared registry — or to nothing.
+///
+/// `Obs::disabled()` (also `Default`) is the zero-cost path: handles
+/// minted from it are `None` and every operation is one branch.
+/// `Obs::enabled()` creates a fresh registry; clones share it. The
+/// handle is deliberately *not* `Send`/`Sync` (it is an
+/// `Rc<RefCell<…>>`): each simulation runs single-threaded, and
+/// cross-thread aggregation happens by moving [`Snapshot`]s, which
+/// are plain data.
+#[derive(Clone, Default, Debug)]
+pub struct Obs {
+    inner: Option<Rc<RefCell<Registry>>>,
+}
+
+impl Obs {
+    /// The no-op handle.
+    pub fn disabled() -> Self {
+        Obs { inner: None }
+    }
+
+    /// A handle backed by a fresh, empty registry.
+    pub fn enabled() -> Self {
+        Obs {
+            inner: Some(Rc::new(RefCell::new(Registry::new()))),
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Runs `f` against the registry when enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry is already mutably borrowed — recording
+    /// calls must not nest.
+    pub fn with<R>(&self, f: impl FnOnce(&mut Registry) -> R) -> Option<R> {
+        self.inner.as_ref().map(|reg| f(&mut reg.borrow_mut()))
+    }
+
+    /// Freezes the current registry state. `None` when disabled.
+    pub fn snapshot(&self) -> Option<Snapshot> {
+        self.inner.as_ref().map(|reg| reg.borrow().snapshot())
+    }
+
+    /// Pre-resolves a counter handle (no-op handle when disabled).
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        Counter {
+            slot: self
+                .inner
+                .as_ref()
+                .map(|reg| (Rc::clone(reg), reg.borrow_mut().counter(name, labels))),
+        }
+    }
+
+    /// Pre-resolves a gauge handle (no-op handle when disabled).
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        Gauge {
+            slot: self
+                .inner
+                .as_ref()
+                .map(|reg| (Rc::clone(reg), reg.borrow_mut().gauge(name, labels))),
+        }
+    }
+
+    /// Pre-resolves a histogram handle (no-op handle when disabled).
+    pub fn histogram(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> HistogramHandle {
+        HistogramHandle {
+            slot: self.inner.as_ref().map(|reg| {
+                (
+                    Rc::clone(reg),
+                    reg.borrow_mut().histogram(name, labels, bounds),
+                )
+            }),
+        }
+    }
+}
+
+/// Pre-resolved counter: `inc`/`add` are one branch when disabled,
+/// one `Vec` index when enabled.
+#[derive(Clone, Default, Debug)]
+pub struct Counter {
+    slot: Option<(Rc<RefCell<Registry>>, CounterId)>,
+}
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `delta`.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        if let Some((reg, id)) = &self.slot {
+            reg.borrow_mut().add(*id, delta);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn value(&self) -> u64 {
+        self.slot
+            .as_ref()
+            .map_or(0, |(reg, id)| reg.borrow().counter_value(*id))
+    }
+}
+
+/// Pre-resolved gauge.
+#[derive(Clone, Default, Debug)]
+pub struct Gauge {
+    slot: Option<(Rc<RefCell<Registry>>, GaugeId)>,
+}
+
+impl Gauge {
+    /// Sets the gauge to `value`.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if let Some((reg, id)) = &self.slot {
+            reg.borrow_mut().set(*id, value);
+        }
+    }
+
+    /// Moves the gauge by `delta` (may be negative).
+    #[inline]
+    pub fn shift(&self, delta: f64) {
+        if let Some((reg, id)) = &self.slot {
+            reg.borrow_mut().shift(*id, delta);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn value(&self) -> f64 {
+        self.slot
+            .as_ref()
+            .map_or(0.0, |(reg, id)| reg.borrow().gauge_value(*id))
+    }
+}
+
+/// Pre-resolved histogram.
+#[derive(Clone, Default, Debug)]
+pub struct HistogramHandle {
+    slot: Option<(Rc<RefCell<Registry>>, HistogramId)>,
+}
+
+impl HistogramHandle {
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, value: f64) {
+        if let Some((reg, id)) = &self.slot {
+            reg.borrow_mut().observe(*id, value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handles_are_inert() {
+        let obs = Obs::disabled();
+        assert!(!obs.is_enabled());
+        let c = obs.counter("x_total", &[]);
+        let g = obs.gauge("g", &[]);
+        let h = obs.histogram("h", &[], &[1.0]);
+        c.inc();
+        c.add(10);
+        g.set(5.0);
+        g.shift(-2.0);
+        h.observe(3.0);
+        assert_eq!(c.value(), 0);
+        assert_eq!(g.value(), 0.0);
+        assert!(obs.snapshot().is_none());
+        assert!(obs.with(|_| ()).is_none());
+    }
+
+    #[test]
+    fn clones_share_one_registry() {
+        let obs = Obs::enabled();
+        let a = obs.counter("shared_total", &[]);
+        let b = obs.clone().counter("shared_total", &[]);
+        a.inc();
+        b.add(2);
+        assert_eq!(obs.snapshot().unwrap().counter("shared_total"), 3);
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(!Obs::default().is_enabled());
+        Counter::default().inc();
+        Gauge::default().set(1.0);
+        HistogramHandle::default().observe(1.0);
+    }
+}

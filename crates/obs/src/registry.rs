@@ -1,0 +1,284 @@
+//! The metrics registry: counters, gauges, and histograms keyed by
+//! `(name, label set)`.
+//!
+//! Registration resolves a key to a dense index once, up front; the
+//! hot path then updates a metric by indexing a `Vec` — no hashing, no
+//! allocation, no formatting. All iteration orders are deterministic
+//! (insertion order internally, sorted order in [`Snapshot`]s), so two
+//! identical runs export identical bytes.
+//!
+//! [`Snapshot`]: crate::Snapshot
+
+use std::collections::HashMap;
+
+use crate::export::{MetricKind, MetricValue, Snapshot};
+use crate::histogram::Histogram;
+
+/// Handle to a registered counter. Cheap to copy; only valid for the
+/// registry that issued it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterId(pub(crate) usize);
+
+/// Handle to a registered gauge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GaugeId(pub(crate) usize);
+
+/// Handle to a registered histogram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramId(pub(crate) usize);
+
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum MetricData {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(Histogram),
+}
+
+#[derive(Clone, Debug)]
+struct Metric {
+    name: String,
+    labels: Vec<(String, String)>,
+    data: MetricData,
+}
+
+/// A deterministic metrics registry.
+///
+/// Names are snake_case with a subsystem prefix (`netsim_…`, `aff_…`,
+/// `bench_…`) and counters end in `_total`, following the Prometheus
+/// conventions documented in EXPERIMENTS.md. Registering the same
+/// `(name, labels)` twice returns the original handle, so independent
+/// components may share a metric.
+#[derive(Default, Clone, Debug)]
+pub struct Registry {
+    metrics: Vec<Metric>,
+    index: HashMap<(String, Vec<(String, String)>), usize>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    fn register(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        data: MetricData,
+        kind: &'static str,
+    ) -> usize {
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let key = (name.to_string(), labels.clone());
+        if let Some(&slot) = self.index.get(&key) {
+            let existing = match self.metrics[slot].data {
+                MetricData::Counter(_) => "counter",
+                MetricData::Gauge(_) => "gauge",
+                MetricData::Histogram(_) => "histogram",
+            };
+            assert_eq!(
+                existing, kind,
+                "metric {name:?} re-registered as a different kind"
+            );
+            return slot;
+        }
+        let slot = self.metrics.len();
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            labels,
+            data,
+        });
+        self.index.insert(key, slot);
+        slot
+    }
+
+    /// Registers (or finds) a monotonically increasing counter.
+    pub fn counter(&mut self, name: &str, labels: &[(&str, &str)]) -> CounterId {
+        CounterId(self.register(name, labels, MetricData::Counter(0), "counter"))
+    }
+
+    /// Registers (or finds) a gauge (a value that can move both ways).
+    pub fn gauge(&mut self, name: &str, labels: &[(&str, &str)]) -> GaugeId {
+        GaugeId(self.register(name, labels, MetricData::Gauge(0.0), "gauge"))
+    }
+
+    /// Registers (or finds) a fixed-bucket histogram. Bounds must match
+    /// on re-registration.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> HistogramId {
+        let slot = self.register(
+            name,
+            labels,
+            MetricData::Histogram(Histogram::with_bounds(bounds)),
+            "histogram",
+        );
+        if let MetricData::Histogram(h) = &self.metrics[slot].data {
+            assert_eq!(
+                h.bounds(),
+                bounds,
+                "histogram {name:?} re-registered with different bounds"
+            );
+        }
+        HistogramId(slot)
+    }
+
+    /// Adds `delta` to a counter.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, delta: u64) {
+        match &mut self.metrics[id.0].data {
+            MetricData::Counter(v) => *v += delta,
+            _ => unreachable!("CounterId always points at a counter"),
+        }
+    }
+
+    /// Current counter value.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        match self.metrics[id.0].data {
+            MetricData::Counter(v) => v,
+            _ => unreachable!("CounterId always points at a counter"),
+        }
+    }
+
+    /// Sets a gauge to an absolute value.
+    #[inline]
+    pub fn set(&mut self, id: GaugeId, value: f64) {
+        match &mut self.metrics[id.0].data {
+            MetricData::Gauge(v) => *v = value,
+            _ => unreachable!("GaugeId always points at a gauge"),
+        }
+    }
+
+    /// Moves a gauge by `delta` (may be negative).
+    #[inline]
+    pub fn shift(&mut self, id: GaugeId, delta: f64) {
+        match &mut self.metrics[id.0].data {
+            MetricData::Gauge(v) => *v += delta,
+            _ => unreachable!("GaugeId always points at a gauge"),
+        }
+    }
+
+    /// Current gauge value.
+    pub fn gauge_value(&self, id: GaugeId) -> f64 {
+        match self.metrics[id.0].data {
+            MetricData::Gauge(v) => v,
+            _ => unreachable!("GaugeId always points at a gauge"),
+        }
+    }
+
+    /// Records one histogram observation.
+    #[inline]
+    pub fn observe(&mut self, id: HistogramId, value: f64) {
+        match &mut self.metrics[id.0].data {
+            MetricData::Histogram(h) => h.observe(value),
+            _ => unreachable!("HistogramId always points at a histogram"),
+        }
+    }
+
+    /// Read access to a histogram.
+    pub fn histogram_value(&self, id: HistogramId) -> &Histogram {
+        match &self.metrics[id.0].data {
+            MetricData::Histogram(h) => h,
+            _ => unreachable!("HistogramId always points at a histogram"),
+        }
+    }
+
+    /// Freezes the current state into a plain-data [`Snapshot`],
+    /// sorted by `(name, labels)` so the export order is independent
+    /// of registration order.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut metrics: Vec<MetricValue> = self
+            .metrics
+            .iter()
+            .map(|m| MetricValue {
+                name: m.name.clone(),
+                labels: m.labels.clone(),
+                value: match &m.data {
+                    MetricData::Counter(v) => MetricKind::Counter(*v),
+                    MetricData::Gauge(v) => MetricKind::Gauge(*v),
+                    MetricData::Histogram(h) => MetricKind::Histogram(h.clone()),
+                },
+            })
+            .collect();
+        metrics.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        Snapshot { metrics }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent() {
+        let mut reg = Registry::new();
+        let a = reg.counter("x_total", &[("reason", "loss")]);
+        let b = reg.counter("x_total", &[("reason", "loss")]);
+        let c = reg.counter("x_total", &[("reason", "other")]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        reg.add(a, 2);
+        reg.add(b, 3);
+        assert_eq!(reg.counter_value(a), 5);
+        assert_eq!(reg.counter_value(c), 0);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn gauges_move_both_ways() {
+        let mut reg = Registry::new();
+        let g = reg.gauge("occupancy", &[]);
+        reg.shift(g, 3.0);
+        reg.shift(g, -1.0);
+        assert_eq!(reg.gauge_value(g), 2.0);
+        reg.set(g, 10.0);
+        assert_eq!(reg.gauge_value(g), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let mut reg = Registry::new();
+        reg.counter("m", &[]);
+        reg.gauge("m", &[]);
+    }
+
+    #[test]
+    fn snapshot_order_is_independent_of_registration_order() {
+        let mut forward = Registry::new();
+        forward.counter("a_total", &[]);
+        forward.counter("b_total", &[]);
+        let mut backward = Registry::new();
+        backward.counter("b_total", &[]);
+        backward.counter("a_total", &[]);
+        assert_eq!(
+            forward
+                .snapshot()
+                .metrics
+                .iter()
+                .map(|m| m.name.clone())
+                .collect::<Vec<_>>(),
+            backward
+                .snapshot()
+                .metrics
+                .iter()
+                .map(|m| m.name.clone())
+                .collect::<Vec<_>>(),
+        );
+    }
+}

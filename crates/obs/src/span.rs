@@ -1,0 +1,113 @@
+//! Sim-time span tracing.
+//!
+//! A span measures the interval between two simulation events (start
+//! and end of a transmission, introduction and delivery of a packet)
+//! identified by a caller-chosen `u64` key. Durations are recorded in
+//! *simulated* microseconds — this crate deliberately has no notion of
+//! wall-clock time and no dependency on the simulator's `SimTime`, so
+//! it can sit below every other crate in the workspace.
+
+use std::collections::HashMap;
+
+use crate::registry::{CounterId, GaugeId, HistogramId, Registry};
+
+/// Tracks open spans and folds completed ones into registry metrics.
+///
+/// Registering a tracker named `base` creates four metrics:
+/// `{base}_micros` (duration histogram), `{base}_active` (gauge of
+/// currently open spans), `{base}_started_total`, and
+/// `{base}_completed_total`. A span that is started twice with the
+/// same key restarts (the first start is dropped from the active set
+/// but stays counted in `_started_total`); ending an unknown key is a
+/// no-op returning `None`.
+#[derive(Debug)]
+pub struct SpanTracker {
+    active: HashMap<u64, u64>,
+    duration: HistogramId,
+    active_gauge: GaugeId,
+    started: CounterId,
+    completed: CounterId,
+}
+
+impl SpanTracker {
+    /// Registers the span metrics under `base` with the given duration
+    /// histogram bounds (in simulated microseconds).
+    pub fn register(
+        registry: &mut Registry,
+        base: &str,
+        labels: &[(&str, &str)],
+        bounds_micros: &[f64],
+    ) -> Self {
+        SpanTracker {
+            active: HashMap::new(),
+            duration: registry.histogram(&format!("{base}_micros"), labels, bounds_micros),
+            active_gauge: registry.gauge(&format!("{base}_active"), labels),
+            started: registry.counter(&format!("{base}_started_total"), labels),
+            completed: registry.counter(&format!("{base}_completed_total"), labels),
+        }
+    }
+
+    /// Opens a span for `key` at sim-time `at_micros`.
+    pub fn start(&mut self, registry: &mut Registry, key: u64, at_micros: u64) {
+        registry.add(self.started, 1);
+        if self.active.insert(key, at_micros).is_none() {
+            registry.shift(self.active_gauge, 1.0);
+        }
+    }
+
+    /// Closes the span for `key` at sim-time `at_micros`, recording its
+    /// duration. Returns the duration in micros, or `None` if no span
+    /// was open for `key`.
+    pub fn end(&mut self, registry: &mut Registry, key: u64, at_micros: u64) -> Option<u64> {
+        let started_at = self.active.remove(&key)?;
+        registry.shift(self.active_gauge, -1.0);
+        registry.add(self.completed, 1);
+        let duration = at_micros.saturating_sub(started_at);
+        registry.observe(self.duration, duration as f64);
+        Some(duration)
+    }
+
+    /// Number of spans currently open (spans started but never ended —
+    /// e.g. transmissions still on the air when the run stops — stay
+    /// visible here and in the `_active` gauge).
+    pub fn open(&self) -> usize {
+        self.active.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_durations_and_track_active_count() {
+        let mut reg = Registry::new();
+        let mut spans = SpanTracker::register(&mut reg, "netsim_tx_airtime", &[], &[100.0, 1000.0]);
+        spans.start(&mut reg, 1, 0);
+        spans.start(&mut reg, 2, 50);
+        assert_eq!(spans.open(), 2);
+        assert_eq!(spans.end(&mut reg, 1, 80), Some(80));
+        assert_eq!(spans.end(&mut reg, 1, 90), None);
+        let snapshot = reg.snapshot();
+        assert_eq!(snapshot.counter("netsim_tx_airtime_started_total"), 2);
+        assert_eq!(snapshot.counter("netsim_tx_airtime_completed_total"), 1);
+        assert_eq!(snapshot.gauge("netsim_tx_airtime_active"), 1.0);
+        let hist = snapshot
+            .histogram_with("netsim_tx_airtime_micros", &[])
+            .unwrap();
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.counts(), &[1, 0, 0]);
+    }
+
+    #[test]
+    fn restarting_a_key_keeps_the_gauge_consistent() {
+        let mut reg = Registry::new();
+        let mut spans = SpanTracker::register(&mut reg, "s", &[], &[10.0]);
+        spans.start(&mut reg, 7, 0);
+        spans.start(&mut reg, 7, 5);
+        assert_eq!(spans.open(), 1);
+        assert_eq!(reg.snapshot().gauge("s_active"), 1.0);
+        assert_eq!(spans.end(&mut reg, 7, 9), Some(4));
+        assert_eq!(reg.snapshot().gauge("s_active"), 0.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Byte-identity regression against the golden quick-provenance
+//! capture: with observability *disabled* (the default), the library
+//! functions must serialize exactly the JSON committed under
+//! `tests/golden/quick-provenance/` — proving the obs subsystem's
+//! disabled path changes nothing, not even serialization.
+//!
+//! This file deliberately never calls
+//! `retri_bench::harness::enable_run_metrics()`; the flag is
+//! process-global, and keeping these tests in their own integration
+//! binary guarantees no other test can flip it under us. CI
+//! complements this with the exhaustive check: it re-runs
+//! `all_experiments --quick --json` and `diff -r`s the whole
+//! directory against the golden capture.
+
+use retri_bench::harness::Provenance;
+use retri_bench::{ablations, figures, EffortLevel};
+
+fn golden(name: &str) -> String {
+    let path = format!(
+        "{}/golden/quick-provenance/{name}.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    std::fs::read_to_string(&path).unwrap_or_else(|err| panic!("cannot read {path}: {err}"))
+}
+
+#[test]
+fn analytic_fig1_is_byte_identical_to_golden() {
+    // Replicates the fig1 binary's document construction exactly.
+    let rows = figures::efficiency_vs_width(16, &[16, 256, 65536], &[16, 32], 32);
+    let document = Provenance::analytic("fig1", rows);
+    assert_eq!(
+        serde_json::to_string_pretty(&document).unwrap(),
+        golden("fig1"),
+        "fig1 provenance drifted from the golden capture"
+    );
+}
+
+#[test]
+fn simulated_ablation_lengths_is_byte_identical_to_golden() {
+    // A full simulated sweep through the parallel harness: seeds,
+    // trial results, and serialization must all reproduce the capture
+    // with observability off.
+    let document = ablations::mixed_lengths(EffortLevel::Quick);
+    assert!(document.obs.is_none(), "run metrics must be off by default");
+    assert_eq!(
+        serde_json::to_string_pretty(&document).unwrap(),
+        golden("ablation_lengths"),
+        "ablation_lengths provenance drifted from the golden capture"
+    );
+}
