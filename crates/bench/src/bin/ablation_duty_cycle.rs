@@ -21,6 +21,7 @@ use retri_bench::EffortLevel;
 fn main() {
     let level = EffortLevel::from_args();
     retri_bench::obs_from_args();
+    retri_bench::shards_from_args();
     println!(
         "Ablation: duty-cycled listeners, 4-bit ids, T=5 ({} trials x {} s)\n",
         level.trials(),

@@ -40,6 +40,7 @@ fn churn_table(provenance: &Provenance<ablations::ChurnPoint>) -> String {
 fn main() {
     let level = EffortLevel::from_args();
     retri_bench::obs_from_args();
+    retri_bench::shards_from_args();
     println!("Ablation: allocation overhead vs. churn, 8 nodes, 2-byte readings / 30 s\n");
     let dynamic = ablations::dynamic_churn(level);
     let central = ablations::central_churn(level);

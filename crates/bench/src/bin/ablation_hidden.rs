@@ -16,6 +16,7 @@ use retri_bench::EffortLevel;
 fn main() {
     let level = EffortLevel::from_args();
     retri_bench::obs_from_args();
+    retri_bench::shards_from_args();
     println!(
         "Ablation: hidden terminals, 2 senders + middle receiver, 2-bit ids, listening on\n\
          ({} trials x {} s)\n",

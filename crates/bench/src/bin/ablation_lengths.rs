@@ -17,6 +17,7 @@ use retri_bench::EffortLevel;
 fn main() {
     let level = EffortLevel::from_args();
     retri_bench::obs_from_args();
+    retri_bench::shards_from_args();
     println!(
         "Ablation: mixed packet sizes 20/20/80/80/200 B, 6-bit ids, T=5 ({} trials x {} s)\n",
         level.trials(),

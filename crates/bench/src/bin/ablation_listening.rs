@@ -15,6 +15,7 @@ use retri_bench::EffortLevel;
 fn main() {
     let level = EffortLevel::from_args();
     retri_bench::obs_from_args();
+    retri_bench::shards_from_args();
     println!(
         "Ablation: listening window at 4-bit identifiers, T=5 ({} trials x {} s)\n",
         level.trials(),

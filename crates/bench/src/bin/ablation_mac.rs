@@ -18,6 +18,7 @@ use retri_bench::EffortLevel;
 fn main() {
     let level = EffortLevel::from_args();
     retri_bench::obs_from_args();
+    retri_bench::shards_from_args();
     println!(
         "Ablation: MAC robustness, paced load (packet per 300 ms per sender), T=5\n\
          ({} trials x {} s per point)\n",

@@ -18,6 +18,7 @@ use retri_bench::EffortLevel;
 fn main() {
     let level = EffortLevel::from_args();
     retri_bench::obs_from_args();
+    retri_bench::shards_from_args();
     println!(
         "Ablation: collision notifications + fresh-id retransmission, T=5\n\
          ({} trials x {} s per point)\n",

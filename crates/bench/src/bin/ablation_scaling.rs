@@ -16,6 +16,7 @@ use retri_bench::EffortLevel;
 fn main() {
     let level = EffortLevel::from_args();
     retri_bench::obs_from_args();
+    retri_bench::shards_from_args();
     println!(
         "Ablation: density scaling — growing the network at constant local density\n\
          ({} trials x {} s)\n",

@@ -1,11 +1,14 @@
 //! Runs the complete evaluation: every figure, the measured-efficiency
 //! comparison, and every ablation, in order, at the chosen effort.
 //!
-//! Usage: `all_experiments [--quick | --paper] [--json <dir>]`.
+//! Usage: `all_experiments [--quick | --paper] [--shards <k>] [--json <dir>]`.
 //!
-//! `--quick` / `--paper` are forwarded to each experiment binary
-//! verbatim. `--json <dir>` creates the directory and collects one
-//! provenance document per experiment as `<dir>/<name>.json`.
+//! `--quick` / `--paper` / `--shards` are forwarded to each experiment
+//! binary verbatim (the pure-model figures ignore `--shards`; the
+//! simulated experiments hand it to the sharded engine, whose output is
+//! shard-count-invariant). `--json <dir>` creates the directory and
+//! collects one provenance document per experiment as
+//! `<dir>/<name>.json`.
 //!
 //! This is what regenerates the numbers recorded in EXPERIMENTS.md.
 

@@ -4,7 +4,8 @@
 //! `BENCH_netsim.json` at the repository root.
 //!
 //! Usage:
-//! `bench_summary [--quick] [--label <name>] [--out <path>] [--reps <n>]`
+//! `bench_summary [--quick] [--label <name>] [--out <path>] [--reps <n>]
+//! [--shards <k>]`
 //!
 //! - `--quick` shrinks each workload (CI smoke); full size otherwise.
 //! - `--label` names the entry (default `run`). Re-recording an
@@ -12,6 +13,10 @@
 //!   change does not pollute the trajectory.
 //! - `--out` defaults to `BENCH_netsim.json` in the current directory.
 //! - `--reps` overrides the repetition count (median is recorded).
+//! - `--shards` sets the spatial shard count for testbed-backed
+//!   workloads ([`retri_bench::shards_from_args`]); the dedicated
+//!   `sim_mesh_10k_sharded` workload picks its own count from
+//!   `RETRI_BENCH_SHARDS` or the host parallelism regardless.
 //!
 //! The schema is documented in EXPERIMENTS.md ("Performance"). Unlike
 //! the experiment provenance documents, this file records wall-clock
@@ -53,6 +58,10 @@ fn parse_args() -> Args {
                         .parse()
                         .expect("--reps must be a positive integer"),
                 );
+            }
+            // Consumed by retri_bench::shards_from_args() in main.
+            "--shards" => {
+                argv.next().expect("--shards needs a value");
             }
             other => panic!("unknown argument {other:?}"),
         }
@@ -186,6 +195,7 @@ fn print_speedups(previous: &Value, current: &Value) {
 }
 
 fn main() {
+    retri_bench::shards_from_args();
     let args = parse_args();
     let entry = run_suite(&args);
 

@@ -18,6 +18,7 @@ use retri_bench::EffortLevel;
 fn main() {
     let level = EffortLevel::from_args();
     retri_bench::obs_from_args();
+    retri_bench::shards_from_args();
     println!(
         "Measured efficiency, 80-byte packets, 5 transmitters -> 1 receiver ({} trials x {} s)\n",
         level.trials(),

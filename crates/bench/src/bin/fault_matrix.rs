@@ -41,6 +41,7 @@ fn trace_dir_from_args() -> Option<std::path::PathBuf> {
 fn main() {
     let level = EffortLevel::from_args();
     retri_bench::obs_from_args();
+    retri_bench::shards_from_args();
     println!(
         "Differential model check + fault matrix ({} trials x {} s per cell)\n",
         level.trials(),

@@ -19,6 +19,7 @@ use retri_bench::EffortLevel;
 fn main() {
     let level = EffortLevel::from_args();
     retri_bench::obs_from_args();
+    retri_bench::shards_from_args();
     let id_sizes: Vec<u8> = (1..=12).collect();
     println!(
         "Figure 4: collision rate, model vs. implementation (T=5, {} trials x {} s per point)\n",

@@ -1,0 +1,106 @@
+//! Shard-count invariance smoke test on the 10k-node mesh.
+//!
+//! Runs the `sim_mesh_10k` workload twice — once on a single spatial
+//! shard, once on `--shards N` (default: the host's available
+//! parallelism) — and **asserts the two runs' digests are identical**:
+//! same medium stats, same full trace-event stream, same energy totals.
+//! That is the sharded engine's central contract (the event stream is
+//! shard-count-invariant by construction), and this binary is the
+//! cheapest end-to-end proof of it, which is why CI's `scale-smoke`
+//! job runs it on every push.
+//!
+//! Usage: `scale_smoke [--quick] [--shards N] [--json PATH]`
+//!
+//! With `--json`, writes `{schema, seed, effort, shards, digest,
+//! frames_sent, wall_ns_serial, wall_ns_sharded, speedup_x1000}` for
+//! the CI artifact diff.
+
+use retri_bench::workloads::{mesh_10k_digest, sharded_workload_shards};
+use retri_bench::EffortLevel;
+
+fn main() {
+    let level = EffortLevel::from_args();
+    let quick = level == EffortLevel::Quick;
+    let shards = shards_arg().unwrap_or_else(sharded_workload_shards);
+    let seed = 0xC0FF_EE00_0000_0005;
+
+    eprintln!("sim_mesh_10k: 10,000 nodes, {} effort", level.name());
+    eprintln!("running on 1 shard...");
+    let serial = mesh_10k_digest(seed, quick, 1);
+    eprintln!(
+        "  digest {:016x}  frames_sent {}  wall {:.2?}",
+        serial.digest, serial.frames_sent, serial.wall
+    );
+    eprintln!("running on {shards} shards...");
+    let sharded = mesh_10k_digest(seed, quick, shards);
+    eprintln!(
+        "  digest {:016x}  frames_sent {}  wall {:.2?}",
+        sharded.digest, sharded.frames_sent, sharded.wall
+    );
+
+    assert_eq!(
+        serial.digest, sharded.digest,
+        "shard-count invariance violated: 1-shard and {shards}-shard runs diverged"
+    );
+    let speedup = serial.wall.as_secs_f64() / sharded.wall.as_secs_f64().max(1e-9);
+    println!(
+        "OK: digests identical across 1 and {shards} shards ({} trace-visible frames)",
+        serial.frames_sent
+    );
+    println!(
+        "wall-clock: 1 shard {:.2?}, {shards} shards {:.2?} ({speedup:.2}x)",
+        serial.wall, sharded.wall
+    );
+
+    if let Some(path) = retri_bench::json_path_from_args() {
+        use serde_json::Value;
+        let doc = Value::Object(vec![
+            (
+                "schema".to_string(),
+                Value::String("retri-scale-smoke/v1".to_string()),
+            ),
+            ("seed".to_string(), Value::UInt(seed)),
+            (
+                "effort".to_string(),
+                Value::String(level.name().to_string()),
+            ),
+            ("shards".to_string(), Value::UInt(shards as u64)),
+            (
+                "digest".to_string(),
+                Value::String(format!("{:016x}", serial.digest)),
+            ),
+            ("frames_sent".to_string(), Value::UInt(serial.frames_sent)),
+            (
+                "wall_ns_serial".to_string(),
+                Value::UInt(serial.wall.as_nanos() as u64),
+            ),
+            (
+                "wall_ns_sharded".to_string(),
+                Value::UInt(sharded.wall.as_nanos() as u64),
+            ),
+            (
+                "speedup_x1000".to_string(),
+                Value::UInt((speedup * 1000.0) as u64),
+            ),
+        ]);
+        retri_bench::write_json(&path, &doc);
+    }
+}
+
+/// The explicit `--shards N` argument, if present.
+fn shards_arg() -> Option<usize> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--shards" {
+            let value = args.next().expect("--shards needs a value");
+            return Some(
+                value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .expect("--shards must be a positive integer"),
+            );
+        }
+    }
+    None
+}

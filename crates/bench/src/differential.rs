@@ -164,6 +164,17 @@ pub fn differential_sweep(level: EffortLevel) -> Provenance<DifferentialCell> {
             testbed.transmitters = transmitters;
             testbed.workload.packet_bytes = packet_bytes;
             testbed.workload.stop = SimTime::from_secs(level.trial_secs());
+            // Eq. 4 models identifier collisions and nothing else, so
+            // the sweep must not add loss modes outside the model. The
+            // testbed's default 300 ms reassembly TTL is one: at the
+            // densest cell (T = 8) a transaction's five fragments
+            // interleave with seven competing streams across ~280 ms
+            // of channel time, so the reaper starts evicting *live*
+            // reassemblies and the observed rate lands points below
+            // Eq. 4 for every seed. One second is >3x the densest
+            // cell's span — eviction then only affects genuinely dead
+            // buffers, which is what the TTL is for.
+            testbed.reassembly_ttl_micros = 1_000_000;
             testbed.run(trial.seed)
         },
     );

@@ -287,7 +287,7 @@ mod tests {
         // Peak of the T=16 curve at 9 bits (paper Section 4.2).
         let peak = rows
             .iter()
-            .max_by(|a, b| a.aff[0].partial_cmp(&b.aff[0]).unwrap())
+            .max_by(|a, b| a.aff[0].total_cmp(&b.aff[0]))
             .unwrap();
         assert_eq!(peak.id_bits, 9);
     }

@@ -184,9 +184,20 @@ impl<T> CellRuns<T> {
 /// parallel-vs-serial timing and for pinning CI).
 #[must_use]
 pub fn worker_count(jobs: usize) -> usize {
-    let available = std::env::var("RETRI_BENCH_WORKERS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
+    resolve_worker_count(std::env::var("RETRI_BENCH_WORKERS").ok().as_deref(), jobs)
+}
+
+/// Pure resolution of the worker count from an override string.
+///
+/// `RETRI_BENCH_WORKERS=0` and unparseable values both fall back to
+/// [`std::thread::available_parallelism`] (never panic, never spawn
+/// zero workers); the result is capped at the job count and floored at
+/// one. Split from [`worker_count`] so the override handling is unit
+/// testable without mutating process-global environment.
+#[must_use]
+pub fn resolve_worker_count(requested: Option<&str>, jobs: usize) -> usize {
+    let available = requested
+        .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&n| n >= 1)
         .unwrap_or_else(|| {
             std::thread::available_parallelism()
@@ -538,6 +549,37 @@ mod tests {
         // worker_count caps at the job count and floors at 1.
         assert_eq!(worker_count(1), 1);
         assert!(worker_count(1_000_000) >= 1);
+    }
+
+    #[test]
+    fn worker_override_of_zero_clamps_to_at_least_one() {
+        // Regression: RETRI_BENCH_WORKERS=0 used to be honored verbatim
+        // by an earlier revision, spawning a zero-worker scope that
+        // never drained the queue.
+        assert!(resolve_worker_count(Some("0"), 8) >= 1);
+        assert!(resolve_worker_count(Some("0"), 1) == 1);
+    }
+
+    #[test]
+    fn worker_override_garbage_falls_back_to_available_parallelism() {
+        let fallback = resolve_worker_count(None, usize::MAX);
+        for garbage in ["", "lots", "-3", "4.5", "0x10", "  "] {
+            assert_eq!(
+                resolve_worker_count(Some(garbage), usize::MAX),
+                fallback,
+                "override {garbage:?} must fall back, not panic or zero out"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_override_valid_values_are_capped_at_job_count() {
+        assert_eq!(resolve_worker_count(Some("3"), 100), 3);
+        assert_eq!(resolve_worker_count(Some(" 3 "), 100), 3);
+        assert_eq!(resolve_worker_count(Some("64"), 2), 2);
+        // Zero jobs still resolves to one worker (the scope must not
+        // divide by or spawn zero).
+        assert_eq!(resolve_worker_count(Some("5"), 0), 1);
     }
 
     #[test]

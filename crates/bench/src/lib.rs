@@ -106,6 +106,40 @@ pub fn obs_from_args() -> bool {
     on
 }
 
+/// Parses `--shards <n>` from argv (falling back to the
+/// `RETRI_BENCH_SHARDS` environment variable, then to 1) and installs
+/// it as the process-wide default shard count for every
+/// [`retri_aff::Testbed`] built afterwards. Trial output is invariant
+/// in the shard count — the sharded engine's event stream is
+/// shard-count-independent by construction — so this flag only trades
+/// threads for wall-clock.
+///
+/// # Panics
+///
+/// Panics if `--shards` is present without a positive integer value.
+pub fn shards_from_args() -> usize {
+    let mut shards = std::env::var("RETRI_BENCH_SHARDS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1);
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--shards" {
+            let value = args.next().expect("--shards needs a value");
+            shards = Some(
+                value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .expect("--shards must be a positive integer"),
+            );
+        }
+    }
+    let shards = shards.unwrap_or(1);
+    retri_aff::set_default_shards(shards);
+    shards
+}
+
 /// Parses `--json <path>` from argv: where to additionally write the
 /// experiment's data as JSON for plotting pipelines.
 #[must_use]

@@ -19,6 +19,11 @@
 //!   obs-on overhead next to the obs-off baseline;
 //! - `sim_fault_channel` — the paper testbed under a bursty
 //!   Gilbert-Elliott bit-error channel (the fault-injection hot path);
+//! - `sim_mesh_10k` / `sim_mesh_10k_sharded` — a 10,000-node grid under
+//!   staggered ALOHA traffic, run on one spatial shard and on as many
+//!   shards as the host offers (`RETRI_BENCH_SHARDS` overrides). The
+//!   sharded engine's event stream is shard-count-invariant, so the pair
+//!   records pure parallel speedup on an identical simulation;
 //! - `selector_churn` — identifier selection (the RETRI core);
 //! - `wire_roundtrip` — AFF fragmentation, bit-packing, and
 //!   reassembly.
@@ -27,7 +32,8 @@
 //! `cargo run -p retri-bench --release --bin bench_summary` (see the
 //! Performance section of EXPERIMENTS.md for the schema).
 
-use std::time::Instant;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -96,6 +102,18 @@ pub fn all() -> Vec<Workload> {
             description: "paper testbed under a bursty Gilbert-Elliott bit-error channel",
             trials: 8,
             run: sim_fault_channel,
+        },
+        Workload {
+            name: "sim_mesh_10k",
+            description: "100x100 grid (10k nodes), staggered ALOHA traffic, one shard",
+            trials: 1,
+            run: sim_mesh_10k_serial,
+        },
+        Workload {
+            name: "sim_mesh_10k_sharded",
+            description: "the same 10k-node grid on every available spatial shard",
+            trials: 1,
+            run: sim_mesh_10k_sharded,
         },
         Workload {
             name: "selector_churn",
@@ -276,6 +294,117 @@ fn sim_fault_channel(seed: u64, quick: bool) {
     std::hint::black_box(result);
 }
 
+/// A periodic sender for the 10k-node mesh: each node's phase is
+/// staggered by its id so the channel carries steady, overlapping ALOHA
+/// traffic instead of one synchronized burst per period.
+struct MeshSender;
+
+impl Protocol for MeshSender {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        let phase = 10_000 * (u64::from(ctx.node_id().0) % 10) + 1;
+        ctx.set_timer(SimDuration::from_micros(phase), 0);
+    }
+    fn on_frame(&mut self, _ctx: &mut Context<'_>, _frame: &Frame) {}
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _timer: Timer) {
+        let _ = ctx.send(FramePayload::from_bytes(vec![0x5A; 12]).expect("non-empty"));
+        ctx.set_timer(SimDuration::from_millis(100), 0);
+    }
+}
+
+/// The shared 10k-node topology: a 100x100 grid with 30 m spacing and
+/// 45 m range, so every interior node hears its 8 surrounding
+/// neighbors. Built once — laying out 10,000 nodes is itself
+/// measurable work that must not pollute the timed region.
+fn mesh_10k_topology() -> &'static Topology {
+    static TOPO: OnceLock<Topology> = OnceLock::new();
+    TOPO.get_or_init(|| Topology::grid(100, 100, 30.0, 45.0))
+}
+
+/// Builds and runs the 10k-node mesh on `shards` spatial shards,
+/// returning the finished simulator for inspection.
+fn run_mesh_10k(seed: u64, quick: bool, shards: usize, trace: bool) -> ShardedSim<MeshSender> {
+    let sim_secs = if quick { 2 } else { 5 };
+    let mut sim = ShardedSimBuilder::new(seed)
+        .mac(MacConfig::aloha())
+        .range(45.0)
+        .shards(shards)
+        .build_with_topology(mesh_10k_topology(), |_| MeshSender);
+    if trace {
+        sim.enable_trace(1 << 18);
+    }
+    sim.run_until(SimTime::from_secs(sim_secs));
+    assert!(sim.stats().frames_sent > 0);
+    sim
+}
+
+fn sim_mesh_10k_serial(seed: u64, quick: bool) {
+    let sim = run_mesh_10k(seed, quick, 1, false);
+    std::hint::black_box(sim.stats());
+}
+
+/// Shard count for the `sim_mesh_10k_sharded` workload:
+/// `RETRI_BENCH_SHARDS` when set, else the host's available
+/// parallelism.
+#[must_use]
+pub fn sharded_workload_shards() -> usize {
+    std::env::var("RETRI_BENCH_SHARDS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .or_else(|| std::thread::available_parallelism().ok().map(|n| n.get()))
+        .unwrap_or(4)
+}
+
+fn sim_mesh_10k_sharded(seed: u64, quick: bool) {
+    let sim = run_mesh_10k(seed, quick, sharded_workload_shards(), false);
+    std::hint::black_box(sim.stats());
+}
+
+/// Everything `scale_smoke` needs to prove shard-count invariance: a
+/// digest over the run's observable output plus the wall-clock it took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeshDigest {
+    /// FNV-1a over the medium stats, the full trace-event stream, the
+    /// tracer's drop counter, and the summed energy meter.
+    pub digest: u64,
+    /// Frames the 10k nodes put on the air, for a human-readable check.
+    pub frames_sent: u64,
+    /// Wall-clock of the `run_until` region (build excluded).
+    pub wall: Duration,
+}
+
+/// Runs the 10k-node mesh with tracing on and digests every observable
+/// output. Two calls with the same `(seed, quick)` must return equal
+/// digests for **any** shard counts — that is the sharded engine's
+/// byte-identity contract, and the `scale_smoke` binary and CI job
+/// enforce it by diffing this value across `--shards` settings.
+#[must_use]
+pub fn mesh_10k_digest(seed: u64, quick: bool, shards: usize) -> MeshDigest {
+    fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+        for &b in bytes {
+            *hash ^= u64::from(b);
+            *hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    let started = Instant::now();
+    let sim = run_mesh_10k(seed, quick, shards, true);
+    let wall = started.elapsed();
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    let stats = sim.stats();
+    fnv1a(&mut hash, format!("{stats:?}").as_bytes());
+    let tracer = sim.tracer().expect("trace was enabled");
+    for event in tracer.events() {
+        fnv1a(&mut hash, format!("{event:?}").as_bytes());
+    }
+    fnv1a(&mut hash, &tracer.dropped().to_le_bytes());
+    fnv1a(&mut hash, format!("{:?}", sim.total_meter()).as_bytes());
+    MeshDigest {
+        digest: hash,
+        frames_sent: stats.frames_sent,
+        wall,
+    }
+}
+
 fn selector_churn(seed: u64, quick: bool) {
     let selections: u64 = if quick { 50_000 } else { 200_000 };
     let space = IdentifierSpace::new(9).expect("valid width");
@@ -328,6 +457,16 @@ mod tests {
             assert!(!w.description.is_empty());
             assert!(w.trials >= 1);
         }
+    }
+
+    #[test]
+    fn mesh_topology_is_10k_nodes() {
+        let topo = mesh_10k_topology();
+        assert_eq!(topo.node_ids().count(), 10_000);
+        // Interior nodes must hear all 8 surrounding neighbors —
+        // otherwise the "mesh" degenerates into disconnected rows.
+        let diagonal = (2.0_f64 * 30.0 * 30.0).sqrt();
+        assert!(diagonal < 45.0);
     }
 
     #[test]

@@ -58,6 +58,18 @@ impl Efficiency {
     pub fn as_percent(self) -> f64 {
         self.0 * 100.0
     }
+
+    /// Total ordering on efficiencies via [`f64::total_cmp`].
+    ///
+    /// `Efficiency` values themselves cannot be NaN ([`Efficiency::new`]
+    /// rejects it), but call sites that rank efficiencies often mix in
+    /// sentinel `f64`s (e.g. `NEG_INFINITY` or NaN for out-of-domain
+    /// sweep cells), where `partial_cmp(..).unwrap()` panics. Use this
+    /// everywhere an ordering is needed.
+    #[must_use]
+    pub fn total_cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
 }
 
 impl fmt::Display for Efficiency {

@@ -69,7 +69,10 @@ pub fn optimal_id_bits(data: DataBits, density: Density) -> OptimalPoint {
     };
     for id in IdBits::all().skip(1) {
         let e = aff_efficiency(data, id, density);
-        if e > best.efficiency {
+        // total_cmp, not PartialOrd: a NaN from an arithmetic bug must
+        // order deterministically instead of silently losing every
+        // comparison and masquerading as "width 1 is optimal".
+        if e.total_cmp(&best.efficiency).is_gt() {
             best = OptimalPoint {
                 id_bits: id,
                 efficiency: e,
@@ -107,7 +110,9 @@ pub fn best_efficiency(data: DataBits, density: Density) -> Efficiency {
 /// ```
 #[must_use]
 pub fn aff_beats_static(data: DataBits, density: Density, address: IdBits) -> bool {
-    best_efficiency(data, density) > static_efficiency(data, address)
+    best_efficiency(data, density)
+        .total_cmp(&static_efficiency(data, address))
+        .is_gt()
 }
 
 /// The largest transaction density at which optimally sized AFF still

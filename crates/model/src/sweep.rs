@@ -55,7 +55,7 @@ pub struct LoadPoint {
 /// // The curve rises to a peak and then declines (Section 4.2).
 /// let peak = curve
 ///     .iter()
-///     .max_by(|a, b| a.efficiency.partial_cmp(&b.efficiency).unwrap())
+///     .max_by(|a, b| a.efficiency.total_cmp(&b.efficiency))
 ///     .unwrap();
 /// assert_eq!(peak.id_bits.get(), 9);
 /// # Ok(())
@@ -162,6 +162,24 @@ pub fn static_vs_load(
         .collect()
 }
 
+/// The best-efficiency point of a load sweep, skipping out-of-domain
+/// cells.
+///
+/// Out-of-domain cells (`efficiency == None`, e.g. a static address
+/// space with fewer addresses than transactions) rank below every
+/// defined efficiency via a `NEG_INFINITY` sentinel under
+/// [`f64::total_cmp`]; the NaN-unsafe `partial_cmp(..).unwrap()` idiom
+/// this replaces panicked as soon as a sweep contained such a cell.
+/// Returns `None` only when every cell is out of domain.
+#[must_use]
+pub fn best_defined(points: &[LoadPoint]) -> Option<&LoadPoint> {
+    let key = |p: &LoadPoint| p.efficiency.map_or(f64::NEG_INFINITY, Efficiency::get);
+    points
+        .iter()
+        .max_by(|a, b| key(a).total_cmp(&key(b)))
+        .filter(|p| p.efficiency.is_some())
+}
+
 /// Convenience: geometrically spaced densities `1, 2, 4, ...` up to and
 /// including `max` (useful for log-scale load sweeps like Figure 3).
 #[must_use]
@@ -210,7 +228,7 @@ mod tests {
             let peak = curve
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.efficiency.partial_cmp(&b.1.efficiency).unwrap())
+                .max_by(|a, b| a.1.efficiency.total_cmp(&b.1.efficiency))
                 .map(|(i, _)| i)
                 .unwrap();
             for w in curve.windows(2).take(peak) {
@@ -268,6 +286,22 @@ mod tests {
                 .collect::<Vec<_>>(),
             vec![1, 2, 4, 8, 16]
         );
+    }
+
+    #[test]
+    fn ranking_a_sweep_with_out_of_domain_cells_does_not_panic() {
+        // Regression: Figure-3 static sweeps carry None cells past
+        // address-space exhaustion; ranking them with
+        // partial_cmp(..).unwrap() on an undefined sentinel panicked.
+        let line = static_vs_load(d(16), h(3), (1..=10).map(t));
+        assert!(line.iter().any(|p| p.efficiency.is_none()));
+        let best = best_defined(&line).expect("defined cells exist");
+        assert!(best.efficiency.is_some());
+        assert!(best.density.get() <= 8, "best cell must be in-domain");
+        // A sweep that is out of domain everywhere yields no best point
+        // instead of panicking.
+        let exhausted = static_vs_load(d(16), h(1), (3..=4).map(t));
+        assert!(best_defined(&exhausted).is_none());
     }
 
     #[test]

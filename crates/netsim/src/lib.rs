@@ -64,6 +64,7 @@ pub mod medium;
 pub mod node;
 pub(crate) mod obs;
 pub mod radio;
+pub mod shard;
 pub mod sim;
 pub mod time;
 pub mod topology;
@@ -77,6 +78,7 @@ pub mod prelude {
     pub use crate::mac::MacConfig;
     pub use crate::node::{Context, NodeId, Protocol, Timer};
     pub use crate::radio::RadioConfig;
+    pub use crate::shard::{ShardedSim, ShardedSimBuilder};
     pub use crate::sim::{MediumStats, SimBuilder, Simulator};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::topology::{Position, Topology};
@@ -86,6 +88,7 @@ pub use fault::{ChannelState, FaultModel, GilbertElliott, PartitionWindow};
 pub use frame::{Frame, FramePayload};
 pub use node::{Context, NodeId, Protocol, Timer};
 pub use radio::RadioConfig;
+pub use shard::{ShardedSim, ShardedSimBuilder};
 pub use sim::{SimBuilder, Simulator};
 pub use time::{SimDuration, SimTime};
 pub use topology::Position;

@@ -335,9 +335,11 @@ mod tests {
     use crate::topology::Position;
 
     fn frame(src: u32) -> Frame {
+        // Encode the full u32 little-endian: `src as u8` would alias every
+        // node id >= 256 onto the same probe payload.
         Frame::new(
             NodeId(src),
-            FramePayload::from_bytes(vec![src as u8]).unwrap(),
+            FramePayload::from_bytes(src.to_le_bytes().to_vec()).unwrap(),
         )
     }
 
@@ -498,6 +500,51 @@ mod tests {
         assert_eq!(
             medium.judge(other, a, 0.9, 0.0, &topo),
             Verdict::Failed(DeliveryFailure::HalfDuplex)
+        );
+    }
+
+    #[test]
+    fn probe_payloads_distinguish_wide_node_ids() {
+        // Regression: the helper used to truncate the source id to u8,
+        // so nodes 255, 256, and 511 all probed with indistinguishable
+        // payloads (0xFF, 0x00, 0xFF) and record-attribution bugs for
+        // ids >= 256 were invisible to every test in this module.
+        let wide = [255u32, 256, 511];
+        let frames: Vec<Frame> = wide.iter().map(|&id| frame(id)).collect();
+        for (i, &id) in wide.iter().enumerate() {
+            assert_eq!(frames[i].src, NodeId(id));
+            let bytes = frames[i].payload.bytes();
+            assert_eq!(
+                u32::from_le_bytes(bytes.try_into().unwrap()),
+                id,
+                "payload must round-trip the full u32 id"
+            );
+            for j in (i + 1)..wide.len() {
+                assert_ne!(
+                    frames[i].payload, frames[j].payload,
+                    "ids {} and {} must not alias",
+                    wide[i], wide[j]
+                );
+            }
+        }
+        // End-to-end: a large topology keeps wide ids attributed to the
+        // right sender through the medium.
+        let mut topo = Topology::new(50.0);
+        let mut ids = Vec::new();
+        for i in 0..512u32 {
+            ids.push(topo.add(Position::new(f64::from(i) * 1000.0, 0.0)));
+        }
+        let mut medium = Medium::new();
+        let seq = medium.begin_tx(ids[511], t(0), t(100), frame(511), 8);
+        assert_eq!(
+            medium.record(seq).expect("record retained").sender,
+            NodeId(511)
+        );
+        let (taken, ..) = medium.end_tx(seq);
+        assert_eq!(taken.src, NodeId(511));
+        assert_eq!(
+            u32::from_le_bytes(taken.payload.bytes().try_into().unwrap()),
+            511
         );
     }
 

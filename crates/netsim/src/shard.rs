@@ -1,0 +1,2571 @@
+//! Spatially sharded, deterministic parallel simulation engine.
+//!
+//! [`ShardedSim`] partitions a topology into `K` spatial shards — nodes
+//! are grid-bucketed by position — each with its own event heaps and
+//! scratch state, and advances them on a pool of scoped worker threads
+//! under *conservative lookahead* synchronization: every shard runs
+//! independently inside a window `[T, T + L)` and the shards exchange
+//! cross-shard work (new transmissions) at barrier epochs between
+//! windows.
+//!
+//! The lookahead bound `L` is the MAC turnaround delay: a protocol
+//! callback running at time `t` enqueues its frame on the MAC at
+//! `t + L`, so nothing a shard does inside a window can affect another
+//! shard (or its own MAC) before the window closes. Transmissions begun
+//! in a window are merged, numbered, and broadcast at the epoch barrier,
+//! and every delivery of a frame happens at its airtime end — always a
+//! later window than the one that emitted the frame under ALOHA, and
+//! under a globally ordered serial MAC phase for carrier-sense MACs
+//! (carrier sense has zero lookahead, so the MAC phase of a CSMA run is
+//! executed as a single cross-shard merge in event order; the receive
+//! phase still runs fully parallel).
+//!
+//! # Determinism
+//!
+//! The merged event stream is **invariant in the shard count**: runs
+//! with `K ∈ {1, 2, 4, …}` produce byte-identical traces, stats, and
+//! energy meters. The invariance is by construction:
+//!
+//! - Every random draw comes from a **per-node stream** derived from the
+//!   builder seed and the node id (never from a per-shard or global
+//!   sequential stream), so which shard a node lands on cannot move any
+//!   draw.
+//! - All cross-shard effects are mediated by the epoch barriers, where a
+//!   single thread merges per-shard outboxes in a canonical
+//!   `(start, node, tx-index)` order before assigning global sequence
+//!   numbers.
+//! - Within a window, every heap pop is ordered by an explicit
+//!   `(time, lane, a, b)` key with no insertion-order component.
+//! - Per-node counters (timer handles, MAC event sequence numbers,
+//!   transmission indices) replace the serial engine's global counters.
+//!
+//! A single-shard run executes the *same* windowed algorithm with the
+//! same per-node streams, so `--shards 1` is the reference output, not a
+//! different engine. The serial [`crate::sim::Simulator`] draws from one
+//! global RNG and therefore produces a (deterministic) stream of its
+//! own; workloads choose one engine and stay on it.
+//!
+//! # Interference bookkeeping
+//!
+//! One global [`AirView`] replaces the serial `Medium`: a dense record
+//! deque plus per-grid-cell and per-node sequence indexes (cell size =
+//! radio range, so a 3×3 cell scan covers every in-range interferer).
+//! It is only mutated by the merging thread (and by the globally ordered
+//! CSMA MAC phase) and read concurrently by the receive phase.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{Barrier, Mutex, RwLock};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use retri_obs::Obs;
+
+use crate::energy::EnergyMeter;
+use crate::fault::{ChurnEvent, FaultModel};
+use crate::frame::{Frame, FramePayload};
+use crate::mac::MacConfig;
+use crate::medium::{DeliveryFailure, Verdict};
+use crate::node::{Command, Context, NodeId, Protocol, Timer, TimerHandle};
+use crate::obs::NetsimObs;
+use crate::radio::{DutyCycle, RadioConfig};
+use crate::sim::MediumStats;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{Position, Topology};
+use crate::trace::{LossReason, TraceEvent, Tracer};
+
+/// Derives the seed of one of a node's dedicated RNG streams.
+///
+/// Mirrors [`crate::fault::fault_stream_seed`]: fold the label bytes and
+/// then the node id (little-endian) through SplitMix64. Distinct labels
+/// and distinct nodes land in unrelated streams, and the derivation
+/// depends only on `(seed, label, node)` — never on shard placement.
+fn node_stream_seed(seed: u64, label: &str, node: NodeId) -> u64 {
+    let mut state = seed;
+    for &byte in label.as_bytes() {
+        state ^= u64::from(byte);
+        state = rand::splitmix64(&mut state);
+    }
+    for byte in node.0.to_le_bytes() {
+        state ^= u64::from(byte);
+        state = rand::splitmix64(&mut state);
+    }
+    state
+}
+
+/// Sorting key of a buffered trace event: `(microseconds, lane, a, b)`.
+///
+/// Lanes order same-instant events canonically: dynamics (0), then
+/// transmission starts (1), then deliveries (2). `a`/`b` disambiguate
+/// within a lane (dynamic index; sequence number; receiver id).
+type TraceKey = (u64, u8, u64, u64);
+
+/// Trace lane for liveness/movement events (`a` = dynamic index).
+const LANE_T_DYN: u8 = 0;
+/// Trace lane for `TxStart` (`a` = sequence number).
+const LANE_T_TX: u8 = 1;
+/// Trace lane for delivery outcomes (`a` = seq, `b` = receiver).
+const LANE_T_RX: u8 = 2;
+
+// MAC-phase heap lanes.
+const LANE_M_DYN: u8 = 0;
+const LANE_M_ENQ: u8 = 1;
+const LANE_M_TXEND: u8 = 2;
+const LANE_M_TRY: u8 = 3;
+
+// Receive-phase heap lanes.
+const LANE_R_DYN: u8 = 0;
+const LANE_R_START: u8 = 1;
+const LANE_R_DELIVER: u8 = 2;
+const LANE_R_TIMER: u8 = 3;
+
+/// A scheduled liveness or movement change (broadcast to every shard).
+#[derive(Debug, Clone, Copy)]
+enum DynAction {
+    Move { node: NodeId, to: Position },
+    SetAlive { node: NodeId, alive: bool },
+}
+
+/// MAC-phase event payload.
+#[derive(Debug)]
+enum MacKind {
+    /// Apply a topology change to this shard's MAC replica.
+    Dynamics(DynAction),
+    /// A frame reaches the node's MAC queue (one turnaround after the
+    /// protocol callback that sent it).
+    Enqueue { node: NodeId, payload: FramePayload },
+    /// The node's transmission `tx_idx` leaves the air.
+    TxEnd { node: NodeId, tx_idx: u64 },
+    /// The node attempts to transmit the head of its queue.
+    Try { node: NodeId },
+}
+
+/// A MAC-phase event, ordered by `(at, lane, a, b)` where node-owned
+/// lanes use `a` = node id and `b` = a per-node event counter, and the
+/// dynamics lane uses `a` = the global dynamic index.
+#[derive(Debug)]
+struct MacEvent {
+    at: SimTime,
+    lane: u8,
+    a: u64,
+    b: u64,
+    kind: MacKind,
+}
+
+impl MacEvent {
+    fn key(&self) -> (SimTime, u8, u64, u64) {
+        (self.at, self.lane, self.a, self.b)
+    }
+    /// The node this event is pinned to, if it is node-owned (dynamics
+    /// are broadcast and stay put on shard rebalancing).
+    fn node(&self) -> Option<NodeId> {
+        match self.kind {
+            MacKind::Dynamics(_) => None,
+            MacKind::Enqueue { node, .. } | MacKind::TxEnd { node, .. } | MacKind::Try { node } => {
+                Some(node)
+            }
+        }
+    }
+}
+
+impl PartialEq for MacEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for MacEvent {}
+impl PartialOrd for MacEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for MacEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the smallest key pops
+        // first.
+        other.key().cmp(&self.key())
+    }
+}
+
+/// Receive-phase event payload.
+#[derive(Debug)]
+enum RxKind {
+    /// Apply a topology change to this shard's receive replica (the
+    /// owner shard also records the trace event and reboots revived
+    /// nodes).
+    Dynamics { idx: u64, action: DynAction },
+    /// Run a node's `on_start`.
+    Start { node: NodeId },
+    /// Judge delivery of transmission `seq` to this shard's owned
+    /// neighbors of `sender`.
+    Deliver { seq: u64, sender: NodeId },
+    /// Fire a protocol timer.
+    Timer { node: NodeId, timer: Timer },
+}
+
+/// A receive-phase event, ordered by `(at, lane, a, b)`.
+#[derive(Debug)]
+struct RxEvent {
+    at: SimTime,
+    lane: u8,
+    a: u64,
+    b: u64,
+    kind: RxKind,
+}
+
+impl RxEvent {
+    fn key(&self) -> (SimTime, u8, u64, u64) {
+        (self.at, self.lane, self.a, self.b)
+    }
+    fn node(&self) -> Option<NodeId> {
+        match self.kind {
+            RxKind::Start { node } | RxKind::Timer { node, .. } => Some(node),
+            RxKind::Dynamics { .. } | RxKind::Deliver { .. } => None,
+        }
+    }
+}
+
+impl PartialEq for RxEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for RxEvent {}
+impl PartialOrd for RxEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for RxEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.key().cmp(&self.key())
+    }
+}
+
+/// A pending master-topology update, applied at epoch barriers so the
+/// master copy (used for the public accessor and shard rebalancing)
+/// tracks the replicas.
+#[derive(Debug)]
+struct MasterDyn {
+    at: SimTime,
+    idx: u64,
+    action: DynAction,
+}
+
+impl PartialEq for MasterDyn {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.idx) == (other.at, other.idx)
+    }
+}
+impl Eq for MasterDyn {}
+impl PartialOrd for MasterDyn {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for MasterDyn {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.idx).cmp(&(self.at, self.idx))
+    }
+}
+
+/// One transmission record in the shared air view.
+#[derive(Debug)]
+struct AirRecord {
+    seq: u64,
+    sender: NodeId,
+    start: SimTime,
+    end: SimTime,
+    bits_on_air: u64,
+    frame: Frame,
+    /// Grid cell of the sender at transmission start (the interference
+    /// scan bucket; a sender relocating mid-flight keeps its record in
+    /// the origin cell).
+    cell: (i64, i64),
+    /// Whether the transmission's MAC `TxEnd` has run (clears carrier
+    /// sense; judgments ignore this flag, exactly like the serial
+    /// medium).
+    ended: bool,
+}
+
+impl AirRecord {
+    fn overlaps(&self, start: SimTime, end: SimTime) -> bool {
+        self.start < end && self.end > start
+    }
+}
+
+/// The single, global view of the air shared by all shards.
+///
+/// Mirrors the serial [`crate::medium::Medium`] verdict logic exactly,
+/// but indexes records by the sender's grid cell (cell size = radio
+/// range) so interference queries scan a 3×3 neighborhood instead of
+/// every concurrent transmission — the property that makes the shared
+/// read-only view cheap at 10k nodes.
+#[derive(Debug)]
+struct AirView {
+    cell_size: f64,
+    /// Retained records in seq order; `records[i]` has `base_seq + i`.
+    records: VecDeque<AirRecord>,
+    base_seq: u64,
+    /// Per-cell record sequence numbers, in insertion (= seq) order.
+    cells: HashMap<(i64, i64), VecDeque<u64>>,
+    /// Per-sender record sequence numbers, indexed by node.
+    by_node: Vec<VecDeque<u64>>,
+    /// Longest airtime ever inserted, in microseconds (monotone).
+    max_airtime_micros: u64,
+}
+
+impl AirView {
+    fn new(cell_size: f64) -> Self {
+        AirView {
+            cell_size,
+            records: VecDeque::new(),
+            base_seq: 0,
+            cells: HashMap::new(),
+            by_node: Vec::new(),
+            max_airtime_micros: 0,
+        }
+    }
+
+    fn cell_of(&self, position: Position) -> (i64, i64) {
+        (
+            (position.x / self.cell_size).floor() as i64,
+            (position.y / self.cell_size).floor() as i64,
+        )
+    }
+
+    fn add_node(&mut self) {
+        self.by_node.push(VecDeque::new());
+    }
+
+    fn get(&self, seq: u64) -> Option<&AirRecord> {
+        let index = usize::try_from(seq.checked_sub(self.base_seq)?).ok()?;
+        self.records.get(index)
+    }
+
+    fn insert(&mut self, record: AirRecord) {
+        debug_assert_eq!(
+            record.seq,
+            self.base_seq + self.records.len() as u64,
+            "records must be inserted in sequence order"
+        );
+        self.max_airtime_micros = self
+            .max_airtime_micros
+            .max(record.end.since(record.start).as_micros());
+        self.cells
+            .entry(record.cell)
+            .or_default()
+            .push_back(record.seq);
+        self.by_node[record.sender.index()].push_back(record.seq);
+        self.records.push_back(record);
+    }
+
+    fn mark_ended(&mut self, seq: u64) {
+        let index = usize::try_from(seq - self.base_seq).expect("record index fits usize");
+        self.records[index].ended = true;
+    }
+
+    /// CSMA carrier sense: whether `listener` (at `position`) hears any
+    /// ongoing foreign transmission at `now`.
+    fn busy_for(
+        &self,
+        listener: NodeId,
+        position: Position,
+        now: SimTime,
+        topology: &Topology,
+    ) -> bool {
+        let (cx, cy) = self.cell_of(position);
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                let Some(seqs) = self.cells.get(&(cx + dx, cy + dy)) else {
+                    continue;
+                };
+                for &seq in seqs {
+                    let record = self.get(seq).expect("indexed record retained");
+                    if !record.ended
+                        && record.sender != listener
+                        && record.start <= now
+                        && record.end > now
+                        && topology.in_range(record.sender, listener)
+                    {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Whether `node`'s own radio is transmitting during `[start, end)`,
+    /// other than `exclude_seq` (half-duplex check).
+    fn transmitting_during(
+        &self,
+        node: NodeId,
+        start: SimTime,
+        end: SimTime,
+        exclude_seq: u64,
+    ) -> bool {
+        let Some(seqs) = self.by_node.get(node.index()) else {
+            return false;
+        };
+        seqs.iter().any(|&seq| {
+            let record = self.get(seq).expect("indexed record retained");
+            seq != exclude_seq && record.overlaps(start, end)
+        })
+    }
+
+    /// Whether any foreign transmission audible at `receiver` overlaps
+    /// `[start, end)` other than `exclude_seq`.
+    fn interference_at(
+        &self,
+        receiver: NodeId,
+        position: Position,
+        start: SimTime,
+        end: SimTime,
+        exclude_seq: u64,
+        topology: &Topology,
+    ) -> bool {
+        let (cx, cy) = self.cell_of(position);
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                let Some(seqs) = self.cells.get(&(cx + dx, cy + dy)) else {
+                    continue;
+                };
+                for &seq in seqs {
+                    let record = self.get(seq).expect("indexed record retained");
+                    if seq != exclude_seq
+                        && record.sender != receiver
+                        && record.overlaps(start, end)
+                        && topology.in_range(record.sender, receiver)
+                    {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Per-receiver delivery verdict — the serial medium's precedence
+    /// verbatim: half-duplex, then RF collision, then random loss.
+    fn judge(
+        &self,
+        seq: u64,
+        receiver: NodeId,
+        position: Position,
+        loss_draw: f64,
+        frame_loss: f64,
+        topology: &Topology,
+    ) -> Verdict {
+        let record = self.get(seq).expect("judging unknown transmission");
+        if self.transmitting_during(receiver, record.start, record.end, seq) {
+            Verdict::Failed(DeliveryFailure::HalfDuplex)
+        } else if self.interference_at(receiver, position, record.start, record.end, seq, topology)
+        {
+            Verdict::Failed(DeliveryFailure::RfCollision)
+        } else if loss_draw < frame_loss {
+            Verdict::Failed(DeliveryFailure::RandomLoss)
+        } else {
+            Verdict::Delivered
+        }
+    }
+
+    /// Drops front records ended before `horizon`. O(1) per record: the
+    /// popped record has the globally smallest seq, which is also the
+    /// front of its cell's and its sender's index deques.
+    fn prune(&mut self, horizon: SimTime) {
+        while let Some(front) = self.records.front() {
+            if front.end >= horizon {
+                break;
+            }
+            let record = self.records.pop_front().expect("front exists");
+            self.base_seq += 1;
+            let cell = self
+                .cells
+                .get_mut(&record.cell)
+                .expect("cell index present");
+            let popped = cell.pop_front();
+            debug_assert_eq!(popped, Some(record.seq));
+            if cell.is_empty() {
+                self.cells.remove(&record.cell);
+            }
+            let by_node = &mut self.by_node[record.sender.index()];
+            let popped = by_node.pop_front();
+            debug_assert_eq!(popped, Some(record.seq));
+        }
+    }
+}
+
+/// A transmission begun inside the current window, pending global
+/// sequence assignment (ALOHA) or already numbered (CSMA, whose MAC
+/// phase runs in global order and numbers immediately).
+#[derive(Debug)]
+struct PendingTx {
+    node: NodeId,
+    /// Per-node transmission counter — the canonical tiebreak for
+    /// same-instant starts.
+    tx_idx: u64,
+    start: SimTime,
+    end: SimTime,
+    bits_on_air: u64,
+    airtime_micros: u64,
+    /// Sender position at transmission start (grid-cell bucket).
+    pos: Position,
+    seq: Option<u64>,
+    /// `None` when the record is already in the air view (CSMA).
+    frame: Option<Frame>,
+}
+
+/// A buffered airtime-span end (observability only). Spans end in the
+/// same window their transmission starts when the airtime is shorter
+/// than the lookahead, in which case the sequence number is not yet
+/// assigned at `TxEnd` time.
+#[derive(Debug)]
+enum SpanEnd {
+    Known {
+        at_micros: u64,
+        seq: u64,
+    },
+    Pending {
+        at_micros: u64,
+        node: NodeId,
+        tx_idx: u64,
+    },
+}
+
+/// Per-node state owned by exactly one shard.
+#[derive(Debug)]
+struct LocalNode<P> {
+    id: NodeId,
+    protocol: P,
+    meter: EnergyMeter,
+    queue: VecDeque<FramePayload>,
+    transmitting: bool,
+    duty_cycle: Option<DutyCycle>,
+    /// MAC backoff draws.
+    mac_rng: StdRng,
+    /// Protocol callback draws (`ctx.rng()`).
+    proto_rng: StdRng,
+    /// Per-delivery random-loss draws (this node receiving).
+    chan_rng: StdRng,
+    /// Fault-channel draws (this node receiving).
+    fault_rng: StdRng,
+    /// Gilbert–Elliott state for this receiver (`true` = bad).
+    fault_bad: bool,
+    next_timer_handle: u64,
+    cancelled: HashSet<TimerHandle>,
+    /// Orders this node's MAC-phase events.
+    mac_seq: u64,
+    /// Counts this node's transmissions.
+    tx_count: u64,
+    /// `(tx_idx, seq)` pairs of in-flight transmissions whose global
+    /// sequence number is known; consumed by `TxEnd`.
+    assigned: VecDeque<(u64, u64)>,
+}
+
+impl<P> LocalNode<P> {
+    fn new(seed: u64, id: NodeId, protocol: P) -> Self {
+        LocalNode {
+            id,
+            protocol,
+            meter: EnergyMeter::new(),
+            queue: VecDeque::new(),
+            transmitting: false,
+            duty_cycle: None,
+            mac_rng: StdRng::seed_from_u64(node_stream_seed(seed, "netsim.shard.mac", id)),
+            proto_rng: StdRng::seed_from_u64(node_stream_seed(seed, "netsim.shard.proto", id)),
+            chan_rng: StdRng::seed_from_u64(node_stream_seed(seed, "netsim.shard.chan", id)),
+            fault_rng: StdRng::seed_from_u64(node_stream_seed(seed, "netsim.shard.fault", id)),
+            fault_bad: false,
+            next_timer_handle: 0,
+            cancelled: HashSet::new(),
+            mac_seq: 0,
+            tx_count: 0,
+            assigned: VecDeque::new(),
+        }
+    }
+
+    /// Removes and returns the sequence number assigned to `tx_idx`, if
+    /// the assignment barrier has run for it.
+    fn take_assigned(&mut self, tx_idx: u64) -> Option<u64> {
+        let pos = self.assigned.iter().position(|&(t, _)| t == tx_idx)?;
+        self.assigned.remove(pos).map(|(_, seq)| seq)
+    }
+}
+
+/// Read-mostly engine parameters shared by every phase of a run.
+struct EngineCtx<'a> {
+    radio: &'a RadioConfig,
+    mac: &'a MacConfig,
+    faults: &'a FaultModel,
+    lookahead: SimDuration,
+    tracing: bool,
+    deadline: SimTime,
+    owner: &'a [(u32, u32)],
+}
+
+impl EngineCtx<'_> {
+    /// Local index of `node` on shard `shard` (which must own it).
+    fn local(&self, shard: usize, node: NodeId) -> usize {
+        let (s, l) = self.owner[node.index()];
+        debug_assert_eq!(s as usize, shard, "event routed to non-owner shard");
+        l as usize
+    }
+}
+
+/// Mutable global state threaded through the CSMA MAC phase, which runs
+/// in a single globally ordered drain and numbers transmissions (and
+/// inserts their records) immediately, because carrier sense has zero
+/// lookahead.
+struct CsmaAir<'a> {
+    air: &'a mut AirView,
+    next_seq: &'a mut u64,
+}
+
+/// One spatial shard: its owned nodes, both event heaps, and private
+/// topology replicas for each phase (the MAC and receive phases apply
+/// broadcast dynamics independently, so each needs its own copy).
+struct ShardCore<P> {
+    index: usize,
+    nodes: Vec<LocalNode<P>>,
+    mac_heap: BinaryHeap<MacEvent>,
+    rx_heap: BinaryHeap<RxEvent>,
+    topo_mac: Topology,
+    topo_rx: Topology,
+    outbox: Vec<PendingTx>,
+    span_ends: Vec<SpanEnd>,
+    stats: MediumStats,
+    trace_buf: Vec<(TraceKey, TraceEvent)>,
+    commands: Vec<Command>,
+    receiver_scratch: Vec<NodeId>,
+}
+
+impl<P: Protocol> ShardCore<P> {
+    fn new(index: usize, range: f64) -> Self {
+        ShardCore {
+            index,
+            nodes: Vec::new(),
+            mac_heap: BinaryHeap::new(),
+            rx_heap: BinaryHeap::new(),
+            topo_mac: Topology::new(range),
+            topo_rx: Topology::new(range),
+            outbox: Vec::new(),
+            span_ends: Vec::new(),
+            stats: MediumStats::default(),
+            trace_buf: Vec::new(),
+            commands: Vec::new(),
+            receiver_scratch: Vec::new(),
+        }
+    }
+
+    /// Pushes a node-owned MAC event, stamped with the node's private
+    /// event counter (the canonical same-key tiebreak).
+    fn push_mac(&mut self, at: SimTime, lane: u8, node: NodeId, local: usize, kind: MacKind) {
+        let b = self.nodes[local].mac_seq;
+        self.nodes[local].mac_seq += 1;
+        self.mac_heap.push(MacEvent {
+            at,
+            lane,
+            a: u64::from(node.0),
+            b,
+            kind,
+        });
+    }
+
+    /// Drains this shard's MAC events inside `[.., t_end)` (ALOHA: no
+    /// carrier sense, fully shard-parallel; new transmissions buffer in
+    /// the outbox for the epoch barrier).
+    fn run_phase1(&mut self, ctx: &EngineCtx<'_>, t_end: SimTime, obs: Option<&NetsimObs>) {
+        while let Some(ev) = self.mac_heap.peek() {
+            if ev.at >= t_end || ev.at > ctx.deadline {
+                break;
+            }
+            let ev = self.mac_heap.pop().expect("peeked above");
+            self.dispatch_mac(ev, ctx, None, obs);
+        }
+    }
+
+    fn dispatch_mac(
+        &mut self,
+        ev: MacEvent,
+        ctx: &EngineCtx<'_>,
+        mut csma: Option<CsmaAir<'_>>,
+        obs: Option<&NetsimObs>,
+    ) {
+        let at = ev.at;
+        match ev.kind {
+            MacKind::Dynamics(action) => match action {
+                DynAction::Move { node, to } => self.topo_mac.set_position(node, to),
+                DynAction::SetAlive { node, alive } => {
+                    self.topo_mac.set_alive(node, alive);
+                    if !alive {
+                        let (shard, local) = ctx.owner[node.index()];
+                        if shard as usize == self.index {
+                            let state = &mut self.nodes[local as usize];
+                            state.queue.clear();
+                            state.transmitting = false;
+                        }
+                    }
+                }
+            },
+            MacKind::Enqueue { node, payload } => {
+                // A node that died during the turnaround delay never
+                // hands the frame to its MAC (death clears MAC state
+                // until revival).
+                if self.topo_mac.is_alive(node) {
+                    let local = ctx.local(self.index, node);
+                    self.nodes[local].queue.push_back(payload);
+                    self.push_mac(at, LANE_M_TRY, node, local, MacKind::Try { node });
+                }
+            }
+            MacKind::TxEnd { node, tx_idx } => {
+                let local = ctx.local(self.index, node);
+                self.nodes[local].transmitting = false;
+                let seq = self.nodes[local].take_assigned(tx_idx);
+                if let (Some(cs), Some(seq)) = (csma.as_mut(), seq) {
+                    cs.air.mark_ended(seq);
+                }
+                if obs.is_some() {
+                    self.span_ends.push(match seq {
+                        Some(seq) => SpanEnd::Known {
+                            at_micros: at.as_micros(),
+                            seq,
+                        },
+                        None => SpanEnd::Pending {
+                            at_micros: at.as_micros(),
+                            node,
+                            tx_idx,
+                        },
+                    });
+                }
+                let retry = at + ctx.mac.ifs;
+                self.push_mac(retry, LANE_M_TRY, node, local, MacKind::Try { node });
+            }
+            MacKind::Try { node } => self.mac_try(at, node, ctx, csma, obs),
+        }
+    }
+
+    fn mac_try(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        ctx: &EngineCtx<'_>,
+        mut csma: Option<CsmaAir<'_>>,
+        obs: Option<&NetsimObs>,
+    ) {
+        if !self.topo_mac.is_alive(node) {
+            return;
+        }
+        let local = ctx.local(self.index, node);
+        {
+            let state = &self.nodes[local];
+            if state.transmitting || state.queue.is_empty() {
+                return;
+            }
+        }
+        let pos = self.topo_mac.position(node);
+        if let Some(cs) = csma.as_mut() {
+            if cs.air.busy_for(node, pos, at, &self.topo_mac) {
+                let slots = u64::from(
+                    self.nodes[local]
+                        .mac_rng
+                        .gen_range(1..=ctx.mac.max_backoff_slots),
+                );
+                if let Some(o) = obs {
+                    o.mac_backoffs.inc();
+                    o.mac_backoff_slots.add(slots);
+                }
+                let retry = at + ctx.mac.backoff_slot * slots;
+                self.push_mac(retry, LANE_M_TRY, node, local, MacKind::Try { node });
+                return;
+            }
+        }
+        let state = &mut self.nodes[local];
+        let payload = state.queue.pop_front().expect("checked non-empty above");
+        let bits_on_air = ctx.radio.bits_on_air(payload.bits());
+        let airtime = ctx.radio.airtime(payload.bits());
+        let end = at + airtime;
+        let tx_idx = state.tx_count;
+        state.tx_count += 1;
+        state.transmitting = true;
+        state.meter.record_tx(bits_on_air, airtime.as_micros());
+        let mut pending = PendingTx {
+            node,
+            tx_idx,
+            start: at,
+            end,
+            bits_on_air,
+            airtime_micros: airtime.as_micros(),
+            pos,
+            seq: None,
+            frame: Some(Frame::new(node, payload)),
+        };
+        if let Some(cs) = csma.as_mut() {
+            // Carrier-sense MACs run this phase in global event order,
+            // so number and insert the record immediately: later
+            // same-window carrier senses must hear it.
+            let seq = *cs.next_seq;
+            *cs.next_seq += 1;
+            let cell = cs.air.cell_of(pos);
+            cs.air.insert(AirRecord {
+                seq,
+                sender: node,
+                start: at,
+                end,
+                bits_on_air,
+                frame: pending.frame.take().expect("frame present"),
+                cell,
+                ended: false,
+            });
+            self.nodes[local].assigned.push_back((tx_idx, seq));
+            pending.seq = Some(seq);
+        }
+        self.outbox.push(pending);
+        self.push_mac(
+            end,
+            LANE_M_TXEND,
+            node,
+            local,
+            MacKind::TxEnd { node, tx_idx },
+        );
+    }
+
+    /// Drains this shard's receive events inside `[.., t_end)` — fully
+    /// shard-parallel; the air view is read-only here.
+    fn run_phase2(
+        &mut self,
+        ctx: &EngineCtx<'_>,
+        t_end: SimTime,
+        air: &AirView,
+        obs: Option<&NetsimObs>,
+    ) {
+        while let Some(ev) = self.rx_heap.peek() {
+            if ev.at >= t_end || ev.at > ctx.deadline {
+                break;
+            }
+            let ev = self.rx_heap.pop().expect("peeked above");
+            self.dispatch_rx(ev, ctx, air, obs);
+        }
+    }
+
+    fn owns(&self, ctx: &EngineCtx<'_>, node: NodeId) -> bool {
+        ctx.owner[node.index()].0 as usize == self.index
+    }
+
+    fn dispatch_rx(
+        &mut self,
+        ev: RxEvent,
+        ctx: &EngineCtx<'_>,
+        air: &AirView,
+        obs: Option<&NetsimObs>,
+    ) {
+        let at = ev.at;
+        match ev.kind {
+            RxKind::Dynamics { idx, action } => match action {
+                DynAction::Move { node, to } => {
+                    self.topo_rx.set_position(node, to);
+                    if ctx.tracing && self.owns(ctx, node) {
+                        self.trace_buf.push((
+                            (at.as_micros(), LANE_T_DYN, idx, 0),
+                            TraceEvent::Moved { at, node, to },
+                        ));
+                    }
+                }
+                DynAction::SetAlive { node, alive } => {
+                    self.topo_rx.set_alive(node, alive);
+                    if self.owns(ctx, node) {
+                        if ctx.tracing {
+                            self.trace_buf.push((
+                                (at.as_micros(), LANE_T_DYN, idx, 0),
+                                TraceEvent::Liveness { at, node, alive },
+                            ));
+                        }
+                        if alive {
+                            // A reborn node boots afresh.
+                            self.rx_heap.push(RxEvent {
+                                at,
+                                lane: LANE_R_START,
+                                a: u64::from(node.0),
+                                b: 0,
+                                kind: RxKind::Start { node },
+                            });
+                        }
+                    }
+                }
+            },
+            RxKind::Start { node } => {
+                if self.topo_rx.is_alive(node) {
+                    let local = ctx.local(self.index, node);
+                    self.with_ctx(local, at, ctx, |protocol, c| protocol.on_start(c));
+                    self.drain_commands(local, at, ctx);
+                }
+            }
+            RxKind::Timer { node, timer } => {
+                let local = ctx.local(self.index, node);
+                let state = &mut self.nodes[local];
+                let cancelled =
+                    !state.cancelled.is_empty() && state.cancelled.remove(&timer.handle);
+                if !cancelled && self.topo_rx.is_alive(node) {
+                    self.with_ctx(local, at, ctx, |protocol, c| protocol.on_timer(c, timer));
+                    self.drain_commands(local, at, ctx);
+                }
+            }
+            RxKind::Deliver { seq, sender } => self.deliver(at, seq, sender, ctx, air, obs),
+        }
+    }
+
+    /// Judges delivery of transmission `seq` to every owned neighbor of
+    /// `sender`, in node id order — the serial engine's `tx_end`
+    /// receiver loop with per-receiver RNG streams.
+    fn deliver(
+        &mut self,
+        at: SimTime,
+        seq: u64,
+        sender: NodeId,
+        ctx: &EngineCtx<'_>,
+        air: &AirView,
+        obs: Option<&NetsimObs>,
+    ) {
+        let mut receivers = std::mem::take(&mut self.receiver_scratch);
+        receivers.extend(
+            self.topo_rx
+                .neighbors(sender)
+                .filter(|r| self.owns(ctx, *r)),
+        );
+        if receivers.is_empty() {
+            self.receiver_scratch = receivers;
+            return;
+        }
+        let record = air.get(seq).expect("delivery record retained");
+        let bits_on_air = record.bits_on_air;
+        let tx_start = record.start;
+        let tx_end_at = record.end;
+        let airtime_micros = tx_end_at.since(tx_start).as_micros();
+        let rx_nj = bits_on_air as f64 * ctx.radio.energy.rx_nj_per_bit;
+        for &receiver in &receivers {
+            let local = ctx.local(self.index, receiver);
+            // Draw before any filtering so the stream is identical
+            // across duty-cycle and fault configurations.
+            let draw: f64 = self.nodes[local].chan_rng.gen_range(0.0..1.0);
+            if ctx.faults.severs(sender, receiver, at) {
+                self.stats.partition_losses += 1;
+                if let Some(o) = obs {
+                    o.drop_for(LossReason::Partitioned);
+                }
+                self.trace_rx(ctx, at, seq, receiver, || TraceEvent::Lost {
+                    at,
+                    from: sender,
+                    to: receiver,
+                    seq,
+                    reason: LossReason::Partitioned,
+                });
+                continue;
+            }
+            if let Some(duty) = self.nodes[local].duty_cycle {
+                if !duty.awake_during(tx_start, tx_end_at) {
+                    self.stats.sleep_misses += 1;
+                    if let Some(o) = obs {
+                        o.drop_for(LossReason::Asleep);
+                    }
+                    self.trace_rx(ctx, at, seq, receiver, || TraceEvent::Lost {
+                        at,
+                        from: sender,
+                        to: receiver,
+                        seq,
+                        reason: LossReason::Asleep,
+                    });
+                    continue;
+                }
+            }
+            let position = self.topo_rx.position(receiver);
+            let verdict = air.judge(
+                seq,
+                receiver,
+                position,
+                draw,
+                ctx.radio.frame_loss,
+                &self.topo_rx,
+            );
+            match verdict {
+                Verdict::Failed(failure) => {
+                    match failure {
+                        DeliveryFailure::HalfDuplex => self.stats.half_duplex_losses += 1,
+                        DeliveryFailure::RfCollision => {
+                            self.nodes[local]
+                                .meter
+                                .record_rx(bits_on_air, airtime_micros);
+                            self.stats.rf_collisions += 1;
+                        }
+                        DeliveryFailure::RandomLoss => {
+                            self.nodes[local]
+                                .meter
+                                .record_rx(bits_on_air, airtime_micros);
+                            self.stats.random_losses += 1;
+                        }
+                    }
+                    if let Some(o) = obs {
+                        o.drop_for(failure.into());
+                        if !matches!(failure, DeliveryFailure::HalfDuplex) {
+                            o.energy_rx_nj.shift(rx_nj);
+                        }
+                    }
+                    self.trace_rx(ctx, at, seq, receiver, || TraceEvent::Lost {
+                        at,
+                        from: sender,
+                        to: receiver,
+                        seq,
+                        reason: failure.into(),
+                    });
+                }
+                Verdict::Delivered => {
+                    self.nodes[local]
+                        .meter
+                        .record_rx(bits_on_air, airtime_micros);
+                    if let Some(o) = obs {
+                        o.energy_rx_nj.shift(rx_nj);
+                    }
+                    // The fault channel judges last, from the receiver's
+                    // own fault stream: erasure drops the frame, a
+                    // positive BER may flip bits on a per-receiver copy.
+                    let mut corrupted: Option<(Frame, u64)> = None;
+                    if let Some(channel) = ctx.faults.channel() {
+                        let state = &mut self.nodes[local];
+                        let fault = channel.judge_frame(&mut state.fault_bad, &mut state.fault_rng);
+                        if fault.erased {
+                            self.stats.fault_erasures += 1;
+                            if let Some(o) = obs {
+                                o.drop_for(LossReason::FaultErasure);
+                            }
+                            self.trace_rx(ctx, at, seq, receiver, || TraceEvent::Lost {
+                                at,
+                                from: sender,
+                                to: receiver,
+                                seq,
+                                reason: LossReason::FaultErasure,
+                            });
+                            continue;
+                        }
+                        if fault.bit_error_rate > 0.0 {
+                            let mut mangled = record.frame.clone();
+                            let mut flipped = 0u64;
+                            for bit in 0..mangled.payload.bits() {
+                                if state.fault_rng.gen_range(0.0..1.0) < fault.bit_error_rate {
+                                    mangled.payload.flip_bit(bit);
+                                    flipped += 1;
+                                }
+                            }
+                            if flipped > 0 {
+                                corrupted = Some((mangled, flipped));
+                            }
+                        }
+                    }
+                    self.stats.deliveries += 1;
+                    if let Some(o) = obs {
+                        o.deliveries.inc();
+                    }
+                    match corrupted {
+                        Some((mangled, flipped)) => {
+                            self.stats.corrupted_deliveries += 1;
+                            self.stats.flipped_bits += flipped;
+                            if let Some(o) = obs {
+                                o.corrupted_deliveries.inc();
+                                o.flipped_bits.add(flipped);
+                            }
+                            self.trace_rx(ctx, at, seq, receiver, || TraceEvent::Corrupted {
+                                at,
+                                from: sender,
+                                to: receiver,
+                                seq,
+                                flipped_bits: flipped,
+                            });
+                            self.with_ctx(local, at, ctx, |protocol, c| {
+                                protocol.on_frame(c, &mangled);
+                            });
+                            self.drain_commands(local, at, ctx);
+                        }
+                        None => {
+                            self.trace_rx(ctx, at, seq, receiver, || TraceEvent::Delivered {
+                                at,
+                                from: sender,
+                                to: receiver,
+                                seq,
+                            });
+                            let frame = &record.frame;
+                            self.with_ctx(local, at, ctx, |protocol, c| {
+                                protocol.on_frame(c, frame);
+                            });
+                            self.drain_commands(local, at, ctx);
+                        }
+                    }
+                }
+            }
+        }
+        receivers.clear();
+        self.receiver_scratch = receivers;
+    }
+
+    fn trace_rx(
+        &mut self,
+        ctx: &EngineCtx<'_>,
+        at: SimTime,
+        seq: u64,
+        receiver: NodeId,
+        event: impl FnOnce() -> TraceEvent,
+    ) {
+        if ctx.tracing {
+            self.trace_buf.push((
+                (at.as_micros(), LANE_T_RX, seq, u64::from(receiver.0)),
+                event(),
+            ));
+        }
+    }
+
+    fn with_ctx(
+        &mut self,
+        local: usize,
+        at: SimTime,
+        ctx: &EngineCtx<'_>,
+        f: impl FnOnce(&mut P, &mut Context<'_>),
+    ) {
+        let state = &mut self.nodes[local];
+        // Queue depth as of the end of this window's MAC phase — the
+        // receive phase's view lags true MAC state by at most one
+        // lookahead.
+        let pending_frames = state.queue.len() + usize::from(state.transmitting);
+        let mut c = Context {
+            now: at,
+            node: state.id,
+            rng: &mut state.proto_rng,
+            commands: &mut self.commands,
+            next_timer_handle: &mut state.next_timer_handle,
+            max_frame_bytes: ctx.radio.max_frame_bytes,
+            pending_frames,
+        };
+        f(&mut state.protocol, &mut c);
+    }
+
+    fn drain_commands(&mut self, local: usize, at: SimTime, ctx: &EngineCtx<'_>) {
+        while !self.commands.is_empty() {
+            let mut batch = std::mem::take(&mut self.commands);
+            for command in batch.drain(..) {
+                match command {
+                    Command::Send { node, payload } => {
+                        debug_assert!(self.owns(ctx, node), "nodes only send as themselves");
+                        let node_local = ctx.local(self.index, node);
+                        // One MAC turnaround after the callback — the
+                        // lookahead bound that makes windows independent.
+                        let enqueue_at = at + ctx.lookahead;
+                        self.push_mac(
+                            enqueue_at,
+                            LANE_M_ENQ,
+                            node,
+                            node_local,
+                            MacKind::Enqueue { node, payload },
+                        );
+                    }
+                    Command::SetTimer { node, at, timer } => {
+                        self.rx_heap.push(RxEvent {
+                            at,
+                            lane: LANE_R_TIMER,
+                            a: u64::from(node.0),
+                            b: timer.handle.0,
+                            kind: RxKind::Timer { node, timer },
+                        });
+                    }
+                    Command::CancelTimer { handle } => {
+                        self.nodes[local].cancelled.insert(handle);
+                    }
+                }
+            }
+            if self.commands.is_empty() {
+                self.commands = batch;
+            }
+        }
+    }
+}
+
+/// Configures and constructs a [`ShardedSim`].
+///
+/// Mirrors [`crate::sim::SimBuilder`], plus the sharding knobs:
+/// [`shards`](Self::shards) and [`lookahead`](Self::lookahead) (the MAC
+/// turnaround delay that bounds the synchronization window).
+#[derive(Debug)]
+pub struct ShardedSimBuilder {
+    seed: u64,
+    radio: RadioConfig,
+    mac: MacConfig,
+    range: f64,
+    faults: FaultModel,
+    shards: usize,
+    lookahead: SimDuration,
+}
+
+impl ShardedSimBuilder {
+    /// Starts a builder with the given seed and defaults: the paper's
+    /// RPC radio, CSMA, 100 m range, one shard, 500 µs turnaround.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        ShardedSimBuilder {
+            seed,
+            radio: RadioConfig::radiometrix_rpc(),
+            mac: MacConfig::csma(),
+            range: 100.0,
+            faults: FaultModel::none(),
+            shards: 1,
+            lookahead: SimDuration::from_micros(500),
+        }
+    }
+
+    /// Sets the radio model.
+    #[must_use]
+    pub fn radio(mut self, radio: RadioConfig) -> Self {
+        self.radio = radio;
+        self
+    }
+
+    /// Sets the MAC configuration.
+    #[must_use]
+    pub fn mac(mut self, mac: MacConfig) -> Self {
+        self.mac = mac;
+        self
+    }
+
+    /// Sets the radio range in meters (also the interference grid cell
+    /// size).
+    #[must_use]
+    pub fn range(mut self, range: f64) -> Self {
+        self.range = range;
+        self
+    }
+
+    /// Sets the fault model (default: [`FaultModel::none`]).
+    #[must_use]
+    pub fn faults(mut self, faults: FaultModel) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the shard count. Output is invariant in this knob; it only
+    /// chooses how much of the work runs in parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the MAC turnaround delay (the conservative lookahead `L`).
+    /// Larger values mean fewer barrier epochs but more latency between
+    /// a protocol send and its MAC enqueue. Part of the model: changing
+    /// it changes (deterministically) when frames hit the air.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lookahead` is zero.
+    #[must_use]
+    pub fn lookahead(mut self, lookahead: SimDuration) -> Self {
+        assert!(lookahead.as_micros() > 0, "lookahead must be positive");
+        self.lookahead = lookahead;
+        self
+    }
+
+    /// Builds the simulator; `factory` creates the protocol instance
+    /// for each node added later.
+    pub fn build<P, F>(self, factory: F) -> ShardedSim<P>
+    where
+        P: Protocol,
+        F: FnMut(NodeId) -> P + 'static,
+    {
+        self.mac.validate();
+        let cores = (0..self.shards)
+            .map(|i| ShardCore::new(i, self.range))
+            .collect();
+        let mut sim = ShardedSim {
+            now: SimTime::ZERO,
+            seed: self.seed,
+            radio: self.radio,
+            mac: self.mac,
+            faults: self.faults,
+            lookahead: self.lookahead,
+            master: Topology::new(self.range),
+            cores,
+            owner: Vec::new(),
+            air: AirView::new(self.range),
+            master_dyn: BinaryHeap::new(),
+            next_dyn_idx: 0,
+            next_seq: 0,
+            frames_sent: 0,
+            factory: Box::new(factory),
+            tracer: None,
+            obs: None,
+            trace_main: Vec::new(),
+            merge_scratch: Vec::new(),
+            force_serial: false,
+        };
+        let churn: Vec<ChurnEvent> = sim.faults.churn().to_vec();
+        for event in churn {
+            sim.schedule_set_alive(event.at, event.node, event.alive);
+        }
+        sim
+    }
+
+    /// Builds the simulator pre-populated with every node of `topology`
+    /// (positions and liveness), creating protocols via `factory`.
+    ///
+    /// Equivalent to adding each node individually but O(topology) —
+    /// the replicas clone the finished adjacency instead of relinking
+    /// per added node, which matters at 10k nodes.
+    pub fn build_with_topology<P, F>(self, topology: &Topology, factory: F) -> ShardedSim<P>
+    where
+        P: Protocol,
+        F: FnMut(NodeId) -> P + 'static,
+    {
+        let mut sim = self.build(factory);
+        sim.master = topology.clone();
+        for core in &mut sim.cores {
+            core.topo_mac = topology.clone();
+            core.topo_rx = topology.clone();
+        }
+        let ids: Vec<NodeId> = topology.node_ids().collect();
+        for id in ids {
+            let protocol = (sim.factory)(id);
+            sim.admit(id, protocol);
+        }
+        sim
+    }
+}
+
+/// The sharded simulation: shard cores, the shared air view, and the
+/// epoch-barrier state. See the [module docs](self) for the execution
+/// model.
+pub struct ShardedSim<P> {
+    now: SimTime,
+    seed: u64,
+    radio: RadioConfig,
+    mac: MacConfig,
+    faults: FaultModel,
+    lookahead: SimDuration,
+    /// Authoritative topology for the public accessor and shard
+    /// rebalancing; dynamics are applied to it at epoch barriers.
+    master: Topology,
+    cores: Vec<ShardCore<P>>,
+    /// `node -> (shard, local index)`.
+    owner: Vec<(u32, u32)>,
+    air: AirView,
+    master_dyn: BinaryHeap<MasterDyn>,
+    next_dyn_idx: u64,
+    next_seq: u64,
+    /// Global transmission counter (the only MediumStats field counted
+    /// at the barrier rather than per shard).
+    frames_sent: u64,
+    factory: Box<dyn FnMut(NodeId) -> P>,
+    tracer: Option<Tracer>,
+    obs: Option<NetsimObs>,
+    trace_main: Vec<(TraceKey, TraceEvent)>,
+    merge_scratch: Vec<PendingTx>,
+    force_serial: bool,
+}
+
+impl<P> core::fmt::Debug for ShardedSim<P> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ShardedSim")
+            .field("now", &self.now)
+            .field("shards", &self.cores.len())
+            .field("nodes", &self.owner.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P: Protocol> ShardedSim<P> {
+    /// The grid cell owning shard for a position. Placement only
+    /// affects load balance, never output.
+    fn shard_of(&self, position: Position) -> usize {
+        if self.cores.len() == 1 {
+            return 0;
+        }
+        let cell = self.air.cell_of(position);
+        let mut state = (cell.0 as u64) ^ (cell.1 as u64).rotate_left(32) ^ 0x9E37_79B9_7F4A_7C15;
+        state = rand::splitmix64(&mut state);
+        usize::try_from(state % self.cores.len() as u64).expect("shard index fits usize")
+    }
+
+    /// Adds a node at `position` using the builder's factory; its
+    /// `on_start` runs at the current time.
+    pub fn add_node_at(&mut self, position: Position) -> NodeId {
+        let id = self.master.add(position);
+        for core in &mut self.cores {
+            core.topo_mac.add(position);
+            core.topo_rx.add(position);
+        }
+        let protocol = (self.factory)(id);
+        self.admit(id, protocol)
+    }
+
+    /// Adds a node with an explicitly constructed protocol instance.
+    pub fn add_node_with(&mut self, position: Position, protocol: P) -> NodeId {
+        let id = self.master.add(position);
+        for core in &mut self.cores {
+            core.topo_mac.add(position);
+            core.topo_rx.add(position);
+        }
+        self.admit(id, protocol)
+    }
+
+    /// Registers an already-present topology node with the engine.
+    fn admit(&mut self, id: NodeId, protocol: P) -> NodeId {
+        debug_assert_eq!(id.index(), self.owner.len());
+        let shard = self.shard_of(self.master.position(id));
+        let local = self.cores[shard].nodes.len() as u32;
+        self.owner.push((shard as u32, local));
+        self.air.add_node();
+        self.cores[shard]
+            .nodes
+            .push(LocalNode::new(self.seed, id, protocol));
+        let at = self.now;
+        self.cores[shard].rx_heap.push(RxEvent {
+            at,
+            lane: LANE_R_START,
+            a: u64::from(id.0),
+            b: 0,
+            kind: RxKind::Start { node: id },
+        });
+        id
+    }
+
+    /// Schedules a node to move at a future time (network dynamics).
+    pub fn schedule_move(&mut self, at: SimTime, node: NodeId, to: Position) {
+        self.push_dynamic(at, DynAction::Move { node, to });
+    }
+
+    /// Schedules a node death (`false`) or rebirth (`true`).
+    pub fn schedule_set_alive(&mut self, at: SimTime, node: NodeId, alive: bool) {
+        self.push_dynamic(at, DynAction::SetAlive { node, alive });
+    }
+
+    fn push_dynamic(&mut self, at: SimTime, action: DynAction) {
+        let idx = self.next_dyn_idx;
+        self.next_dyn_idx += 1;
+        self.master_dyn.push(MasterDyn { at, idx, action });
+        for core in &mut self.cores {
+            core.mac_heap.push(MacEvent {
+                at,
+                lane: LANE_M_DYN,
+                a: idx,
+                b: 0,
+                kind: MacKind::Dynamics(action),
+            });
+            core.rx_heap.push(RxEvent {
+                at,
+                lane: LANE_R_DYN,
+                a: idx,
+                b: 0,
+                kind: RxKind::Dynamics { idx, action },
+            });
+        }
+    }
+
+    /// Sets (or clears) a receiver duty cycle on a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was never added.
+    pub fn set_duty_cycle(&mut self, node: NodeId, duty_cycle: Option<DutyCycle>) {
+        let (shard, local) = self.owner[node.index()];
+        self.cores[shard as usize].nodes[local as usize].duty_cycle = duty_cycle;
+    }
+
+    /// The current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The radio model in use.
+    #[must_use]
+    pub fn radio(&self) -> &RadioConfig {
+        &self.radio
+    }
+
+    /// The topology (positions, liveness, range).
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.master
+    }
+
+    /// The shard count.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The conservative lookahead (MAC turnaround delay).
+    #[must_use]
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// Medium-level counters, summed across shards.
+    #[must_use]
+    pub fn stats(&self) -> MediumStats {
+        let mut total = MediumStats {
+            frames_sent: self.frames_sent,
+            ..MediumStats::default()
+        };
+        for core in &self.cores {
+            let s = &core.stats;
+            total.deliveries += s.deliveries;
+            total.rf_collisions += s.rf_collisions;
+            total.half_duplex_losses += s.half_duplex_losses;
+            total.random_losses += s.random_losses;
+            total.sleep_misses += s.sleep_misses;
+            total.fault_erasures += s.fault_erasures;
+            total.partition_losses += s.partition_losses;
+            total.corrupted_deliveries += s.corrupted_deliveries;
+            total.flipped_bits += s.flipped_bits;
+        }
+        total
+    }
+
+    /// Number of nodes added so far.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.owner.len() as u32).map(NodeId)
+    }
+
+    fn local_node(&self, node: NodeId) -> &LocalNode<P> {
+        let (shard, local) = self.owner[node.index()];
+        &self.cores[shard as usize].nodes[local as usize]
+    }
+
+    /// The protocol instance of a node, for post-run inspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was never added.
+    #[must_use]
+    pub fn protocol(&self, node: NodeId) -> &P {
+        &self.local_node(node).protocol
+    }
+
+    /// Mutable access to a node's protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was never added.
+    pub fn protocol_mut(&mut self, node: NodeId) -> &mut P {
+        let (shard, local) = self.owner[node.index()];
+        &mut self.cores[shard as usize].nodes[local as usize].protocol
+    }
+
+    /// A node's energy meter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was never added.
+    #[must_use]
+    pub fn meter(&self, node: NodeId) -> &EnergyMeter {
+        &self.local_node(node).meter
+    }
+
+    /// Network-wide energy meter (sum over nodes).
+    #[must_use]
+    pub fn total_meter(&self) -> EnergyMeter {
+        let mut total = EnergyMeter::new();
+        for core in &self.cores {
+            for node in &core.nodes {
+                total.merge(&node.meter);
+            }
+        }
+        total
+    }
+
+    /// How long a node's receiver has been awake so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was never added.
+    #[must_use]
+    pub fn awake_micros(&self, node: NodeId) -> u64 {
+        let elapsed = self.now.as_micros();
+        match self.local_node(node).duty_cycle {
+            Some(duty) => (elapsed as f64 * duty.on_fraction()) as u64,
+            None => elapsed,
+        }
+    }
+
+    /// A node's total radio energy so far in nanojoules, including idle
+    /// listening.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was never added.
+    #[must_use]
+    pub fn energy_nj(&self, node: NodeId) -> f64 {
+        self.local_node(node)
+            .meter
+            .total_energy_with_idle_nj(&self.radio.energy, self.awake_micros(node))
+    }
+
+    /// Enables event tracing with a bounded ring buffer of `capacity`
+    /// events. Re-enabling resets the buffer.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.tracer = Some(Tracer::new(capacity));
+    }
+
+    /// The tracer, if enabled.
+    #[must_use]
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Attaches an observability handle. Observability implies serial
+    /// window execution (metric recording order must be deterministic);
+    /// output is unchanged either way.
+    pub fn enable_obs(&mut self, obs: &Obs) {
+        self.obs = obs.is_enabled().then(|| NetsimObs::new(obs));
+    }
+
+    /// Forces the single-threaded window loop even for `shards > 1`.
+    /// The windowed algorithm is identical either way — this is a
+    /// validation/debugging knob (and what `enable_obs` implies).
+    pub fn set_force_serial(&mut self, force: bool) {
+        self.force_serial = force;
+    }
+
+    /// Re-buckets node ownership from current master positions, moving
+    /// node state and node-owned events between shards. Called at the
+    /// start of every run so churn-heavy workloads keep their spatial
+    /// balance. Placement never affects output, so this is purely a
+    /// load-balance step.
+    fn rebalance_ownership(&mut self) {
+        if self.cores.len() <= 1 || self.owner.is_empty() {
+            return;
+        }
+        let desired: Vec<u32> = (0..self.owner.len() as u32)
+            .map(|id| self.shard_of(self.master.position(NodeId(id))) as u32)
+            .collect();
+        if desired
+            .iter()
+            .zip(&self.owner)
+            .all(|(want, have)| *want == have.0)
+        {
+            return;
+        }
+        let mut slots: Vec<Option<LocalNode<P>>> = (0..self.owner.len()).map(|_| None).collect();
+        let mut mac_orphans: Vec<MacEvent> = Vec::new();
+        let mut rx_orphans: Vec<RxEvent> = Vec::new();
+        for core in &mut self.cores {
+            for node in core.nodes.drain(..) {
+                let index = node.id.index();
+                slots[index] = Some(node);
+            }
+            // Node-owned events follow their node; broadcast events
+            // (dynamics, deliveries) already exist once per shard and
+            // stay put.
+            let events: Vec<MacEvent> = core.mac_heap.drain().collect();
+            for ev in events {
+                if ev.node().is_some() {
+                    mac_orphans.push(ev);
+                } else {
+                    core.mac_heap.push(ev);
+                }
+            }
+            let events: Vec<RxEvent> = core.rx_heap.drain().collect();
+            for ev in events {
+                if ev.node().is_some() {
+                    rx_orphans.push(ev);
+                } else {
+                    core.rx_heap.push(ev);
+                }
+            }
+        }
+        for (index, slot) in slots.into_iter().enumerate() {
+            let node = slot.expect("every node drained into a slot");
+            let shard = desired[index] as usize;
+            self.owner[index] = (desired[index], self.cores[shard].nodes.len() as u32);
+            self.cores[shard].nodes.push(node);
+        }
+        for ev in mac_orphans {
+            let node = ev.node().expect("partitioned as node-owned");
+            self.cores[self.owner[node.index()].0 as usize]
+                .mac_heap
+                .push(ev);
+        }
+        for ev in rx_orphans {
+            let node = ev.node().expect("partitioned as node-owned");
+            self.cores[self.owner[node.index()].0 as usize]
+                .rx_heap
+                .push(ev);
+        }
+    }
+
+    /// Merges buffered trace events (main + per-shard) into the tracer
+    /// in canonical key order.
+    fn flush_traces(&mut self) {
+        let Some(tracer) = self.tracer.as_mut() else {
+            for core in &mut self.cores {
+                core.trace_buf.clear();
+            }
+            self.trace_main.clear();
+            return;
+        };
+        let mut all = std::mem::take(&mut self.trace_main);
+        for core in &mut self.cores {
+            all.append(&mut core.trace_buf);
+        }
+        all.sort_unstable_by_key(|(key, _)| *key);
+        for (_, event) in all.drain(..) {
+            tracer.record(event);
+        }
+        self.trace_main = all;
+    }
+
+    /// End of window `[.., t_end)`: the single "barrier B" step. Applies
+    /// this window's dynamics to the master topology and garbage-collects
+    /// air records too old to affect any future judgment.
+    fn finish_window(&mut self, t_end: SimTime, deadline: SimTime) {
+        while let Some(next) = self.master_dyn.peek() {
+            if next.at >= t_end || next.at > deadline {
+                break;
+            }
+            let dynamic = self.master_dyn.pop().expect("peeked above");
+            match dynamic.action {
+                DynAction::Move { node, to } => self.master.set_position(node, to),
+                DynAction::SetAlive { node, alive } => self.master.set_alive(node, alive),
+            }
+        }
+        let slack = self.radio.airtime(self.radio.max_frame_bytes as u32 * 8) * 2;
+        let horizon = SimTime::from_micros(t_end.as_micros().saturating_sub(slack.as_micros()));
+        self.air.prune(horizon);
+    }
+}
+
+/// The earliest pending event across all shards and both phases.
+fn global_min<P: Protocol>(cores: &[&mut ShardCore<P>]) -> Option<SimTime> {
+    let mut min: Option<SimTime> = None;
+    for core in cores {
+        for at in core
+            .mac_heap
+            .peek()
+            .map(|e| e.at)
+            .into_iter()
+            .chain(core.rx_heap.peek().map(|e| e.at))
+        {
+            min = Some(min.map_or(at, |m| m.min(at)));
+        }
+    }
+    min
+}
+
+/// End of the synchronization window containing `at`: windows tile the
+/// timeline at multiples of the lookahead, so the window start (and
+/// therefore the whole window sequence) depends only on the global event
+/// set — never on the shard count.
+fn window_end(at: SimTime, lookahead: SimDuration) -> SimTime {
+    let l = lookahead.as_micros().max(1);
+    SimTime::from_micros((at.as_micros() / l + 1) * l)
+}
+
+/// The globally ordered MAC phase of carrier-sense runs: a cross-shard
+/// merge that pops the minimum-key MAC event over all shards, so carrier
+/// sense observes exactly the serial order (zero lookahead).
+fn run_phase1_csma<P: Protocol>(
+    cores: &mut [&mut ShardCore<P>],
+    air: &mut AirView,
+    next_seq: &mut u64,
+    ctx: &EngineCtx<'_>,
+    t_end: SimTime,
+    obs: Option<&NetsimObs>,
+) {
+    loop {
+        let mut best: Option<(usize, (SimTime, u8, u64, u64))> = None;
+        for (i, core) in cores.iter().enumerate() {
+            if let Some(ev) = core.mac_heap.peek() {
+                if ev.at >= t_end || ev.at > ctx.deadline {
+                    continue;
+                }
+                let key = ev.key();
+                if best.is_none_or(|(_, k)| key < k) {
+                    best = Some((i, key));
+                }
+            }
+        }
+        let Some((i, _)) = best else {
+            break;
+        };
+        let ev = cores[i].mac_heap.pop().expect("peeked above");
+        cores[i].dispatch_mac(ev, ctx, Some(CsmaAir { air, next_seq }), obs);
+    }
+}
+
+/// The epoch barrier ("barrier A"): merge per-shard outboxes in
+/// canonical order, assign global sequence numbers, record stats,
+/// traces, and metrics, publish air records, and broadcast delivery
+/// events to every shard.
+#[allow(clippy::too_many_arguments)]
+fn assign_and_broadcast<P: Protocol>(
+    cores: &mut [&mut ShardCore<P>],
+    air: &mut AirView,
+    next_seq: &mut u64,
+    frames_sent: &mut u64,
+    trace_main: &mut Vec<(TraceKey, TraceEvent)>,
+    merge: &mut Vec<PendingTx>,
+    mut obs: Option<&mut NetsimObs>,
+    owner: &[(u32, u32)],
+    tracing: bool,
+    tx_nj_per_bit: f64,
+) {
+    merge.clear();
+    for core in cores.iter_mut() {
+        merge.append(&mut core.outbox);
+    }
+    merge.sort_unstable_by_key(|p| (p.start, p.node.0, p.tx_idx));
+    for p in merge.drain(..) {
+        let seq = match p.seq {
+            Some(seq) => seq,
+            None => {
+                let seq = *next_seq;
+                *next_seq += 1;
+                let (shard, local) = owner[p.node.index()];
+                cores[shard as usize].nodes[local as usize]
+                    .assigned
+                    .push_back((p.tx_idx, seq));
+                seq
+            }
+        };
+        *frames_sent += 1;
+        if tracing {
+            trace_main.push((
+                (p.start.as_micros(), LANE_T_TX, seq, 0),
+                TraceEvent::TxStart {
+                    at: p.start,
+                    node: p.node,
+                    seq,
+                    bits: p.bits_on_air,
+                },
+            ));
+        }
+        if let Some(o) = obs.as_deref_mut() {
+            o.frames_sent.inc();
+            o.tx_bits.add(p.bits_on_air);
+            o.airtime_micros.add(p.airtime_micros);
+            o.energy_tx_nj.shift(p.bits_on_air as f64 * tx_nj_per_bit);
+            o.tx_span_start(seq, p.start.as_micros());
+        }
+        if let Some(frame) = p.frame {
+            let cell = air.cell_of(p.pos);
+            air.insert(AirRecord {
+                seq,
+                sender: p.node,
+                start: p.start,
+                end: p.end,
+                bits_on_air: p.bits_on_air,
+                frame,
+                cell,
+                ended: false,
+            });
+        }
+        for core in cores.iter_mut() {
+            core.rx_heap.push(RxEvent {
+                at: p.end,
+                lane: LANE_R_DELIVER,
+                a: seq,
+                b: 0,
+                kind: RxKind::Deliver {
+                    seq,
+                    sender: p.node,
+                },
+            });
+        }
+    }
+    // Airtime spans (observability only): resolve ends buffered during
+    // the MAC phase, now that every same-window start has its number.
+    if let Some(o) = obs {
+        let mut pending: Vec<SpanEnd> = Vec::new();
+        for core in cores.iter_mut() {
+            pending.append(&mut core.span_ends);
+        }
+        if pending.is_empty() {
+            return;
+        }
+        let mut ends: Vec<(u64, u64)> = Vec::with_capacity(pending.len());
+        for end in pending {
+            match end {
+                SpanEnd::Known { at_micros, seq } => ends.push((at_micros, seq)),
+                SpanEnd::Pending {
+                    at_micros,
+                    node,
+                    tx_idx,
+                } => {
+                    let (shard, local) = owner[node.index()];
+                    let seq = cores[shard as usize].nodes[local as usize]
+                        .take_assigned(tx_idx)
+                        .expect("same-window transmission numbered at this barrier");
+                    ends.push((at_micros, seq));
+                }
+            }
+        }
+        ends.sort_unstable();
+        for (at_micros, seq) in ends {
+            o.tx_span_end(seq, at_micros);
+        }
+    }
+}
+
+impl<P: Protocol + Send> ShardedSim<P> {
+    /// Runs all events up to and including `deadline`, then advances
+    /// the clock to it.
+    ///
+    /// Multi-shard runs execute windows on scoped worker threads unless
+    /// observability is attached (or [`Self::set_force_serial`] was
+    /// called); output is identical either way.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from protocol callbacks (on worker threads,
+    /// re-raised on the caller).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.rebalance_ownership();
+        if self.cores.len() > 1 && self.obs.is_none() && !self.force_serial {
+            self.run_windows_parallel(deadline);
+        } else {
+            self.run_windows_serial(deadline);
+        }
+        self.now = self.now.max(deadline);
+        self.flush_traces();
+    }
+
+    fn run_windows_serial(&mut self, deadline: SimTime) {
+        loop {
+            let t_end = {
+                let refs: Vec<&mut ShardCore<P>> = self.cores.iter_mut().collect();
+                match global_min(&refs) {
+                    Some(min) if min <= deadline => window_end(min, self.lookahead),
+                    _ => break,
+                }
+            };
+            {
+                let ShardedSim {
+                    cores,
+                    air,
+                    next_seq,
+                    frames_sent,
+                    trace_main,
+                    merge_scratch,
+                    obs,
+                    tracer,
+                    owner,
+                    radio,
+                    mac,
+                    faults,
+                    lookahead,
+                    ..
+                } = self;
+                let ctx = EngineCtx {
+                    radio,
+                    mac,
+                    faults,
+                    lookahead: *lookahead,
+                    tracing: tracer.is_some(),
+                    deadline,
+                    owner,
+                };
+                let mut refs: Vec<&mut ShardCore<P>> = cores.iter_mut().collect();
+                if mac.carrier_sense {
+                    run_phase1_csma(&mut refs, air, next_seq, &ctx, t_end, obs.as_ref());
+                } else {
+                    for core in refs.iter_mut() {
+                        core.run_phase1(&ctx, t_end, obs.as_ref());
+                    }
+                }
+                assign_and_broadcast(
+                    &mut refs,
+                    air,
+                    next_seq,
+                    frames_sent,
+                    trace_main,
+                    merge_scratch,
+                    obs.as_mut(),
+                    owner,
+                    ctx.tracing,
+                    radio.energy.tx_nj_per_bit,
+                );
+                for core in refs.iter_mut() {
+                    core.run_phase2(&ctx, t_end, air, obs.as_ref());
+                }
+            }
+            self.finish_window(t_end, deadline);
+        }
+    }
+
+    fn run_windows_parallel(&mut self, deadline: SimTime) {
+        let shards = self.cores.len();
+        let ShardedSim {
+            cores,
+            air,
+            next_seq,
+            frames_sent,
+            trace_main,
+            merge_scratch,
+            master,
+            master_dyn,
+            owner,
+            radio,
+            mac,
+            faults,
+            lookahead,
+            tracer,
+            ..
+        } = self;
+        let ctx = EngineCtx {
+            radio,
+            mac,
+            faults,
+            lookahead: *lookahead,
+            tracing: tracer.is_some(),
+            deadline,
+            owner,
+        };
+        let csma = mac.carrier_sense;
+        let cells: Vec<Mutex<&mut ShardCore<P>>> = cores.iter_mut().map(Mutex::new).collect();
+        let air_lock = RwLock::new(air);
+        // Four rendezvous points per window: release workers into the
+        // MAC phase, MAC phase done, merge barrier done (workers may
+        // read the air view), receive phase done.
+        let b_start = Barrier::new(shards + 1);
+        let b_mac_done = Barrier::new(shards + 1);
+        let b_merged = Barrier::new(shards + 1);
+        let b_rx_done = Barrier::new(shards + 1);
+        let t_end_micros = AtomicU64::new(0);
+        let done = AtomicBool::new(false);
+        let panicked = AtomicBool::new(false);
+        let slack = radio.airtime(radio.max_frame_bytes as u32 * 8) * 2;
+
+        std::thread::scope(|scope| {
+            let ctx = &ctx;
+            let cells = &cells;
+            let air_lock = &air_lock;
+            let b_start = &b_start;
+            let b_mac_done = &b_mac_done;
+            let b_merged = &b_merged;
+            let b_rx_done = &b_rx_done;
+            let t_end_micros = &t_end_micros;
+            let done = &done;
+            let panicked = &panicked;
+            for cell in cells.iter().take(shards) {
+                scope.spawn(move || loop {
+                    b_start.wait();
+                    if done.load(AtomicOrdering::Relaxed) {
+                        return;
+                    }
+                    let t_end = SimTime::from_micros(t_end_micros.load(AtomicOrdering::Relaxed));
+                    // Workers always reach every barrier, even after a
+                    // panic somewhere — the main thread re-raises once
+                    // the window's rendezvous completes.
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        if !csma && !panicked.load(AtomicOrdering::Relaxed) {
+                            let mut core = cell
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                            core.run_phase1(ctx, t_end, None);
+                        }
+                    }));
+                    if result.is_err() {
+                        panicked.store(true, AtomicOrdering::Relaxed);
+                    }
+                    b_mac_done.wait();
+                    b_merged.wait();
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        if !panicked.load(AtomicOrdering::Relaxed) {
+                            let air = air_lock
+                                .read()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                            let mut core = cell
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                            core.run_phase2(ctx, t_end, &air, None);
+                        }
+                    }));
+                    if result.is_err() {
+                        panicked.store(true, AtomicOrdering::Relaxed);
+                    }
+                    b_rx_done.wait();
+                });
+            }
+
+            let lock_all = || -> Vec<std::sync::MutexGuard<'_, &mut ShardCore<P>>> {
+                cells
+                    .iter()
+                    .map(|c| c.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
+                    .collect()
+            };
+            loop {
+                // Between windows the workers are parked, so the locks
+                // are uncontended.
+                let t_end = {
+                    let mut guards = lock_all();
+                    let refs: Vec<&mut ShardCore<P>> =
+                        guards.iter_mut().map(|g| &mut ***g).collect();
+                    match global_min(&refs) {
+                        Some(min) if min <= deadline => window_end(min, *lookahead),
+                        _ => break,
+                    }
+                };
+                t_end_micros.store(t_end.as_micros(), AtomicOrdering::Relaxed);
+                b_start.wait();
+                if csma {
+                    // Zero-lookahead MAC: globally ordered, on this
+                    // thread, while the workers idle at the barrier.
+                    let mut guards = lock_all();
+                    let mut refs: Vec<&mut ShardCore<P>> =
+                        guards.iter_mut().map(|g| &mut ***g).collect();
+                    let mut air = air_lock
+                        .write()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    run_phase1_csma(&mut refs, *air, next_seq, ctx, t_end, None);
+                }
+                b_mac_done.wait();
+                {
+                    let mut guards = lock_all();
+                    let mut refs: Vec<&mut ShardCore<P>> =
+                        guards.iter_mut().map(|g| &mut ***g).collect();
+                    let mut air = air_lock
+                        .write()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    assign_and_broadcast(
+                        &mut refs,
+                        *air,
+                        next_seq,
+                        frames_sent,
+                        trace_main,
+                        merge_scratch,
+                        None,
+                        owner,
+                        ctx.tracing,
+                        radio.energy.tx_nj_per_bit,
+                    );
+                }
+                b_merged.wait();
+                // Workers run the receive phase here.
+                b_rx_done.wait();
+                if panicked.load(AtomicOrdering::Relaxed) {
+                    break;
+                }
+                // Barrier B: master dynamics and air garbage collection.
+                while let Some(next) = master_dyn.peek() {
+                    if next.at >= t_end || next.at > deadline {
+                        break;
+                    }
+                    let dynamic = master_dyn.pop().expect("peeked above");
+                    match dynamic.action {
+                        DynAction::Move { node, to } => master.set_position(node, to),
+                        DynAction::SetAlive { node, alive } => master.set_alive(node, alive),
+                    }
+                }
+                let horizon =
+                    SimTime::from_micros(t_end.as_micros().saturating_sub(slack.as_micros()));
+                air_lock
+                    .write()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .prune(horizon);
+            }
+            done.store(true, AtomicOrdering::Relaxed);
+            b_start.wait();
+        });
+        assert!(
+            !panicked.load(AtomicOrdering::Relaxed),
+            "a protocol callback panicked on a shard worker thread"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{ChannelState, GilbertElliott, PartitionWindow};
+
+    /// Sends `to_send` frames at start; counts frames heard.
+    struct Chatter {
+        to_send: u32,
+        heard: u32,
+        payload_bytes: usize,
+    }
+
+    impl Protocol for Chatter {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            for _ in 0..self.to_send {
+                ctx.send(FramePayload::from_bytes(vec![0xAA; self.payload_bytes]).unwrap())
+                    .unwrap();
+            }
+        }
+        fn on_frame(&mut self, _ctx: &mut Context<'_>, _frame: &Frame) {
+            self.heard += 1;
+        }
+        fn on_timer(&mut self, _ctx: &mut Context<'_>, _timer: Timer) {}
+    }
+
+    fn two_node(seed: u64, mac: MacConfig, shards: usize) -> ShardedSim<Chatter> {
+        let mut sim = ShardedSimBuilder::new(seed)
+            .mac(mac)
+            .shards(shards)
+            .build(|id| Chatter {
+                to_send: if id == NodeId(0) { 3 } else { 0 },
+                heard: 0,
+                payload_bytes: 10,
+            });
+        sim.add_node_at(Position::new(0.0, 0.0));
+        sim.add_node_at(Position::new(10.0, 0.0));
+        sim
+    }
+
+    #[test]
+    fn aloha_two_node_delivery() {
+        let mut sim = two_node(1, MacConfig::aloha(), 2);
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(sim.protocol(NodeId(1)).heard, 3);
+        assert_eq!(sim.stats().frames_sent, 3);
+        assert_eq!(sim.stats().deliveries, 3);
+    }
+
+    #[test]
+    fn csma_two_node_delivery() {
+        let mut sim = two_node(1, MacConfig::csma(), 2);
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(sim.protocol(NodeId(1)).heard, 3);
+        assert_eq!(sim.stats().deliveries, 3);
+    }
+
+    /// The condensed output of one run: everything the engine promises
+    /// to keep invariant across shard counts.
+    #[derive(Debug, PartialEq)]
+    struct RunDigest {
+        stats: MediumStats,
+        heard: Vec<u32>,
+        total: EnergyMeter,
+        traces: Vec<TraceEvent>,
+    }
+
+    fn digest(sim: &ShardedSim<Chatter>) -> RunDigest {
+        RunDigest {
+            stats: sim.stats(),
+            heard: sim.node_ids().map(|id| sim.protocol(id).heard).collect(),
+            total: sim.total_meter(),
+            traces: sim
+                .tracer()
+                .map(|t| t.events().copied().collect())
+                .unwrap_or_default(),
+        }
+    }
+
+    /// A saturated 4×4 grid with mobility, churn, partitions, duty
+    /// cycling, and a lossy fault channel — every code path at once.
+    fn grid_run(seed: u64, mac: MacConfig, shards: usize, faulty: bool) -> ShardedSim<Chatter> {
+        let topo = Topology::grid(4, 4, 30.0, 45.0);
+        let mut builder = ShardedSimBuilder::new(seed).mac(mac).range(45.0);
+        if faulty {
+            builder = builder.faults(
+                FaultModel::none()
+                    .with_channel(GilbertElliott::bursty(
+                        ChannelState {
+                            frame_erasure: 0.02,
+                            bit_error_rate: 1e-3,
+                        },
+                        ChannelState {
+                            frame_erasure: 0.3,
+                            bit_error_rate: 1e-2,
+                        },
+                        0.1,
+                        0.4,
+                    ))
+                    .with_churn_event(SimTime::from_millis(300), NodeId(5), false)
+                    .with_churn_event(SimTime::from_millis(700), NodeId(5), true)
+                    .with_partition(PartitionWindow::new(
+                        SimTime::from_millis(200),
+                        SimTime::from_millis(600),
+                        vec![NodeId(0), NodeId(1), NodeId(4)],
+                    )),
+            );
+        }
+        let mut sim = builder
+            .shards(shards)
+            .build_with_topology(&topo, |id| Chatter {
+                to_send: 2 + id.0 % 3,
+                heard: 0,
+                payload_bytes: 12,
+            });
+        sim.enable_trace(100_000);
+        sim.schedule_move(
+            SimTime::from_millis(250),
+            NodeId(3),
+            Position::new(200.0, 200.0),
+        );
+        sim.schedule_move(
+            SimTime::from_millis(800),
+            NodeId(3),
+            Position::new(30.0, 0.0),
+        );
+        if faulty {
+            sim.set_duty_cycle(
+                NodeId(7),
+                Some(DutyCycle::new(
+                    SimDuration::from_millis(50),
+                    0.5,
+                    SimDuration::ZERO,
+                )),
+            );
+        }
+        sim
+    }
+
+    fn grid_digest(seed: u64, mac: MacConfig, shards: usize, faulty: bool) -> RunDigest {
+        let mut sim = grid_run(seed, mac, shards, faulty);
+        // Split the run so rebalancing after the mid-run move happens.
+        sim.run_until(SimTime::from_millis(500));
+        sim.run_until(SimTime::from_millis(1500));
+        digest(&sim)
+    }
+
+    #[test]
+    fn shard_count_invariance_aloha() {
+        let reference = grid_digest(11, MacConfig::aloha(), 1, false);
+        assert!(reference.stats.frames_sent > 0);
+        assert!(reference.stats.deliveries > 0);
+        assert!(!reference.traces.is_empty());
+        for shards in [2, 4, 8] {
+            assert_eq!(
+                grid_digest(11, MacConfig::aloha(), shards, false),
+                reference,
+                "ALOHA run diverged at {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_count_invariance_csma() {
+        let reference = grid_digest(12, MacConfig::csma(), 1, false);
+        assert!(reference.stats.frames_sent > 0);
+        assert!(reference.stats.deliveries > 0);
+        for shards in [2, 4, 8] {
+            assert_eq!(
+                grid_digest(12, MacConfig::csma(), shards, false),
+                reference,
+                "CSMA run diverged at {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_count_invariance_with_faults() {
+        for mac in [MacConfig::aloha(), MacConfig::csma()] {
+            let reference = grid_digest(13, mac, 1, true);
+            assert!(reference.stats.frames_sent > 0);
+            for shards in [2, 4] {
+                assert_eq!(
+                    grid_digest(13, mac, shards, true),
+                    reference,
+                    "faulty run diverged at {shards} shards"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_forced_serial() {
+        for mac in [MacConfig::aloha(), MacConfig::csma()] {
+            let mut parallel = grid_run(14, mac, 4, true);
+            let mut serial = grid_run(14, mac, 4, true);
+            serial.set_force_serial(true);
+            parallel.run_until(SimTime::from_secs(1));
+            serial.run_until(SimTime::from_secs(1));
+            assert_eq!(digest(&parallel), digest(&serial));
+        }
+    }
+
+    /// Arms two timers at start, cancels one of them.
+    struct Ticker {
+        fired: Vec<u64>,
+    }
+
+    impl Protocol for Ticker {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.set_timer(SimDuration::from_millis(10), 1);
+            let doomed = ctx.set_timer(SimDuration::from_millis(20), 2);
+            ctx.set_timer(SimDuration::from_millis(30), 3);
+            ctx.cancel_timer(doomed);
+        }
+        fn on_frame(&mut self, _ctx: &mut Context<'_>, _frame: &Frame) {}
+        fn on_timer(&mut self, _ctx: &mut Context<'_>, timer: Timer) {
+            self.fired.push(timer.token);
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_cancel_works() {
+        let mut sim = ShardedSimBuilder::new(9)
+            .shards(2)
+            .build(|_| Ticker { fired: Vec::new() });
+        sim.add_node_at(Position::new(0.0, 0.0));
+        sim.add_node_at(Position::new(10.0, 0.0));
+        sim.run_until(SimTime::from_millis(100));
+        for id in [NodeId(0), NodeId(1)] {
+            assert_eq!(sim.protocol(id).fired, vec![1, 3]);
+        }
+    }
+
+    #[test]
+    fn moving_out_of_range_stops_delivery() {
+        let mut sim = ShardedSimBuilder::new(21)
+            .mac(MacConfig::aloha())
+            .shards(2)
+            .build(|id| Chatter {
+                to_send: if id == NodeId(0) { 1 } else { 0 },
+                heard: 0,
+                payload_bytes: 8,
+            });
+        sim.add_node_at(Position::new(0.0, 0.0));
+        sim.add_node_at(Position::new(10.0, 0.0));
+        sim.enable_trace(64);
+        sim.schedule_move(
+            SimTime::from_millis(0),
+            NodeId(1),
+            Position::new(900.0, 0.0),
+        );
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.stats().frames_sent, 1);
+        assert_eq!(sim.stats().deliveries, 0);
+        assert!(sim.tracer().unwrap().events().any(|e| matches!(
+            e,
+            TraceEvent::Moved {
+                node: NodeId(1),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn dead_nodes_do_not_hear_and_revival_reboots() {
+        // Node 1 dies before the frame, revives, and re-runs on_start
+        // (sending its own frame after rebirth).
+        let mut sim = ShardedSimBuilder::new(22)
+            .mac(MacConfig::aloha())
+            .shards(2)
+            .build(|_| Chatter {
+                to_send: 1,
+                heard: 0,
+                payload_bytes: 8,
+            });
+        sim.add_node_at(Position::new(0.0, 0.0));
+        sim.add_node_at(Position::new(10.0, 0.0));
+        sim.enable_trace(64);
+        sim.schedule_set_alive(SimTime::from_micros(1), NodeId(1), false);
+        sim.schedule_set_alive(SimTime::from_millis(500), NodeId(1), true);
+        sim.run_until(SimTime::from_secs(1));
+        // Node 0's start-of-run frame found node 1 dead; node 1's
+        // rebirth re-ran on_start, and that frame was heard by node 0.
+        assert_eq!(sim.protocol(NodeId(0)).heard, 1);
+        let liveness: Vec<bool> = sim
+            .tracer()
+            .unwrap()
+            .events()
+            .filter_map(|e| match e {
+                TraceEvent::Liveness {
+                    node: NodeId(1),
+                    alive,
+                    ..
+                } => Some(*alive),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(liveness, vec![false, true]);
+    }
+
+    #[test]
+    fn duty_cycle_sleep_misses_and_awake_micros() {
+        let mut sim = two_node(23, MacConfig::aloha(), 2);
+        sim.set_duty_cycle(
+            NodeId(1),
+            Some(DutyCycle::new(
+                // Asleep whenever anything is on the air: period 1 s,
+                // on only in the last half, frames start near t=0.
+                SimDuration::from_secs(1),
+                0.5,
+                SimDuration::from_millis(500),
+            )),
+        );
+        sim.run_until(SimTime::from_millis(400));
+        assert_eq!(sim.stats().sleep_misses, 3);
+        assert_eq!(sim.protocol(NodeId(1)).heard, 0);
+        assert_eq!(sim.awake_micros(NodeId(1)), 200_000);
+        assert_eq!(sim.awake_micros(NodeId(0)), 400_000);
+    }
+
+    #[test]
+    fn hidden_terminals_collide_in_sharded_engine() {
+        let mut sim = ShardedSimBuilder::new(24)
+            .range(100.0)
+            .shards(4)
+            .build(|id| Chatter {
+                to_send: if id != NodeId(1) { 40 } else { 0 },
+                heard: 0,
+                payload_bytes: 27,
+            });
+        sim.add_node_at(Position::new(-90.0, 0.0));
+        sim.add_node_at(Position::new(0.0, 0.0));
+        sim.add_node_at(Position::new(90.0, 0.0));
+        sim.run_until(SimTime::from_secs(10));
+        assert!(
+            sim.stats().rf_collisions > 0,
+            "hidden terminals must produce RF collisions: {}",
+            sim.stats()
+        );
+    }
+
+    #[test]
+    fn builder_bulk_topology_matches_incremental_adds() {
+        let topo = Topology::grid(3, 3, 30.0, 45.0);
+        let mk_chatter = |id: NodeId| Chatter {
+            to_send: 1 + id.0 % 2,
+            heard: 0,
+            payload_bytes: 6,
+        };
+        let mut bulk = ShardedSimBuilder::new(31)
+            .range(45.0)
+            .shards(3)
+            .build_with_topology(&topo, mk_chatter);
+        let mut incremental = ShardedSimBuilder::new(31)
+            .range(45.0)
+            .shards(3)
+            .build(mk_chatter);
+        for id in topo.node_ids() {
+            incremental.add_node_at(topo.position(id));
+        }
+        bulk.run_until(SimTime::from_secs(1));
+        incremental.run_until(SimTime::from_secs(1));
+        assert_eq!(digest(&bulk), digest(&incremental));
+    }
+
+    #[test]
+    fn node_streams_are_distinct_per_label_and_node() {
+        let mut seen = HashSet::new();
+        for label in [
+            "netsim.shard.mac",
+            "netsim.shard.proto",
+            "netsim.shard.chan",
+        ] {
+            for node in 0..64 {
+                assert!(seen.insert(node_stream_seed(42, label, NodeId(node))));
+            }
+        }
+    }
+}

@@ -33,8 +33,7 @@
 
 #![forbid(unsafe_code)]
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 mod export;
 mod histogram;
@@ -51,13 +50,14 @@ pub use span::SpanTracker;
 /// `Obs::disabled()` (also `Default`) is the zero-cost path: handles
 /// minted from it are `None` and every operation is one branch.
 /// `Obs::enabled()` creates a fresh registry; clones share it. The
-/// handle is deliberately *not* `Send`/`Sync` (it is an
-/// `Rc<RefCell<…>>`): each simulation runs single-threaded, and
-/// cross-thread aggregation happens by moving [`Snapshot`]s, which
-/// are plain data.
+/// handle is `Send` (an `Arc<Mutex<…>>`) so instrumented protocols can
+/// live inside the sharded simulation engine; recording itself stays
+/// effectively single-threaded (the engine serializes windows whenever
+/// obs is attached), so the lock is uncontended. Cross-process
+/// aggregation happens by moving [`Snapshot`]s, which are plain data.
 #[derive(Clone, Default, Debug)]
 pub struct Obs {
-    inner: Option<Rc<RefCell<Registry>>>,
+    inner: Option<Arc<Mutex<Registry>>>,
 }
 
 impl Obs {
@@ -69,7 +69,7 @@ impl Obs {
     /// A handle backed by a fresh, empty registry.
     pub fn enabled() -> Self {
         Obs {
-            inner: Some(Rc::new(RefCell::new(Registry::new()))),
+            inner: Some(Arc::new(Mutex::new(Registry::new()))),
         }
     }
 
@@ -82,34 +82,46 @@ impl Obs {
     ///
     /// # Panics
     ///
-    /// Panics if the registry is already mutably borrowed — recording
-    /// calls must not nest.
+    /// Panics if a previous recording call panicked while holding the
+    /// registry lock.
     pub fn with<R>(&self, f: impl FnOnce(&mut Registry) -> R) -> Option<R> {
-        self.inner.as_ref().map(|reg| f(&mut reg.borrow_mut()))
+        self.inner
+            .as_ref()
+            .map(|reg| f(&mut reg.lock().expect("obs registry lock poisoned")))
     }
 
     /// Freezes the current registry state. `None` when disabled.
     pub fn snapshot(&self) -> Option<Snapshot> {
-        self.inner.as_ref().map(|reg| reg.borrow().snapshot())
+        self.inner
+            .as_ref()
+            .map(|reg| reg.lock().expect("obs registry lock poisoned").snapshot())
     }
 
     /// Pre-resolves a counter handle (no-op handle when disabled).
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
         Counter {
-            slot: self
-                .inner
-                .as_ref()
-                .map(|reg| (Rc::clone(reg), reg.borrow_mut().counter(name, labels))),
+            slot: self.inner.as_ref().map(|reg| {
+                (
+                    Arc::clone(reg),
+                    reg.lock()
+                        .expect("obs registry lock poisoned")
+                        .counter(name, labels),
+                )
+            }),
         }
     }
 
     /// Pre-resolves a gauge handle (no-op handle when disabled).
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
         Gauge {
-            slot: self
-                .inner
-                .as_ref()
-                .map(|reg| (Rc::clone(reg), reg.borrow_mut().gauge(name, labels))),
+            slot: self.inner.as_ref().map(|reg| {
+                (
+                    Arc::clone(reg),
+                    reg.lock()
+                        .expect("obs registry lock poisoned")
+                        .gauge(name, labels),
+                )
+            }),
         }
     }
 
@@ -123,8 +135,10 @@ impl Obs {
         HistogramHandle {
             slot: self.inner.as_ref().map(|reg| {
                 (
-                    Rc::clone(reg),
-                    reg.borrow_mut().histogram(name, labels, bounds),
+                    Arc::clone(reg),
+                    reg.lock()
+                        .expect("obs registry lock poisoned")
+                        .histogram(name, labels, bounds),
                 )
             }),
         }
@@ -135,7 +149,7 @@ impl Obs {
 /// one `Vec` index when enabled.
 #[derive(Clone, Default, Debug)]
 pub struct Counter {
-    slot: Option<(Rc<RefCell<Registry>>, CounterId)>,
+    slot: Option<(Arc<Mutex<Registry>>, CounterId)>,
 }
 
 impl Counter {
@@ -149,22 +163,26 @@ impl Counter {
     #[inline]
     pub fn add(&self, delta: u64) {
         if let Some((reg, id)) = &self.slot {
-            reg.borrow_mut().add(*id, delta);
+            reg.lock()
+                .expect("obs registry lock poisoned")
+                .add(*id, delta);
         }
     }
 
     /// Current value (0 when disabled).
     pub fn value(&self) -> u64 {
-        self.slot
-            .as_ref()
-            .map_or(0, |(reg, id)| reg.borrow().counter_value(*id))
+        self.slot.as_ref().map_or(0, |(reg, id)| {
+            reg.lock()
+                .expect("obs registry lock poisoned")
+                .counter_value(*id)
+        })
     }
 }
 
 /// Pre-resolved gauge.
 #[derive(Clone, Default, Debug)]
 pub struct Gauge {
-    slot: Option<(Rc<RefCell<Registry>>, GaugeId)>,
+    slot: Option<(Arc<Mutex<Registry>>, GaugeId)>,
 }
 
 impl Gauge {
@@ -172,7 +190,9 @@ impl Gauge {
     #[inline]
     pub fn set(&self, value: f64) {
         if let Some((reg, id)) = &self.slot {
-            reg.borrow_mut().set(*id, value);
+            reg.lock()
+                .expect("obs registry lock poisoned")
+                .set(*id, value);
         }
     }
 
@@ -180,22 +200,26 @@ impl Gauge {
     #[inline]
     pub fn shift(&self, delta: f64) {
         if let Some((reg, id)) = &self.slot {
-            reg.borrow_mut().shift(*id, delta);
+            reg.lock()
+                .expect("obs registry lock poisoned")
+                .shift(*id, delta);
         }
     }
 
     /// Current value (0 when disabled).
     pub fn value(&self) -> f64 {
-        self.slot
-            .as_ref()
-            .map_or(0.0, |(reg, id)| reg.borrow().gauge_value(*id))
+        self.slot.as_ref().map_or(0.0, |(reg, id)| {
+            reg.lock()
+                .expect("obs registry lock poisoned")
+                .gauge_value(*id)
+        })
     }
 }
 
 /// Pre-resolved histogram.
 #[derive(Clone, Default, Debug)]
 pub struct HistogramHandle {
-    slot: Option<(Rc<RefCell<Registry>>, HistogramId)>,
+    slot: Option<(Arc<Mutex<Registry>>, HistogramId)>,
 }
 
 impl HistogramHandle {
@@ -203,7 +227,9 @@ impl HistogramHandle {
     #[inline]
     pub fn observe(&self, value: f64) {
         if let Some((reg, id)) = &self.slot {
-            reg.borrow_mut().observe(*id, value);
+            reg.lock()
+                .expect("obs registry lock poisoned")
+                .observe(*id, value);
         }
     }
 }
