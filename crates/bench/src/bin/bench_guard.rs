@@ -1,0 +1,97 @@
+//! CI ratio guard for the benchmark trajectory (see
+//! [`retri_bench::guard`] for the rules and their rationale).
+//!
+//! Usage:
+//! `bench_guard --file <trajectory.json> --entry <label>
+//! [--baseline <path>] [--baseline-entry <label>]`
+//!
+//! Evaluates the named entry — usually the one `bench_summary` just
+//! wrote — against the sharded-beats-serial and fault-channel-ratio
+//! rules, printing one verdict line per rule. Exits non-zero if any
+//! rule fails; skipped rules (for example sharded-vs-serial on a
+//! small CI host) are reported but never fail the run. The baseline
+//! defaults to the committed `BENCH_netsim.json` at its latest
+//! known-good full-effort entry (`pr6-shard-fix`); pass
+//! `--baseline-entry` to compare against an older trajectory point.
+
+use std::path::PathBuf;
+
+use retri_bench::guard;
+use serde_json::Value;
+
+struct Args {
+    file: PathBuf,
+    entry: String,
+    baseline: PathBuf,
+    baseline_entry: String,
+}
+
+fn parse_args() -> Args {
+    let mut file = None;
+    let mut entry = None;
+    let mut baseline = PathBuf::from("BENCH_netsim.json");
+    let mut baseline_entry = "pr6-shard-fix".to_string();
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value = |flag: &str| {
+            argv.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--file" => file = Some(PathBuf::from(value("--file"))),
+            "--entry" => entry = Some(value("--entry")),
+            "--baseline" => baseline = PathBuf::from(value("--baseline")),
+            "--baseline-entry" => baseline_entry = value("--baseline-entry"),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    Args {
+        file: file.expect("--file is required"),
+        entry: entry.expect("--entry is required"),
+        baseline,
+        baseline_entry,
+    }
+}
+
+fn load(path: &PathBuf) -> Value {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|err| panic!("cannot read {}: {err}", path.display()));
+    serde_json::from_str(&text)
+        .unwrap_or_else(|err| panic!("cannot parse {}: {err}", path.display()))
+}
+
+fn main() {
+    let args = parse_args();
+    let doc = load(&args.file);
+    let baseline_doc = load(&args.baseline);
+    let entry = guard::find_entry(&doc, &args.entry).unwrap_or_else(|| {
+        panic!(
+            "no entry labelled {:?} in {}",
+            args.entry,
+            args.file.display()
+        )
+    });
+    let baseline = guard::find_entry(&baseline_doc, &args.baseline_entry).unwrap_or_else(|| {
+        panic!(
+            "no entry labelled {:?} in {}",
+            args.baseline_entry,
+            args.baseline.display()
+        )
+    });
+    let mut failed = false;
+    for (name, verdict) in guard::run_all(entry, baseline, &args.baseline_entry) {
+        println!(
+            "[bench_guard] {:4} {name}: {}",
+            verdict.label(),
+            verdict.detail()
+        );
+        failed |= verdict.is_fail();
+    }
+    if failed {
+        eprintln!(
+            "[bench_guard] entry '{}' violates the trajectory guard rules",
+            args.entry
+        );
+        std::process::exit(1);
+    }
+}

@@ -77,11 +77,64 @@ fn parse_args() -> Args {
 fn measurement_value(m: &Measurement) -> Value {
     Value::Object(vec![
         ("median_ns".to_string(), Value::UInt(m.median_ns)),
+        ("reps".to_string(), Value::UInt(m.samples_ns.len() as u64)),
         (
             "samples_ns".to_string(),
             Value::Array(m.samples_ns.iter().map(|&n| Value::UInt(n)).collect()),
         ),
     ])
+}
+
+/// Upgrades one retained entry in place to the self-describing field
+/// names: the per-workload `"trials"` count (simulator trials folded
+/// into each timed batch) becomes `"trials_per_rep"`, and each
+/// measurement gains an explicit `"reps"` count matching its
+/// `samples_ns` length. Early trajectory entries wrote `"trials": 1`
+/// next to five samples, inviting readers to conflate the two; the
+/// rewrite keeps the whole file on one vocabulary.
+fn migrate_entry(entry: &Value) -> Value {
+    let Value::Object(fields) = entry else {
+        return entry.clone();
+    };
+    let fields = fields
+        .iter()
+        .map(|(key, value)| match (key.as_str(), value) {
+            ("workloads", Value::Array(workloads)) => (
+                key.clone(),
+                Value::Array(workloads.iter().map(migrate_workload).collect()),
+            ),
+            _ => (key.clone(), value.clone()),
+        })
+        .collect();
+    Value::Object(fields)
+}
+
+fn migrate_workload(workload: &Value) -> Value {
+    let Value::Object(fields) = workload else {
+        return workload.clone();
+    };
+    let fields = fields
+        .iter()
+        .map(|(key, value)| match (key.as_str(), value) {
+            ("trials", _) => ("trials_per_rep".to_string(), value.clone()),
+            ("serial" | "parallel", Value::Object(m)) => {
+                let mut m = m.clone();
+                if !m.iter().any(|(k, _)| k == "reps") {
+                    let reps = value
+                        .get("samples_ns")
+                        .and_then(Value::as_array)
+                        .map_or(0, <[Value]>::len);
+                    m.insert(
+                        1.min(m.len()),
+                        ("reps".to_string(), Value::UInt(reps as u64)),
+                    );
+                }
+                (key.clone(), Value::Object(m))
+            }
+            _ => (key.clone(), value.clone()),
+        })
+        .collect();
+    Value::Object(fields)
 }
 
 /// Runs every workload once per worker mode: serial first, then the
@@ -119,7 +172,10 @@ fn run_suite(args: &Args) -> Value {
                     "description".to_string(),
                     Value::String(w.description.to_string()),
                 ),
-                ("trials".to_string(), Value::UInt(w.trials)),
+                // Simulator trials folded into each timed batch — NOT
+                // the number of wall-clock samples; that is the
+                // measurement's `reps` / `samples_ns` length.
+                ("trials_per_rep".to_string(), Value::UInt(w.trials)),
                 ("serial".to_string(), measurement_value(s)),
                 ("parallel".to_string(), measurement_value(p)),
             ])
@@ -137,6 +193,16 @@ fn run_suite(args: &Args) -> Value {
         (
             "parallel_workers".to_string(),
             Value::UInt(parallel_workers as u64),
+        ),
+        // Recorded so the `bench_guard` rules can tell a real
+        // parallel measurement from a small-host one.
+        (
+            "host_parallelism".to_string(),
+            Value::UInt(
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1) as u64,
+            ),
         ),
         ("workloads".to_string(), Value::Array(workload_values)),
     ])
@@ -227,12 +293,21 @@ fn main() {
         print_speedups(previous, &entry);
     }
     entries.retain(|e| e.get("label").and_then(Value::as_str) != Some(&args.label));
+    let mut entries: Vec<Value> = entries.iter().map(migrate_entry).collect();
     entries.push(entry);
     let doc = Value::Object(vec![
         ("schema".to_string(), Value::String(SCHEMA.to_string())),
         (
             "unit".to_string(),
             Value::String("median batch wall-clock, nanoseconds".to_string()),
+        ),
+        (
+            "semantics".to_string(),
+            Value::String(
+                "each samples_ns entry times one rep of the workload's full \
+                 trials_per_rep batch; median_ns is the median over reps"
+                    .to_string(),
+            ),
         ),
         ("entries".to_string(), Value::Array(entries)),
     ]);

@@ -1,0 +1,338 @@
+//! Ratio guards over a freshly recorded benchmark-trajectory entry.
+//!
+//! The `pr5-sharded` trajectory entry landed with `sim_fault_channel`
+//! 30× over its `pr4-obs` baseline and `sim_mesh_10k_sharded` *losing*
+//! to the serial mesh — and nothing failed. This module gives the CI
+//! `bench-smoke` job teeth: the `bench_guard` binary evaluates a
+//! trajectory entry (usually the one `bench_summary` just wrote)
+//! against two rules and exits non-zero when either fails.
+//!
+//! **Rule 1 — sharding must win.** `sim_mesh_10k_sharded`'s median
+//! must not exceed `sim_mesh_10k`'s serial median in the same entry.
+//! The comparison is only meaningful with real parallel hardware, so
+//! the check is skipped (loudly) when the entry records fewer than
+//! [`MIN_CORES_FOR_SHARD_CHECK`] available cores.
+//!
+//! **Rule 2 — the fault channel must stay cheap.** Comparing raw
+//! wall-clock against a committed baseline would tie CI to the speed
+//! of whatever machine recorded it, so the guard compares the
+//! *dimensionless* ratio `sim_fault_channel / wire_roundtrip` (both
+//! serial medians). `wire_roundtrip` is pure CPU work untouched by
+//! simulator changes, so the ratio is comparable across machines. It
+//! is *not* perfectly effort-invariant — per-trial setup amortizes
+//! differently over `--quick`'s shorter sim time, shifting the ratio
+//! ~1.4× between quick and full — which is why the budget is
+//! [`FAULT_RATIO_BUDGET_FACTOR`] × the same ratio in the baseline
+//! entry, and why CI baselines against the *latest* committed
+//! full-effort entry rather than a pinned historical one: generous
+//! against noise and the quick/full shift, while the PR 5 regression
+//! (a 32× ratio blowup) fails it by more than an order of magnitude.
+
+use serde_json::Value;
+
+/// Cores below which the sharded-beats-serial comparison is noise.
+pub const MIN_CORES_FOR_SHARD_CHECK: u64 = 4;
+
+/// Allowed growth of the fault-channel ratio over the baseline.
+pub const FAULT_RATIO_BUDGET_FACTOR: f64 = 2.0;
+
+/// Outcome of one guard rule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// The rule held.
+    Pass(String),
+    /// The rule could not be evaluated meaningfully; the reason says
+    /// why. Skips do not fail the guard.
+    Skip(String),
+    /// The rule was violated.
+    Fail(String),
+}
+
+impl Verdict {
+    /// Whether this verdict should fail the run.
+    #[must_use]
+    pub fn is_fail(&self) -> bool {
+        matches!(self, Verdict::Fail(_))
+    }
+
+    /// The verdict's human-readable detail.
+    #[must_use]
+    pub fn detail(&self) -> &str {
+        match self {
+            Verdict::Pass(s) | Verdict::Skip(s) | Verdict::Fail(s) => s,
+        }
+    }
+
+    /// `PASS` / `SKIP` / `FAIL`.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Pass(_) => "PASS",
+            Verdict::Skip(_) => "SKIP",
+            Verdict::Fail(_) => "FAIL",
+        }
+    }
+}
+
+/// Finds the entry with `label` in a trajectory document.
+#[must_use]
+pub fn find_entry<'doc>(doc: &'doc Value, label: &str) -> Option<&'doc Value> {
+    doc.get("entries")?
+        .as_array()?
+        .iter()
+        .find(|e| e.get("label").and_then(Value::as_str) == Some(label))
+}
+
+/// The recorded median for `(workload, mode)` in one entry, where
+/// `mode` is `"serial"` or `"parallel"`.
+#[must_use]
+pub fn median_ns(entry: &Value, workload: &str, mode: &str) -> Option<u64> {
+    entry
+        .get("workloads")?
+        .as_array()?
+        .iter()
+        .find(|w| w.get("name").and_then(Value::as_str) == Some(workload))?
+        .get(mode)?
+        .get("median_ns")?
+        .as_u64()
+}
+
+/// The core count the entry was recorded on. Prefers the explicit
+/// `host_parallelism` field; entries from before that field existed
+/// fall back to `parallel_workers` (capped at the host, so still a
+/// lower bound on cores).
+#[must_use]
+pub fn recorded_cores(entry: &Value) -> Option<u64> {
+    entry
+        .get("host_parallelism")
+        .or_else(|| entry.get("parallel_workers"))
+        .and_then(Value::as_u64)
+}
+
+/// Rule 1: the sharded 10k mesh must beat the serial 10k mesh.
+///
+/// Uses the *parallel*-pass median of the sharded workload (shards and
+/// the trial harness both get the host's cores there) against the
+/// *serial*-pass median of the one-shard workload.
+#[must_use]
+pub fn check_sharded_beats_serial(entry: &Value) -> Verdict {
+    let cores = recorded_cores(entry).unwrap_or(0);
+    if cores < MIN_CORES_FOR_SHARD_CHECK {
+        return Verdict::Skip(format!(
+            "entry records {cores} core(s); sharded-vs-serial needs at least \
+             {MIN_CORES_FOR_SHARD_CHECK} to be meaningful"
+        ));
+    }
+    let (Some(sharded), Some(serial)) = (
+        median_ns(entry, "sim_mesh_10k_sharded", "parallel"),
+        median_ns(entry, "sim_mesh_10k", "serial"),
+    ) else {
+        return Verdict::Skip("entry lacks the sim_mesh_10k workload pair".to_string());
+    };
+    if sharded <= serial {
+        Verdict::Pass(format!(
+            "sim_mesh_10k_sharded {:.0} ms <= sim_mesh_10k serial {:.0} ms on {cores} cores",
+            sharded as f64 / 1e6,
+            serial as f64 / 1e6,
+        ))
+    } else {
+        Verdict::Fail(format!(
+            "sim_mesh_10k_sharded {:.0} ms exceeds sim_mesh_10k serial {:.0} ms on {cores} cores",
+            sharded as f64 / 1e6,
+            serial as f64 / 1e6,
+        ))
+    }
+}
+
+/// The machine-independent fault-channel cost: `sim_fault_channel`
+/// serial median over `wire_roundtrip` serial median.
+#[must_use]
+pub fn fault_ratio(entry: &Value) -> Option<f64> {
+    let fault = median_ns(entry, "sim_fault_channel", "serial")?;
+    let wire = median_ns(entry, "wire_roundtrip", "serial")?;
+    (wire > 0).then(|| fault as f64 / wire as f64)
+}
+
+/// Rule 2: the entry's fault-channel ratio must stay within
+/// [`FAULT_RATIO_BUDGET_FACTOR`] × the baseline entry's.
+#[must_use]
+pub fn check_fault_ratio(entry: &Value, baseline: &Value, baseline_label: &str) -> Verdict {
+    let Some(base) = fault_ratio(baseline) else {
+        return Verdict::Skip(format!(
+            "baseline entry '{baseline_label}' lacks the fault/wire workload pair"
+        ));
+    };
+    let Some(now) = fault_ratio(entry) else {
+        return Verdict::Skip("entry lacks the fault/wire workload pair".to_string());
+    };
+    let budget = FAULT_RATIO_BUDGET_FACTOR * base;
+    if now <= budget {
+        Verdict::Pass(format!(
+            "fault/wire ratio {now:.3} within budget {budget:.3} \
+             ({FAULT_RATIO_BUDGET_FACTOR}x '{baseline_label}' ratio {base:.3})"
+        ))
+    } else {
+        Verdict::Fail(format!(
+            "fault/wire ratio {now:.3} exceeds budget {budget:.3} \
+             ({FAULT_RATIO_BUDGET_FACTOR}x '{baseline_label}' ratio {base:.3}) — \
+             sim_fault_channel has regressed relative to pure-CPU work"
+        ))
+    }
+}
+
+/// Runs every rule and returns `(name, verdict)` pairs.
+#[must_use]
+pub fn run_all(
+    entry: &Value,
+    baseline: &Value,
+    baseline_label: &str,
+) -> Vec<(&'static str, Verdict)> {
+    vec![
+        ("sharded-beats-serial", check_sharded_beats_serial(entry)),
+        (
+            "fault-channel-ratio",
+            check_fault_ratio(entry, baseline, baseline_label),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measurement(median_ms: u64) -> Value {
+        Value::Object(vec![(
+            "median_ns".to_string(),
+            Value::UInt(median_ms * 1_000_000),
+        )])
+    }
+
+    fn workload(name: &str, serial_ms: u64, parallel_ms: u64) -> Value {
+        Value::Object(vec![
+            ("name".to_string(), Value::String(name.to_string())),
+            ("serial".to_string(), measurement(serial_ms)),
+            ("parallel".to_string(), measurement(parallel_ms)),
+        ])
+    }
+
+    fn entry(label: &str, cores: u64, workloads: Vec<Value>) -> Value {
+        Value::Object(vec![
+            ("label".to_string(), Value::String(label.to_string())),
+            ("host_parallelism".to_string(), Value::UInt(cores)),
+            ("workloads".to_string(), Value::Array(workloads)),
+        ])
+    }
+
+    #[test]
+    fn sharded_check_passes_when_sharding_wins() {
+        let e = entry(
+            "x",
+            8,
+            vec![
+                workload("sim_mesh_10k", 1600, 1500),
+                workload("sim_mesh_10k_sharded", 900, 700),
+            ],
+        );
+        assert_eq!(check_sharded_beats_serial(&e).label(), "PASS");
+    }
+
+    #[test]
+    fn sharded_check_fails_on_the_pr5_shape() {
+        // pr5-sharded: sharded 2452/3009 ms vs serial 1588 ms.
+        let e = entry(
+            "pr5",
+            8,
+            vec![
+                workload("sim_mesh_10k", 1588, 1537),
+                workload("sim_mesh_10k_sharded", 2452, 3009),
+            ],
+        );
+        assert!(check_sharded_beats_serial(&e).is_fail());
+    }
+
+    #[test]
+    fn sharded_check_skips_on_small_hosts() {
+        let e = entry(
+            "tiny",
+            1,
+            vec![
+                workload("sim_mesh_10k", 1000, 1000),
+                workload("sim_mesh_10k_sharded", 9000, 9000),
+            ],
+        );
+        assert_eq!(check_sharded_beats_serial(&e).label(), "SKIP");
+    }
+
+    #[test]
+    fn cores_fall_back_to_parallel_workers() {
+        let e = Value::Object(vec![
+            ("label".to_string(), Value::String("old".to_string())),
+            ("parallel_workers".to_string(), Value::UInt(6)),
+        ]);
+        assert_eq!(recorded_cores(&e), Some(6));
+    }
+
+    #[test]
+    fn fault_ratio_catches_the_pr5_regression_but_not_pr4() {
+        // pr4-obs: fault 313 ms, wire 1380 ms. pr5: fault 10154 ms,
+        // wire 1402 ms.
+        let pr4 = entry(
+            "pr4-obs",
+            1,
+            vec![
+                workload("sim_fault_channel", 313, 224),
+                workload("wire_roundtrip", 1380, 1356),
+            ],
+        );
+        let pr5 = entry(
+            "pr5-sharded",
+            1,
+            vec![
+                workload("sim_fault_channel", 10154, 10472),
+                workload("wire_roundtrip", 1402, 1680),
+            ],
+        );
+        assert_eq!(check_fault_ratio(&pr4, &pr4, "pr4-obs").label(), "PASS");
+        assert!(check_fault_ratio(&pr5, &pr4, "pr4-obs").is_fail());
+        // A machine half as fast scales both medians together: still
+        // within budget.
+        let slow = entry(
+            "slow-host",
+            1,
+            vec![
+                workload("sim_fault_channel", 626, 448),
+                workload("wire_roundtrip", 2760, 2712),
+            ],
+        );
+        assert_eq!(check_fault_ratio(&slow, &pr4, "pr4-obs").label(), "PASS");
+    }
+
+    #[test]
+    fn missing_workloads_skip_instead_of_failing() {
+        let empty = entry("empty", 8, vec![]);
+        let full = entry(
+            "full",
+            8,
+            vec![
+                workload("sim_fault_channel", 313, 224),
+                workload("wire_roundtrip", 1380, 1356),
+            ],
+        );
+        assert_eq!(check_sharded_beats_serial(&empty).label(), "SKIP");
+        assert_eq!(check_fault_ratio(&empty, &full, "full").label(), "SKIP");
+        assert_eq!(check_fault_ratio(&full, &empty, "empty").label(), "SKIP");
+        for (_, verdict) in run_all(&empty, &empty, "empty") {
+            assert!(!verdict.is_fail());
+        }
+    }
+
+    #[test]
+    fn find_entry_locates_labels() {
+        let doc = Value::Object(vec![(
+            "entries".to_string(),
+            Value::Array(vec![entry("a", 1, vec![]), entry("b", 2, vec![])]),
+        )]);
+        assert_eq!(find_entry(&doc, "b").and_then(recorded_cores), Some(2));
+        assert!(find_entry(&doc, "missing").is_none());
+    }
+}

@@ -207,6 +207,22 @@ pub fn resolve_worker_count(requested: Option<&str>, jobs: usize) -> usize {
     available.min(jobs).max(1)
 }
 
+/// Per-trial wall-clock, in microseconds, below which fanning out
+/// loses: thread spawn, queue contention, and the shared results
+/// mutex cost more than the trials themselves. Measured on the
+/// `selector_churn` / `wire_roundtrip` workloads, whose sub-millisecond
+/// trials ran *slower* parallel than serial in the `pr5-sharded`
+/// trajectory entry; 1 ms keeps every simulation-backed sweep parallel
+/// while sending micro-trials down the inline loop.
+pub const SERIAL_TRIAL_THRESHOLD_MICROS: f64 = 1_000.0;
+
+/// Whether a sweep should fan out, given the configured worker count
+/// and the measured wall-clock of its first (probe) trial.
+#[must_use]
+pub fn should_fan_out(workers: usize, probe_trial_micros: f64) -> bool {
+    workers > 1 && probe_trial_micros >= SERIAL_TRIAL_THRESHOLD_MICROS
+}
+
 /// Runs `trials` trials of every cell, fanned out across OS threads,
 /// and returns the results grouped by cell in trial order.
 ///
@@ -215,6 +231,13 @@ pub fn resolve_worker_count(requested: Option<&str>, jobs: usize) -> usize {
 /// gets its seed from [`trial_seed`]; the closure must derive all of
 /// its randomness from that seed for the run to be reproducible.
 /// Wall-clock and worker count are reported on stderr.
+///
+/// The first trial runs inline as a cost probe: when it finishes in
+/// under [`SERIAL_TRIAL_THRESHOLD_MICROS`] (or only one worker is
+/// configured) the whole sweep stays on the calling thread, because
+/// for micro-trials the fan-out machinery costs more than the work
+/// (see [`should_fan_out`]). Scheduling never affects results: values
+/// are grouped by `(cell, trial)` regardless of execution order.
 ///
 /// # Panics
 ///
@@ -241,36 +264,54 @@ where
         }
     }
     let started = Instant::now();
-    let workers = worker_count(jobs.len());
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<(Trial, T)>> = Mutex::new(Vec::with_capacity(jobs.len()));
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&trial) = jobs.get(index) else {
-                    break;
-                };
-                let value = if RUN_METRICS_ON.load(Ordering::Relaxed) {
-                    let trial_started = Instant::now();
-                    let value = run(&cells[trial.cell_index], trial);
-                    record_trial_metrics(
-                        experiment_id,
-                        trial.cell_index,
-                        trial_started.elapsed().as_secs_f64() * 1e6,
-                    );
-                    value
-                } else {
-                    run(&cells[trial.cell_index], trial)
-                };
-                results
-                    .lock()
-                    .expect("no poisoned lock")
-                    .push((trial, value));
-            });
+    let execute = |trial: Trial| -> T {
+        if RUN_METRICS_ON.load(Ordering::Relaxed) {
+            let trial_started = Instant::now();
+            let value = run(&cells[trial.cell_index], trial);
+            record_trial_metrics(
+                experiment_id,
+                trial.cell_index,
+                trial_started.elapsed().as_secs_f64() * 1e6,
+            );
+            value
+        } else {
+            run(&cells[trial.cell_index], trial)
         }
-    });
-    let mut flat = results.into_inner().expect("threads joined");
+    };
+    let configured = worker_count(jobs.len());
+    let mut workers = 1;
+    let mut flat: Vec<(Trial, T)> = Vec::with_capacity(jobs.len());
+    if let Some((&probe, rest)) = jobs.split_first() {
+        let probe_started = Instant::now();
+        let value = execute(probe);
+        let probe_micros = probe_started.elapsed().as_secs_f64() * 1e6;
+        flat.push((probe, value));
+        if !rest.is_empty() && should_fan_out(configured, probe_micros) {
+            workers = configured.min(rest.len());
+            let next = AtomicUsize::new(0);
+            let results: Mutex<Vec<(Trial, T)>> = Mutex::new(Vec::with_capacity(rest.len()));
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&trial) = rest.get(index) else {
+                            break;
+                        };
+                        let value = execute(trial);
+                        results
+                            .lock()
+                            .expect("no poisoned lock")
+                            .push((trial, value));
+                    });
+                }
+            });
+            flat.extend(results.into_inner().expect("threads joined"));
+        } else {
+            for &trial in rest {
+                flat.push((trial, execute(trial)));
+            }
+        }
+    }
     flat.sort_by_key(|(trial, _)| (trial.cell_index, trial.trial));
     let mut grouped: Vec<CellRuns<T>> = (0..cells.len())
         .map(|cell_index| CellRuns {
@@ -541,6 +582,34 @@ mod tests {
         for (i, cell_runs) in runs.iter().enumerate() {
             let serial: Vec<f64> = (0..5).map(|t| cells[i] * (t + 1) as f64).collect();
             assert_eq!(cell_runs.summarize(|&v| v), Summary::of(&serial));
+        }
+    }
+
+    #[test]
+    fn micro_trials_stay_serial_and_slow_trials_fan_out() {
+        // The threshold gate is pure and directly testable.
+        assert!(!should_fan_out(8, 0.0));
+        assert!(!should_fan_out(8, SERIAL_TRIAL_THRESHOLD_MICROS - 1.0));
+        assert!(should_fan_out(8, SERIAL_TRIAL_THRESHOLD_MICROS));
+        assert!(should_fan_out(2, 1e6));
+        // One worker never fans out, however slow the trials.
+        assert!(!should_fan_out(1, 1e9));
+    }
+
+    #[test]
+    fn serial_gated_sweeps_produce_identical_results() {
+        // Micro-trials (gated serial) and slow trials (fanned out) must
+        // group results identically.
+        let cells = vec![5u64, 6];
+        let fast = run_trials("harness_gate_test", 4, &cells, |&cell, t| cell + t.trial);
+        let slow = run_trials("harness_gate_test", 4, &cells, |&cell, t| {
+            std::thread::sleep(std::time::Duration::from_micros(1_100));
+            cell + t.trial
+        });
+        for (f, s) in fast.iter().zip(slow.iter()) {
+            assert_eq!(f.cell_index, s.cell_index);
+            assert_eq!(f.seeds, s.seeds);
+            assert_eq!(f.values, s.values);
         }
     }
 

@@ -11,6 +11,8 @@
 //! - [`differential`] — the statistical differential tests proving the
 //!   simulator against the paper's Eq. 2–4, and the fault-injection
 //!   scenario matrix behind the `fault_matrix` binary.
+//! - [`guard`] — the CI ratio guard over trajectory entries behind the
+//!   `bench_guard` binary (sharded-beats-serial, fault-channel ratio).
 //! - [`harness`] — the deterministic parallel trial executor, the
 //!   single seed-derivation function ([`harness::trial_seed`]), and the
 //!   `--json` provenance document every binary emits.
@@ -29,6 +31,7 @@ pub mod ablations;
 pub mod audit;
 pub mod differential;
 pub mod figures;
+pub mod guard;
 pub mod harness;
 pub mod table;
 pub mod workloads;

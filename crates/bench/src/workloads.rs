@@ -116,6 +116,12 @@ pub fn all() -> Vec<Workload> {
             run: sim_mesh_10k_sharded,
         },
         Workload {
+            name: "sim_mesh_100k_sharded",
+            description: "400x250 grid (100k nodes), staggered ALOHA, available shards",
+            trials: 1,
+            run: sim_mesh_100k_sharded,
+        },
+        Workload {
             name: "selector_churn",
             description: "listening + adaptive identifier selection with live windows",
             trials: 8,
@@ -357,6 +363,29 @@ pub fn sharded_workload_shards() -> usize {
 
 fn sim_mesh_10k_sharded(seed: u64, quick: bool) {
     let sim = run_mesh_10k(seed, quick, sharded_workload_shards(), false);
+    std::hint::black_box(sim.stats());
+}
+
+/// The 100k-node topology for the scale workload: a 400x250 grid with
+/// the same 30 m spacing / 45 m range geometry as the 10k mesh.
+fn mesh_100k_topology() -> &'static Topology {
+    static TOPO: OnceLock<Topology> = OnceLock::new();
+    TOPO.get_or_init(|| Topology::grid(400, 250, 30.0, 45.0))
+}
+
+/// One order of magnitude past the 10k mesh — the first step toward
+/// the ROADMAP's 100k–1M-node target. Short simulated horizons keep
+/// the batch minutes-scale: the point of the workload is that 100k
+/// nodes *complete* and their throughput is recorded, not a long soak.
+fn sim_mesh_100k_sharded(seed: u64, quick: bool) {
+    let sim_millis = if quick { 500 } else { 2_000 };
+    let mut sim = ShardedSimBuilder::new(seed)
+        .mac(MacConfig::aloha())
+        .range(45.0)
+        .shards(sharded_workload_shards())
+        .build_with_topology(mesh_100k_topology(), |_| MeshSender);
+    sim.run_until(SimTime::from_millis(sim_millis));
+    assert!(sim.stats().frames_sent > 0);
     std::hint::black_box(sim.stats());
 }
 

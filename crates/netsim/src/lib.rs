@@ -78,7 +78,9 @@ pub mod prelude {
     pub use crate::mac::MacConfig;
     pub use crate::node::{Context, NodeId, Protocol, Timer};
     pub use crate::radio::RadioConfig;
-    pub use crate::shard::{ShardedSim, ShardedSimBuilder};
+    pub use crate::shard::{
+        DegreeBalanced, GridHash, ShardStrategy, ShardedSim, ShardedSimBuilder, SpatialStripes,
+    };
     pub use crate::sim::{MediumStats, SimBuilder, Simulator};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::topology::{Position, Topology};
@@ -88,7 +90,10 @@ pub use fault::{ChannelState, FaultModel, GilbertElliott, PartitionWindow};
 pub use frame::{Frame, FramePayload};
 pub use node::{Context, NodeId, Protocol, Timer};
 pub use radio::RadioConfig;
-pub use shard::{ShardedSim, ShardedSimBuilder};
+pub use shard::{
+    DegreeBalanced, GridHash, ShardStrategy, ShardedSim, ShardedSimBuilder, SpatialStripes,
+    MIN_NODES_PER_SHARD,
+};
 pub use sim::{SimBuilder, Simulator};
 pub use time::{SimDuration, SimTime};
 pub use topology::Position;

@@ -2,8 +2,8 @@
 //!
 //! [`NetsimObs`] holds pre-resolved [`retri_obs`] handles for every
 //! medium-level metric, so the per-event cost when observability is on
-//! is a `Vec` index behind a `RefCell`, and the cost when it is off is
-//! nothing at all: the simulator stores `Option<NetsimObs>` and a
+//! is one atomic update on a pre-resolved cell, and the cost when it
+//! is off is nothing at all: the simulator stores `Option<NetsimObs>` and a
 //! disabled run never constructs one (see
 //! [`Simulator::enable_obs`](crate::sim::Simulator::enable_obs)).
 //!
@@ -32,7 +32,6 @@ const TX_SPAN_BOUNDS: [f64; 8] = [
 
 /// Pre-resolved metric handles for one simulator.
 pub(crate) struct NetsimObs {
-    obs: Obs,
     /// `netsim_frames_sent_total`.
     pub frames_sent: Counter,
     /// `netsim_tx_bits_total` — bits on the air (payload + preamble).
@@ -65,9 +64,7 @@ impl NetsimObs {
     pub fn new(obs: &Obs) -> Self {
         let drops = LossReason::ALL
             .map(|reason| obs.counter("netsim_drops_total", &[("reason", reason.label())]));
-        let tx_spans = obs
-            .with(|reg| SpanTracker::register(reg, "netsim_tx_airtime", &[], &TX_SPAN_BOUNDS))
-            .expect("NetsimObs requires an enabled Obs handle");
+        let tx_spans = SpanTracker::register(obs, "netsim_tx_airtime", &[], &TX_SPAN_BOUNDS);
         NetsimObs {
             frames_sent: obs.counter("netsim_frames_sent_total", &[]),
             tx_bits: obs.counter("netsim_tx_bits_total", &[]),
@@ -81,7 +78,6 @@ impl NetsimObs {
             energy_tx_nj: obs.gauge("netsim_energy_tx_nj", &[]),
             energy_rx_nj: obs.gauge("netsim_energy_rx_nj", &[]),
             tx_spans,
-            obs: obs.clone(),
         }
     }
 
@@ -93,13 +89,11 @@ impl NetsimObs {
 
     /// Opens the airtime span for medium sequence `seq`.
     pub fn tx_span_start(&mut self, seq: u64, at_micros: u64) {
-        let spans = &mut self.tx_spans;
-        self.obs.with(|reg| spans.start(reg, seq, at_micros));
+        self.tx_spans.start(seq, at_micros);
     }
 
     /// Closes the airtime span for medium sequence `seq`.
     pub fn tx_span_end(&mut self, seq: u64, at_micros: u64) {
-        let spans = &mut self.tx_spans;
-        self.obs.with(|reg| spans.end(reg, seq, at_micros));
+        self.tx_spans.end(seq, at_micros);
     }
 }

@@ -53,11 +53,11 @@
 //! It is only mutated by the merging thread (and by the globally ordered
 //! CSMA MAC phase) and read concurrently by the receive phase.
 
-use std::cmp::Ordering;
+use std::cmp::{Ordering, Reverse};
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
-use std::sync::{Barrier, Mutex, RwLock};
+use std::sync::{Arc, Barrier, Mutex};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -120,6 +120,13 @@ const LANE_R_DYN: u8 = 0;
 const LANE_R_START: u8 = 1;
 const LANE_R_DELIVER: u8 = 2;
 const LANE_R_TIMER: u8 = 3;
+
+/// Minimum owned nodes per shard before worker threads pay for their
+/// per-window barrier traffic; below this the windowed loop runs
+/// inline on the calling thread (identical output). Small testbeds —
+/// a few dozen nodes sharded four ways — otherwise spend orders of
+/// magnitude more time in barrier waits than in simulation.
+pub const MIN_NODES_PER_SHARD: usize = 64;
 
 /// A scheduled liveness or movement change (broadcast to every shard).
 #[derive(Debug, Clone, Copy)]
@@ -272,6 +279,9 @@ impl Ord for MasterDyn {
 }
 
 /// One transmission record in the shared air view.
+///
+/// The frame body is behind an `Arc` so per-shard ghost replicas share
+/// it instead of deep-copying payload bytes.
 #[derive(Debug)]
 struct AirRecord {
     seq: u64,
@@ -279,7 +289,7 @@ struct AirRecord {
     start: SimTime,
     end: SimTime,
     bits_on_air: u64,
-    frame: Frame,
+    frame: Arc<Frame>,
     /// Grid cell of the sender at transmission start (the interference
     /// scan bucket; a sender relocating mid-flight keeps its record in
     /// the origin cell).
@@ -293,6 +303,76 @@ struct AirRecord {
 impl AirRecord {
     fn overlaps(&self, start: SimTime, end: SimTime) -> bool {
         self.start < end && self.end > start
+    }
+
+    /// A copy for a shard-local ghost view. The `ended` flag is MAC
+    /// phase state and never consulted by receive-phase judgments, so
+    /// ghosts pin it to `false`.
+    fn ghost_copy(&self) -> AirRecord {
+        AirRecord {
+            seq: self.seq,
+            sender: self.sender,
+            start: self.start,
+            end: self.end,
+            bits_on_air: self.bits_on_air,
+            frame: Arc::clone(&self.frame),
+            cell: self.cell,
+            ended: false,
+        }
+    }
+}
+
+/// Read-only delivery-judgment queries over some view of the air —
+/// implemented by the global [`AirView`] (serial windows) and by the
+/// per-shard [`GhostAir`] replicas (threaded windows), so the receive
+/// phase is lock-free either way.
+trait AirReads {
+    fn get(&self, seq: u64) -> Option<&AirRecord>;
+
+    /// Whether `node`'s own radio is transmitting during `[start, end)`,
+    /// other than `exclude_seq` (half-duplex check).
+    fn transmitting_during(
+        &self,
+        node: NodeId,
+        start: SimTime,
+        end: SimTime,
+        exclude_seq: u64,
+    ) -> bool;
+
+    /// Whether any foreign transmission audible at `receiver` overlaps
+    /// `[start, end)` other than `exclude_seq`.
+    fn interference_at(
+        &self,
+        receiver: NodeId,
+        position: Position,
+        start: SimTime,
+        end: SimTime,
+        exclude_seq: u64,
+        topology: &Topology,
+    ) -> bool;
+
+    /// Per-receiver delivery verdict — the serial medium's precedence
+    /// verbatim: half-duplex, then RF collision, then random loss.
+    fn judge(
+        &self,
+        seq: u64,
+        receiver: NodeId,
+        position: Position,
+        loss_draw: f64,
+        frame_loss: f64,
+        topology: &Topology,
+    ) -> Verdict {
+        let record = self.get(seq).expect("judging unknown transmission");
+        if self.transmitting_during(receiver, record.start, record.end, seq) {
+            Verdict::Failed(DeliveryFailure::HalfDuplex)
+        } else if self.interference_at(receiver, position, record.start, record.end, seq, topology)
+        {
+            Verdict::Failed(DeliveryFailure::RfCollision)
+        } else if loss_draw < frame_loss {
+            Verdict::Failed(DeliveryFailure::RandomLoss)
+        } else {
+            Verdict::Delivered
+        }
     }
 }
 
@@ -398,80 +478,6 @@ impl AirView {
         false
     }
 
-    /// Whether `node`'s own radio is transmitting during `[start, end)`,
-    /// other than `exclude_seq` (half-duplex check).
-    fn transmitting_during(
-        &self,
-        node: NodeId,
-        start: SimTime,
-        end: SimTime,
-        exclude_seq: u64,
-    ) -> bool {
-        let Some(seqs) = self.by_node.get(node.index()) else {
-            return false;
-        };
-        seqs.iter().any(|&seq| {
-            let record = self.get(seq).expect("indexed record retained");
-            seq != exclude_seq && record.overlaps(start, end)
-        })
-    }
-
-    /// Whether any foreign transmission audible at `receiver` overlaps
-    /// `[start, end)` other than `exclude_seq`.
-    fn interference_at(
-        &self,
-        receiver: NodeId,
-        position: Position,
-        start: SimTime,
-        end: SimTime,
-        exclude_seq: u64,
-        topology: &Topology,
-    ) -> bool {
-        let (cx, cy) = self.cell_of(position);
-        for dx in -1..=1 {
-            for dy in -1..=1 {
-                let Some(seqs) = self.cells.get(&(cx + dx, cy + dy)) else {
-                    continue;
-                };
-                for &seq in seqs {
-                    let record = self.get(seq).expect("indexed record retained");
-                    if seq != exclude_seq
-                        && record.sender != receiver
-                        && record.overlaps(start, end)
-                        && topology.in_range(record.sender, receiver)
-                    {
-                        return true;
-                    }
-                }
-            }
-        }
-        false
-    }
-
-    /// Per-receiver delivery verdict — the serial medium's precedence
-    /// verbatim: half-duplex, then RF collision, then random loss.
-    fn judge(
-        &self,
-        seq: u64,
-        receiver: NodeId,
-        position: Position,
-        loss_draw: f64,
-        frame_loss: f64,
-        topology: &Topology,
-    ) -> Verdict {
-        let record = self.get(seq).expect("judging unknown transmission");
-        if self.transmitting_during(receiver, record.start, record.end, seq) {
-            Verdict::Failed(DeliveryFailure::HalfDuplex)
-        } else if self.interference_at(receiver, position, record.start, record.end, seq, topology)
-        {
-            Verdict::Failed(DeliveryFailure::RfCollision)
-        } else if loss_draw < frame_loss {
-            Verdict::Failed(DeliveryFailure::RandomLoss)
-        } else {
-            Verdict::Delivered
-        }
-    }
-
     /// Drops front records ended before `horizon`. O(1) per record: the
     /// popped record has the globally smallest seq, which is also the
     /// front of its cell's and its sender's index deques.
@@ -498,6 +504,197 @@ impl AirView {
     }
 }
 
+impl AirReads for AirView {
+    fn get(&self, seq: u64) -> Option<&AirRecord> {
+        AirView::get(self, seq)
+    }
+
+    fn transmitting_during(
+        &self,
+        node: NodeId,
+        start: SimTime,
+        end: SimTime,
+        exclude_seq: u64,
+    ) -> bool {
+        let Some(seqs) = self.by_node.get(node.index()) else {
+            return false;
+        };
+        seqs.iter().any(|&seq| {
+            let record = AirView::get(self, seq).expect("indexed record retained");
+            seq != exclude_seq && record.overlaps(start, end)
+        })
+    }
+
+    fn interference_at(
+        &self,
+        receiver: NodeId,
+        position: Position,
+        start: SimTime,
+        end: SimTime,
+        exclude_seq: u64,
+        topology: &Topology,
+    ) -> bool {
+        let (cx, cy) = self.cell_of(position);
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                let Some(seqs) = self.cells.get(&(cx + dx, cy + dy)) else {
+                    continue;
+                };
+                for &seq in seqs {
+                    let record = AirView::get(self, seq).expect("indexed record retained");
+                    if seq != exclude_seq
+                        && record.sender != receiver
+                        && record.overlaps(start, end)
+                        && topology.in_range(record.sender, receiver)
+                    {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+/// A shard-local replica of the air records the shard can possibly
+/// need for receive-phase judgments — the "ghost cells" of the shard's
+/// boundary. Maintained by the merging thread at epoch barriers, read
+/// (and pruned) exclusively by the owning shard, so the threaded
+/// receive phase never touches a shared lock.
+///
+/// In static runs (no scheduled dynamics) a record is replicated only
+/// to shards whose nodes occupy a grid cell within one ring of the
+/// sender's cell — every receiver and every interferable pair sits
+/// within one cell of its counterpart because the cell size equals the
+/// radio range. Runs with scheduled mobility or churn replicate every
+/// record to every shard (positions may change mid-flight, so no
+/// static interest set is safe).
+#[derive(Debug, Default)]
+struct GhostAir {
+    cell_size: f64,
+    /// Live records in ascending-seq order (mirrors the global view's
+    /// retention window for this shard's subset).
+    order: VecDeque<u64>,
+    records: HashMap<u64, AirRecord>,
+    /// Per-cell record seqs, ascending.
+    cells: HashMap<(i64, i64), VecDeque<u64>>,
+    /// Per-sender record seqs, ascending.
+    by_node: HashMap<u32, VecDeque<u64>>,
+}
+
+impl GhostAir {
+    fn clear(&mut self, cell_size: f64) {
+        self.cell_size = cell_size;
+        self.order.clear();
+        self.records.clear();
+        self.cells.clear();
+        self.by_node.clear();
+    }
+
+    fn insert(&mut self, record: &AirRecord) {
+        debug_assert!(
+            self.order.back().is_none_or(|&last| last < record.seq),
+            "ghost records arrive in sequence order"
+        );
+        self.order.push_back(record.seq);
+        self.cells
+            .entry(record.cell)
+            .or_default()
+            .push_back(record.seq);
+        self.by_node
+            .entry(record.sender.0)
+            .or_default()
+            .push_back(record.seq);
+        self.records.insert(record.seq, record.ghost_copy());
+    }
+
+    /// Mirrors [`AirView::prune`]: drops front records ended before
+    /// `horizon`, stopping at the first retained one.
+    fn prune(&mut self, horizon: SimTime) {
+        while let Some(&seq) = self.order.front() {
+            let record = &self.records[&seq];
+            if record.end >= horizon {
+                break;
+            }
+            self.order.pop_front();
+            let record = self.records.remove(&seq).expect("ordered record present");
+            if let Some(cell) = self.cells.get_mut(&record.cell) {
+                let popped = cell.pop_front();
+                debug_assert_eq!(popped, Some(seq));
+                if cell.is_empty() {
+                    self.cells.remove(&record.cell);
+                }
+            }
+            if let Some(by_node) = self.by_node.get_mut(&record.sender.0) {
+                let popped = by_node.pop_front();
+                debug_assert_eq!(popped, Some(seq));
+                if by_node.is_empty() {
+                    self.by_node.remove(&record.sender.0);
+                }
+            }
+        }
+    }
+
+    fn cell_of(&self, position: Position) -> (i64, i64) {
+        (
+            (position.x / self.cell_size).floor() as i64,
+            (position.y / self.cell_size).floor() as i64,
+        )
+    }
+}
+
+impl AirReads for GhostAir {
+    fn get(&self, seq: u64) -> Option<&AirRecord> {
+        self.records.get(&seq)
+    }
+
+    fn transmitting_during(
+        &self,
+        node: NodeId,
+        start: SimTime,
+        end: SimTime,
+        exclude_seq: u64,
+    ) -> bool {
+        let Some(seqs) = self.by_node.get(&node.0) else {
+            return false;
+        };
+        seqs.iter().any(|&seq| {
+            let record = &self.records[&seq];
+            seq != exclude_seq && record.overlaps(start, end)
+        })
+    }
+
+    fn interference_at(
+        &self,
+        receiver: NodeId,
+        position: Position,
+        start: SimTime,
+        end: SimTime,
+        exclude_seq: u64,
+        topology: &Topology,
+    ) -> bool {
+        let (cx, cy) = self.cell_of(position);
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                let Some(seqs) = self.cells.get(&(cx + dx, cy + dy)) else {
+                    continue;
+                };
+                for &seq in seqs {
+                    let record = &self.records[&seq];
+                    if seq != exclude_seq
+                        && record.sender != receiver
+                        && record.overlaps(start, end)
+                        && topology.in_range(record.sender, receiver)
+                    {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
 /// A transmission begun inside the current window, pending global
 /// sequence assignment (ALOHA) or already numbered (CSMA, whose MAC
 /// phase runs in global order and numbers immediately).
@@ -515,7 +712,7 @@ struct PendingTx {
     pos: Position,
     seq: Option<u64>,
     /// `None` when the record is already in the air view (CSMA).
-    frame: Option<Frame>,
+    frame: Option<Arc<Frame>>,
 }
 
 /// A buffered airtime-span end (observability only). Spans end in the
@@ -640,6 +837,13 @@ struct ShardCore<P> {
     trace_buf: Vec<(TraceKey, TraceEvent)>,
     commands: Vec<Command>,
     receiver_scratch: Vec<NodeId>,
+    /// Shard-local air replica for the threaded receive phase (empty on
+    /// serial runs, which read the global view directly).
+    ghost: GhostAir,
+    /// Grid cells within one ring of any owned node — the cells whose
+    /// air records this shard may need. Only meaningful for static runs
+    /// (see [`GhostAir`]).
+    interest: HashSet<(i64, i64)>,
 }
 
 impl<P: Protocol> ShardCore<P> {
@@ -657,6 +861,8 @@ impl<P: Protocol> ShardCore<P> {
             trace_buf: Vec::new(),
             commands: Vec::new(),
             receiver_scratch: Vec::new(),
+            ghost: GhostAir::default(),
+            interest: HashSet::new(),
         }
     }
 
@@ -800,7 +1006,7 @@ impl<P: Protocol> ShardCore<P> {
             airtime_micros: airtime.as_micros(),
             pos,
             seq: None,
-            frame: Some(Frame::new(node, payload)),
+            frame: Some(Arc::new(Frame::new(node, payload))),
         };
         if let Some(cs) = csma.as_mut() {
             // Carrier-sense MACs run this phase in global event order,
@@ -834,11 +1040,11 @@ impl<P: Protocol> ShardCore<P> {
 
     /// Drains this shard's receive events inside `[.., t_end)` — fully
     /// shard-parallel; the air view is read-only here.
-    fn run_phase2(
+    fn run_phase2<A: AirReads>(
         &mut self,
         ctx: &EngineCtx<'_>,
         t_end: SimTime,
-        air: &AirView,
+        air: &A,
         obs: Option<&NetsimObs>,
     ) {
         while let Some(ev) = self.rx_heap.peek() {
@@ -850,15 +1056,23 @@ impl<P: Protocol> ShardCore<P> {
         }
     }
 
+    /// The threaded receive phase: reads this shard's own ghost air
+    /// replica, so no shared state (and no lock) is touched.
+    fn run_phase2_ghost(&mut self, ctx: &EngineCtx<'_>, t_end: SimTime, obs: Option<&NetsimObs>) {
+        let ghost = std::mem::take(&mut self.ghost);
+        self.run_phase2(ctx, t_end, &ghost, obs);
+        self.ghost = ghost;
+    }
+
     fn owns(&self, ctx: &EngineCtx<'_>, node: NodeId) -> bool {
         ctx.owner[node.index()].0 as usize == self.index
     }
 
-    fn dispatch_rx(
+    fn dispatch_rx<A: AirReads>(
         &mut self,
         ev: RxEvent,
         ctx: &EngineCtx<'_>,
-        air: &AirView,
+        air: &A,
         obs: Option<&NetsimObs>,
     ) {
         let at = ev.at;
@@ -919,13 +1133,13 @@ impl<P: Protocol> ShardCore<P> {
     /// Judges delivery of transmission `seq` to every owned neighbor of
     /// `sender`, in node id order — the serial engine's `tx_end`
     /// receiver loop with per-receiver RNG streams.
-    fn deliver(
+    fn deliver<A: AirReads>(
         &mut self,
         at: SimTime,
         seq: u64,
         sender: NodeId,
         ctx: &EngineCtx<'_>,
-        air: &AirView,
+        air: &A,
         obs: Option<&NetsimObs>,
     ) {
         let mut receivers = std::mem::take(&mut self.receiver_scratch);
@@ -1048,7 +1262,7 @@ impl<P: Protocol> ShardCore<P> {
                             continue;
                         }
                         if fault.bit_error_rate > 0.0 {
-                            let mut mangled = record.frame.clone();
+                            let mut mangled = (*record.frame).clone();
                             let mut flipped = 0u64;
                             for bit in 0..mangled.payload.bits() {
                                 if state.fault_rng.gen_range(0.0..1.0) < fault.bit_error_rate {
@@ -1186,11 +1400,128 @@ impl<P: Protocol> ShardCore<P> {
     }
 }
 
+/// Grid cell of a position at the given pitch (the radio range).
+fn strategy_cell_of(position: Position, cell_size: f64) -> (i64, i64) {
+    (
+        (position.x / cell_size).floor() as i64,
+        (position.y / cell_size).floor() as i64,
+    )
+}
+
+/// A policy assigning every node to one of `K` shard cores.
+///
+/// Placement is pure load balancing: the merged event stream is
+/// invariant in it (the shard-count invariance tests pin this), so a
+/// strategy is free to optimize for locality or balance without
+/// touching correctness. The engine re-runs the strategy at the start
+/// of a run whenever nodes were added or dynamics changed the
+/// topology.
+pub trait ShardStrategy: std::fmt::Debug + Send {
+    /// A short stable name (for logs and bench metadata).
+    fn name(&self) -> &'static str;
+
+    /// Maps each node (indexed by id) to a shard in `0..shards`.
+    /// `cell_size` is the interference-grid pitch (= radio range).
+    fn assign(&self, topology: &Topology, cell_size: f64, shards: usize) -> Vec<u32>;
+}
+
+/// Hash the node's grid cell with SplitMix64 — the original placement.
+/// Stateless and incremental (a node's shard never depends on the other
+/// nodes), but adjacent cells usually land on different shards, so most
+/// radio neighborhoods straddle a shard boundary and nearly every
+/// record must be replicated to several ghosts.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GridHash;
+
+fn grid_hash_shard(cell: (i64, i64), shards: usize) -> u32 {
+    let mut state = (cell.0 as u64) ^ (cell.1 as u64).rotate_left(32) ^ 0x9E37_79B9_7F4A_7C15;
+    state = rand::splitmix64(&mut state);
+    u32::try_from(state % shards as u64).expect("shard index fits u32")
+}
+
+impl ShardStrategy for GridHash {
+    fn name(&self) -> &'static str {
+        "grid-hash"
+    }
+
+    fn assign(&self, topology: &Topology, cell_size: f64, shards: usize) -> Vec<u32> {
+        topology
+            .node_ids()
+            .map(|id| grid_hash_shard(strategy_cell_of(topology.position(id), cell_size), shards))
+            .collect()
+    }
+}
+
+/// Sort nodes by grid cell (column-major, node id as tiebreak) and cut
+/// the order into `K` equal contiguous stripes. Neighboring cells share
+/// a stripe except at the K − 1 cut lines, so cross-shard deliveries —
+/// and ghost replication — concentrate on thin boundaries instead of
+/// being scattered everywhere. The default strategy.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SpatialStripes;
+
+impl ShardStrategy for SpatialStripes {
+    fn name(&self) -> &'static str {
+        "spatial-stripes"
+    }
+
+    fn assign(&self, topology: &Topology, cell_size: f64, shards: usize) -> Vec<u32> {
+        let mut order: Vec<((i64, i64), NodeId)> = topology
+            .node_ids()
+            .map(|id| (strategy_cell_of(topology.position(id), cell_size), id))
+            .collect();
+        order.sort_unstable_by_key(|&(cell, id)| (cell, id.0));
+        let n = order.len().max(1);
+        let mut out = vec![0u32; order.len()];
+        for (rank, (_, id)) in order.into_iter().enumerate() {
+            out[id.index()] = u32::try_from(rank * shards / n).expect("shard index fits u32");
+        }
+        out
+    }
+}
+
+/// Greedy bin packing by radio degree: nodes in descending degree
+/// order (id as tiebreak), each to the shard with the smallest degree
+/// sum so far. Evens out very uneven densities at the cost of ignoring
+/// locality entirely — best when a few hotspot cells dominate the
+/// receive-phase work.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DegreeBalanced;
+
+impl ShardStrategy for DegreeBalanced {
+    fn name(&self) -> &'static str {
+        "degree-balanced"
+    }
+
+    fn assign(&self, topology: &Topology, _cell_size: f64, shards: usize) -> Vec<u32> {
+        let mut order: Vec<(usize, NodeId)> = topology
+            .node_ids()
+            .map(|id| (topology.neighbors(id).count(), id))
+            .collect();
+        order.sort_unstable_by_key(|&(degree, id)| (Reverse(degree), id.0));
+        let mut load = vec![0usize; shards];
+        let mut out = vec![0u32; order.len()];
+        for (degree, id) in order {
+            let mut best = 0;
+            for (shard, &l) in load.iter().enumerate().skip(1) {
+                if l < load[best] {
+                    best = shard;
+                }
+            }
+            out[id.index()] = u32::try_from(best).expect("shard index fits u32");
+            // A degree-0 node still costs its MAC events: weight 1.
+            load[best] += degree.max(1);
+        }
+        out
+    }
+}
+
 /// Configures and constructs a [`ShardedSim`].
 ///
 /// Mirrors [`crate::sim::SimBuilder`], plus the sharding knobs:
-/// [`shards`](Self::shards) and [`lookahead`](Self::lookahead) (the MAC
-/// turnaround delay that bounds the synchronization window).
+/// [`shards`](Self::shards), [`lookahead`](Self::lookahead) (the MAC
+/// turnaround delay that bounds the synchronization window), and
+/// [`strategy`](Self::strategy) (node-to-shard placement).
 #[derive(Debug)]
 pub struct ShardedSimBuilder {
     seed: u64,
@@ -1200,6 +1531,7 @@ pub struct ShardedSimBuilder {
     faults: FaultModel,
     shards: usize,
     lookahead: SimDuration,
+    strategy: Box<dyn ShardStrategy>,
 }
 
 impl ShardedSimBuilder {
@@ -1215,6 +1547,7 @@ impl ShardedSimBuilder {
             faults: FaultModel::none(),
             shards: 1,
             lookahead: SimDuration::from_micros(500),
+            strategy: Box::new(SpatialStripes),
         }
     }
 
@@ -1257,6 +1590,15 @@ impl ShardedSimBuilder {
     pub fn shards(mut self, shards: usize) -> Self {
         assert!(shards >= 1, "need at least one shard");
         self.shards = shards;
+        self
+    }
+
+    /// Sets the node-to-shard placement strategy (default:
+    /// [`SpatialStripes`]). Placement only affects load balance and
+    /// ghost-replication volume, never output.
+    #[must_use]
+    pub fn strategy(mut self, strategy: Box<dyn ShardStrategy>) -> Self {
+        self.strategy = strategy;
         self
     }
 
@@ -1307,6 +1649,9 @@ impl ShardedSimBuilder {
             trace_main: Vec::new(),
             merge_scratch: Vec::new(),
             force_serial: false,
+            force_threads: false,
+            strategy: self.strategy,
+            placement_dirty: false,
         };
         let churn: Vec<ChurnEvent> = sim.faults.churn().to_vec();
         for event in churn {
@@ -1370,6 +1715,11 @@ pub struct ShardedSim<P> {
     trace_main: Vec<(TraceKey, TraceEvent)>,
     merge_scratch: Vec<PendingTx>,
     force_serial: bool,
+    force_threads: bool,
+    strategy: Box<dyn ShardStrategy>,
+    /// Whether node placement may be stale (nodes added or dynamics
+    /// applied since the last rebalance).
+    placement_dirty: bool,
 }
 
 impl<P> core::fmt::Debug for ShardedSim<P> {
@@ -1420,6 +1770,7 @@ impl<P: Protocol> ShardedSim<P> {
     /// Registers an already-present topology node with the engine.
     fn admit(&mut self, id: NodeId, protocol: P) -> NodeId {
         debug_assert_eq!(id.index(), self.owner.len());
+        self.placement_dirty = true;
         let shard = self.shard_of(self.master.position(id));
         let local = self.cores[shard].nodes.len() as u32;
         self.owner.push((shard as u32, local));
@@ -1643,18 +1994,49 @@ impl<P: Protocol> ShardedSim<P> {
         self.force_serial = force;
     }
 
-    /// Re-buckets node ownership from current master positions, moving
+    /// Forces worker threads for `shards > 1` even when the engine's
+    /// cost model (machine parallelism, per-shard node count) would run
+    /// the windows inline. A validation/debugging knob; output is
+    /// identical either way. [`Self::set_force_serial`] wins if both
+    /// are set.
+    pub fn set_force_threads(&mut self, force: bool) {
+        self.force_threads = force;
+    }
+
+    /// Whether the next [`Self::run_until`] would execute windows on
+    /// worker threads. False for single-shard sims, attached
+    /// observability, forced-serial mode, single-core machines, or
+    /// topologies too small to amortize the per-window barrier traffic
+    /// (< [`MIN_NODES_PER_SHARD`] owned nodes per shard) — the windowed
+    /// algorithm then runs inline, with identical output.
+    #[must_use]
+    pub fn uses_worker_threads(&self) -> bool {
+        if self.cores.len() <= 1 || self.obs.is_some() || self.force_serial {
+            return false;
+        }
+        if self.force_threads {
+            return true;
+        }
+        std::thread::available_parallelism().map_or(1, usize::from) > 1
+            && self.owner.len() >= self.cores.len() * MIN_NODES_PER_SHARD
+    }
+
+    /// Re-buckets node ownership via the placement strategy, moving
     /// node state and node-owned events between shards. Called at the
-    /// start of every run so churn-heavy workloads keep their spatial
-    /// balance. Placement never affects output, so this is purely a
-    /// load-balance step.
+    /// start of every run (and skipped unless nodes were added or
+    /// dynamics ran since the last rebalance) so churn-heavy workloads
+    /// keep their balance. Placement never affects output, so this is
+    /// purely a load-balance step.
     fn rebalance_ownership(&mut self) {
-        if self.cores.len() <= 1 || self.owner.is_empty() {
+        if self.cores.len() <= 1 || self.owner.is_empty() || !self.placement_dirty {
             return;
         }
-        let desired: Vec<u32> = (0..self.owner.len() as u32)
-            .map(|id| self.shard_of(self.master.position(NodeId(id))) as u32)
-            .collect();
+        self.placement_dirty = false;
+        let desired: Vec<u32> =
+            self.strategy
+                .assign(&self.master, self.air.cell_size, self.cores.len());
+        debug_assert_eq!(desired.len(), self.owner.len());
+        debug_assert!(desired.iter().all(|&s| (s as usize) < self.cores.len()));
         if desired
             .iter()
             .zip(&self.owner)
@@ -1665,14 +2047,19 @@ impl<P: Protocol> ShardedSim<P> {
         let mut slots: Vec<Option<LocalNode<P>>> = (0..self.owner.len()).map(|_| None).collect();
         let mut mac_orphans: Vec<MacEvent> = Vec::new();
         let mut rx_orphans: Vec<RxEvent> = Vec::new();
+        // Pending delivery events may exist on only the cores that were
+        // interested under the OLD placement; dedup them by sequence
+        // number and re-broadcast below so the new owner of every
+        // receiver sees them. (The next barrier routes fresh ones by
+        // the new interest sets.)
+        let mut pending_delivers: HashMap<u64, (SimTime, NodeId)> = HashMap::new();
         for core in &mut self.cores {
             for node in core.nodes.drain(..) {
                 let index = node.id.index();
                 slots[index] = Some(node);
             }
-            // Node-owned events follow their node; broadcast events
-            // (dynamics, deliveries) already exist once per shard and
-            // stay put.
+            // Node-owned events follow their node; dynamics already
+            // exist once per shard and stay put.
             let events: Vec<MacEvent> = core.mac_heap.drain().collect();
             for ev in events {
                 if ev.node().is_some() {
@@ -1685,6 +2072,8 @@ impl<P: Protocol> ShardedSim<P> {
             for ev in events {
                 if ev.node().is_some() {
                     rx_orphans.push(ev);
+                } else if let RxKind::Deliver { seq, sender } = ev.kind {
+                    pending_delivers.insert(seq, (ev.at, sender));
                 } else {
                     core.rx_heap.push(ev);
                 }
@@ -1707,6 +2096,17 @@ impl<P: Protocol> ShardedSim<P> {
             self.cores[self.owner[node.index()].0 as usize]
                 .rx_heap
                 .push(ev);
+        }
+        for (seq, (at, sender)) in pending_delivers {
+            for core in &mut self.cores {
+                core.rx_heap.push(RxEvent {
+                    at,
+                    lane: LANE_R_DELIVER,
+                    a: seq,
+                    b: 0,
+                    kind: RxKind::Deliver { seq, sender },
+                });
+            }
         }
     }
 
@@ -1731,23 +2131,25 @@ impl<P: Protocol> ShardedSim<P> {
         self.trace_main = all;
     }
 
-    /// End of window `[.., t_end)`: the single "barrier B" step. Applies
-    /// this window's dynamics to the master topology and garbage-collects
-    /// air records too old to affect any future judgment.
-    fn finish_window(&mut self, t_end: SimTime, deadline: SimTime) {
-        while let Some(next) = self.master_dyn.peek() {
-            if next.at >= t_end || next.at > deadline {
-                break;
-            }
-            let dynamic = self.master_dyn.pop().expect("peeked above");
-            match dynamic.action {
-                DynAction::Move { node, to } => self.master.set_position(node, to),
-                DynAction::SetAlive { node, alive } => self.master.set_alive(node, alive),
+    /// Rebuilds every shard's interest set: the grid cells within one
+    /// ring of any owned node. A record whose origin cell is outside a
+    /// shard's interest can neither be received by nor interfere at any
+    /// node the shard owns (cell size = radio range), so barrier fan-out
+    /// and ghost replication are filtered by it on static runs.
+    fn build_interest(&mut self) {
+        for core in &mut self.cores {
+            core.interest.clear();
+        }
+        for index in 0..self.owner.len() {
+            let node = NodeId(index as u32);
+            let shard = self.owner[index].0 as usize;
+            let (cx, cy) = self.air.cell_of(self.master.position(node));
+            for dx in -1..=1 {
+                for dy in -1..=1 {
+                    self.cores[shard].interest.insert((cx + dx, cy + dy));
+                }
             }
         }
-        let slack = self.radio.airtime(self.radio.max_frame_bytes as u32 * 8) * 2;
-        let horizon = SimTime::from_micros(t_end.as_micros().saturating_sub(slack.as_micros()));
-        self.air.prune(horizon);
     }
 }
 
@@ -1777,9 +2179,34 @@ fn window_end(at: SimTime, lookahead: SimDuration) -> SimTime {
     SimTime::from_micros((at.as_micros() / l + 1) * l)
 }
 
+/// How epoch-barrier products (delivery events, ghost records) fan out
+/// across shard cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FanOut {
+    /// Every core gets every delivery event and (when ghosts are on)
+    /// every air record. Required whenever scheduled dynamics may move
+    /// or kill nodes mid-run — no static interest set is safe then.
+    Broadcast,
+    /// Only cores whose interest set contains the record's origin grid
+    /// cell. Safe for static runs: the cell size equals the radio
+    /// range, so every receiver and every interferable pair sits within
+    /// one cell ring of its counterpart, and a delivery event routed to
+    /// a non-interested core would be a no-op (it owns no neighbor of
+    /// the sender).
+    Interest,
+}
+
 /// The globally ordered MAC phase of carrier-sense runs: a cross-shard
-/// merge that pops the minimum-key MAC event over all shards, so carrier
-/// sense observes exactly the serial order (zero lookahead).
+/// merge in global event order, so carrier sense observes exactly the
+/// serial order (zero lookahead).
+///
+/// The merge keeps one cursor per shard in a min-heap. `dispatch_mac`
+/// only ever pushes follow-up events onto the shard it ran on, so after
+/// each pop only that one cursor needs refreshing — O(log K) per event
+/// instead of an O(K) peek scan.
+/// Min-heap entry in the k-way merge: (event sort key, shard index).
+type MergeCursor = Reverse<((SimTime, u8, u64, u64), usize)>;
+
 fn run_phase1_csma<P: Protocol>(
     cores: &mut [&mut ShardCore<P>],
     air: &mut AirView,
@@ -1788,31 +2215,34 @@ fn run_phase1_csma<P: Protocol>(
     t_end: SimTime,
     obs: Option<&NetsimObs>,
 ) {
-    loop {
-        let mut best: Option<(usize, (SimTime, u8, u64, u64))> = None;
-        for (i, core) in cores.iter().enumerate() {
-            if let Some(ev) = core.mac_heap.peek() {
-                if ev.at >= t_end || ev.at > ctx.deadline {
-                    continue;
-                }
-                let key = ev.key();
-                if best.is_none_or(|(_, k)| key < k) {
-                    best = Some((i, key));
-                }
+    let in_window = |ev: &MacEvent| ev.at < t_end && ev.at <= ctx.deadline;
+    let mut cursors: BinaryHeap<MergeCursor> = BinaryHeap::with_capacity(cores.len());
+    for (i, core) in cores.iter().enumerate() {
+        if let Some(ev) = core.mac_heap.peek() {
+            if in_window(ev) {
+                cursors.push(Reverse((ev.key(), i)));
             }
         }
-        let Some((i, _)) = best else {
-            break;
-        };
-        let ev = cores[i].mac_heap.pop().expect("peeked above");
+    }
+    while let Some(Reverse((_, i))) = cursors.pop() {
+        let ev = cores[i]
+            .mac_heap
+            .pop()
+            .expect("cursor tracks a peeked event");
         cores[i].dispatch_mac(ev, ctx, Some(CsmaAir { air, next_seq }), obs);
+        if let Some(ev) = cores[i].mac_heap.peek() {
+            if in_window(ev) {
+                cursors.push(Reverse((ev.key(), i)));
+            }
+        }
     }
 }
 
 /// The epoch barrier ("barrier A"): merge per-shard outboxes in
 /// canonical order, assign global sequence numbers, record stats,
-/// traces, and metrics, publish air records, and broadcast delivery
-/// events to every shard.
+/// traces, and metrics, publish air records, and route delivery events
+/// (and, on threaded runs, ghost records) to the shards that can
+/// possibly need them.
 #[allow(clippy::too_many_arguments)]
 fn assign_and_broadcast<P: Protocol>(
     cores: &mut [&mut ShardCore<P>],
@@ -1825,10 +2255,19 @@ fn assign_and_broadcast<P: Protocol>(
     owner: &[(u32, u32)],
     tracing: bool,
     tx_nj_per_bit: f64,
+    fan_out: FanOut,
+    ghosts: bool,
 ) {
     merge.clear();
+    let mut have_span_ends = false;
     for core in cores.iter_mut() {
         merge.append(&mut core.outbox);
+        have_span_ends |= !core.span_ends.is_empty();
+    }
+    // Quiet windows (no transmissions started, nothing to resolve) skip
+    // the whole barrier body.
+    if merge.is_empty() && !have_span_ends {
+        return;
     }
     merge.sort_unstable_by_key(|p| (p.start, p.node.0, p.tx_idx));
     for p in merge.drain(..) {
@@ -1876,7 +2315,16 @@ fn assign_and_broadcast<P: Protocol>(
                 ended: false,
             });
         }
+        // CSMA transmissions were inserted during the MAC phase, ALOHA
+        // ones just above — either way the record is published now.
+        let record = air.get(seq).expect("record published at this barrier");
         for core in cores.iter_mut() {
+            if fan_out == FanOut::Interest && !core.interest.contains(&record.cell) {
+                continue;
+            }
+            if ghosts {
+                core.ghost.insert(record);
+            }
             core.rx_heap.push(RxEvent {
                 at: p.end,
                 lane: LANE_R_DELIVER,
@@ -1937,80 +2385,120 @@ impl<P: Protocol + Send> ShardedSim<P> {
     /// re-raised on the caller).
     pub fn run_until(&mut self, deadline: SimTime) {
         self.rebalance_ownership();
-        if self.cores.len() > 1 && self.obs.is_none() && !self.force_serial {
-            self.run_windows_parallel(deadline);
+        // With no scheduled dynamics left, node positions are frozen
+        // for the whole run, so barrier products route by the static
+        // interest sets; otherwise everything is broadcast.
+        let fan_out = if self.cores.len() > 1 && self.master_dyn.is_empty() {
+            self.build_interest();
+            FanOut::Interest
         } else {
-            self.run_windows_serial(deadline);
+            FanOut::Broadcast
+        };
+        let dyn_before = self.master_dyn.len();
+        if self.uses_worker_threads() {
+            self.run_windows_parallel(deadline, fan_out);
+        } else {
+            self.run_windows_serial(deadline, fan_out);
+        }
+        if self.master_dyn.len() != dyn_before {
+            self.placement_dirty = true;
         }
         self.now = self.now.max(deadline);
         self.flush_traces();
     }
 
-    fn run_windows_serial(&mut self, deadline: SimTime) {
+    fn run_windows_serial(&mut self, deadline: SimTime, fan_out: FanOut) {
+        let ShardedSim {
+            cores,
+            air,
+            next_seq,
+            frames_sent,
+            trace_main,
+            merge_scratch,
+            obs,
+            tracer,
+            owner,
+            radio,
+            mac,
+            faults,
+            lookahead,
+            master,
+            master_dyn,
+            ..
+        } = self;
+        let ctx = EngineCtx {
+            radio,
+            mac,
+            faults,
+            lookahead: *lookahead,
+            tracing: tracer.is_some(),
+            deadline,
+            owner,
+        };
+        let slack = radio.airtime(radio.max_frame_bytes as u32 * 8) * 2;
+        let mut refs: Vec<&mut ShardCore<P>> = cores.iter_mut().collect();
         loop {
-            let t_end = {
-                let refs: Vec<&mut ShardCore<P>> = self.cores.iter_mut().collect();
-                match global_min(&refs) {
-                    Some(min) if min <= deadline => window_end(min, self.lookahead),
-                    _ => break,
-                }
+            let t_end = match global_min(&refs) {
+                Some(min) if min <= deadline => window_end(min, *lookahead),
+                _ => break,
             };
-            {
-                let ShardedSim {
-                    cores,
-                    air,
-                    next_seq,
-                    frames_sent,
-                    trace_main,
-                    merge_scratch,
-                    obs,
-                    tracer,
-                    owner,
-                    radio,
-                    mac,
-                    faults,
-                    lookahead,
-                    ..
-                } = self;
-                let ctx = EngineCtx {
-                    radio,
-                    mac,
-                    faults,
-                    lookahead: *lookahead,
-                    tracing: tracer.is_some(),
-                    deadline,
-                    owner,
-                };
-                let mut refs: Vec<&mut ShardCore<P>> = cores.iter_mut().collect();
-                if mac.carrier_sense {
-                    run_phase1_csma(&mut refs, air, next_seq, &ctx, t_end, obs.as_ref());
-                } else {
-                    for core in refs.iter_mut() {
-                        core.run_phase1(&ctx, t_end, obs.as_ref());
-                    }
-                }
-                assign_and_broadcast(
-                    &mut refs,
-                    air,
-                    next_seq,
-                    frames_sent,
-                    trace_main,
-                    merge_scratch,
-                    obs.as_mut(),
-                    owner,
-                    ctx.tracing,
-                    radio.energy.tx_nj_per_bit,
-                );
+            if mac.carrier_sense {
+                run_phase1_csma(&mut refs, air, next_seq, &ctx, t_end, obs.as_ref());
+            } else {
                 for core in refs.iter_mut() {
-                    core.run_phase2(&ctx, t_end, air, obs.as_ref());
+                    core.run_phase1(&ctx, t_end, obs.as_ref());
                 }
             }
-            self.finish_window(t_end, deadline);
+            assign_and_broadcast(
+                &mut refs,
+                air,
+                next_seq,
+                frames_sent,
+                trace_main,
+                merge_scratch,
+                obs.as_mut(),
+                owner,
+                ctx.tracing,
+                radio.energy.tx_nj_per_bit,
+                fan_out,
+                false,
+            );
+            for core in refs.iter_mut() {
+                core.run_phase2(&ctx, t_end, air, obs.as_ref());
+            }
+            // Barrier B: master dynamics and air garbage collection.
+            while let Some(next) = master_dyn.peek() {
+                if next.at >= t_end || next.at > deadline {
+                    break;
+                }
+                let dynamic = master_dyn.pop().expect("peeked above");
+                match dynamic.action {
+                    DynAction::Move { node, to } => master.set_position(node, to),
+                    DynAction::SetAlive { node, alive } => master.set_alive(node, alive),
+                }
+            }
+            let horizon = SimTime::from_micros(t_end.as_micros().saturating_sub(slack.as_micros()));
+            air.prune(horizon);
         }
     }
 
-    fn run_windows_parallel(&mut self, deadline: SimTime) {
+    fn run_windows_parallel(&mut self, deadline: SimTime, fan_out: FanOut) {
         let shards = self.cores.len();
+        // Rebuild the per-shard ghost replicas from the retained global
+        // records: transmissions can span `run_until` calls (a delivery
+        // past the previous deadline), and the prior run may have been
+        // serial (no ghosts) or differently rebalanced.
+        for core in &mut self.cores {
+            core.ghost.clear(self.air.cell_size);
+        }
+        for record in &self.air.records {
+            for core in &mut self.cores {
+                if fan_out == FanOut::Interest && !core.interest.contains(&record.cell) {
+                    continue;
+                }
+                core.ghost.insert(record);
+            }
+        }
         let ShardedSim {
             cores,
             air,
@@ -2039,10 +2527,11 @@ impl<P: Protocol + Send> ShardedSim<P> {
         };
         let csma = mac.carrier_sense;
         let cells: Vec<Mutex<&mut ShardCore<P>>> = cores.iter_mut().map(Mutex::new).collect();
-        let air_lock = RwLock::new(air);
         // Four rendezvous points per window: release workers into the
-        // MAC phase, MAC phase done, merge barrier done (workers may
-        // read the air view), receive phase done.
+        // MAC phase, MAC phase done, merge barrier done (ghosts are
+        // up to date), receive phase done. The global air view stays on
+        // this thread — workers judge against their ghosts — so no
+        // shared lock guards it.
         let b_start = Barrier::new(shards + 1);
         let b_mac_done = Barrier::new(shards + 1);
         let b_merged = Barrier::new(shards + 1);
@@ -2050,12 +2539,18 @@ impl<P: Protocol + Send> ShardedSim<P> {
         let t_end_micros = AtomicU64::new(0);
         let done = AtomicBool::new(false);
         let panicked = AtomicBool::new(false);
+        let worker_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
         let slack = radio.airtime(radio.max_frame_bytes as u32 * 8) * 2;
+        // A panic on the main thread must not unwind inside the scope:
+        // the workers would be parked at a barrier and the scope's
+        // implicit join would deadlock. Every main-thread segment runs
+        // under catch_unwind, completes the window's rendezvous, and
+        // the payload re-raises after the scope ends.
+        let mut main_panic: Option<Box<dyn std::any::Any + Send>> = None;
 
         std::thread::scope(|scope| {
             let ctx = &ctx;
             let cells = &cells;
-            let air_lock = &air_lock;
             let b_start = &b_start;
             let b_mac_done = &b_mac_done;
             let b_merged = &b_merged;
@@ -2063,6 +2558,7 @@ impl<P: Protocol + Send> ShardedSim<P> {
             let t_end_micros = &t_end_micros;
             let done = &done;
             let panicked = &panicked;
+            let worker_panic = &worker_panic;
             for cell in cells.iter().take(shards) {
                 scope.spawn(move || loop {
                     b_start.wait();
@@ -2081,24 +2577,33 @@ impl<P: Protocol + Send> ShardedSim<P> {
                             core.run_phase1(ctx, t_end, None);
                         }
                     }));
-                    if result.is_err() {
+                    if let Err(payload) = result {
                         panicked.store(true, AtomicOrdering::Relaxed);
+                        worker_panic
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .get_or_insert(payload);
                     }
                     b_mac_done.wait();
                     b_merged.wait();
                     let result = catch_unwind(AssertUnwindSafe(|| {
                         if !panicked.load(AtomicOrdering::Relaxed) {
-                            let air = air_lock
-                                .read()
-                                .unwrap_or_else(std::sync::PoisonError::into_inner);
                             let mut core = cell
                                 .lock()
                                 .unwrap_or_else(std::sync::PoisonError::into_inner);
-                            core.run_phase2(ctx, t_end, &air, None);
+                            core.run_phase2_ghost(ctx, t_end, None);
+                            let horizon = SimTime::from_micros(
+                                t_end.as_micros().saturating_sub(slack.as_micros()),
+                            );
+                            core.ghost.prune(horizon);
                         }
                     }));
-                    if result.is_err() {
+                    if let Err(payload) = result {
                         panicked.store(true, AtomicOrdering::Relaxed);
+                        worker_panic
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .get_or_insert(payload);
                     }
                     b_rx_done.wait();
                 });
@@ -2113,80 +2618,108 @@ impl<P: Protocol + Send> ShardedSim<P> {
             loop {
                 // Between windows the workers are parked, so the locks
                 // are uncontended.
-                let t_end = {
+                let t_end = match catch_unwind(AssertUnwindSafe(|| {
                     let mut guards = lock_all();
                     let refs: Vec<&mut ShardCore<P>> =
                         guards.iter_mut().map(|g| &mut ***g).collect();
-                    match global_min(&refs) {
-                        Some(min) if min <= deadline => window_end(min, *lookahead),
-                        _ => break,
+                    global_min(&refs)
+                        .filter(|&min| min <= deadline)
+                        .map(|min| window_end(min, *lookahead))
+                })) {
+                    Ok(Some(t_end)) => t_end,
+                    Ok(None) => break,
+                    Err(payload) => {
+                        panicked.store(true, AtomicOrdering::Relaxed);
+                        main_panic = Some(payload);
+                        break;
                     }
                 };
                 t_end_micros.store(t_end.as_micros(), AtomicOrdering::Relaxed);
                 b_start.wait();
-                if csma {
+                if csma && !panicked.load(AtomicOrdering::Relaxed) {
                     // Zero-lookahead MAC: globally ordered, on this
                     // thread, while the workers idle at the barrier.
-                    let mut guards = lock_all();
-                    let mut refs: Vec<&mut ShardCore<P>> =
-                        guards.iter_mut().map(|g| &mut ***g).collect();
-                    let mut air = air_lock
-                        .write()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner);
-                    run_phase1_csma(&mut refs, *air, next_seq, ctx, t_end, None);
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        let mut guards = lock_all();
+                        let mut refs: Vec<&mut ShardCore<P>> =
+                            guards.iter_mut().map(|g| &mut ***g).collect();
+                        run_phase1_csma(&mut refs, air, next_seq, ctx, t_end, None);
+                    }));
+                    if let Err(payload) = result {
+                        panicked.store(true, AtomicOrdering::Relaxed);
+                        main_panic = Some(payload);
+                    }
                 }
                 b_mac_done.wait();
-                {
-                    let mut guards = lock_all();
-                    let mut refs: Vec<&mut ShardCore<P>> =
-                        guards.iter_mut().map(|g| &mut ***g).collect();
-                    let mut air = air_lock
-                        .write()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner);
-                    assign_and_broadcast(
-                        &mut refs,
-                        *air,
-                        next_seq,
-                        frames_sent,
-                        trace_main,
-                        merge_scratch,
-                        None,
-                        owner,
-                        ctx.tracing,
-                        radio.energy.tx_nj_per_bit,
-                    );
+                if !panicked.load(AtomicOrdering::Relaxed) {
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        let mut guards = lock_all();
+                        let mut refs: Vec<&mut ShardCore<P>> =
+                            guards.iter_mut().map(|g| &mut ***g).collect();
+                        assign_and_broadcast(
+                            &mut refs,
+                            air,
+                            next_seq,
+                            frames_sent,
+                            trace_main,
+                            merge_scratch,
+                            None,
+                            owner,
+                            ctx.tracing,
+                            radio.energy.tx_nj_per_bit,
+                            fan_out,
+                            true,
+                        );
+                    }));
+                    if let Err(payload) = result {
+                        panicked.store(true, AtomicOrdering::Relaxed);
+                        main_panic = Some(payload);
+                    }
                 }
                 b_merged.wait();
-                // Workers run the receive phase here.
+                // The workers run the receive phase against their own
+                // ghosts; the global view is exclusively ours here, so
+                // barrier B (master dynamics + air garbage collection)
+                // overlaps with it.
+                if !panicked.load(AtomicOrdering::Relaxed) {
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        while let Some(next) = master_dyn.peek() {
+                            if next.at >= t_end || next.at > deadline {
+                                break;
+                            }
+                            let dynamic = master_dyn.pop().expect("peeked above");
+                            match dynamic.action {
+                                DynAction::Move { node, to } => master.set_position(node, to),
+                                DynAction::SetAlive { node, alive } => {
+                                    master.set_alive(node, alive);
+                                }
+                            }
+                        }
+                        let horizon = SimTime::from_micros(
+                            t_end.as_micros().saturating_sub(slack.as_micros()),
+                        );
+                        air.prune(horizon);
+                    }));
+                    if let Err(payload) = result {
+                        panicked.store(true, AtomicOrdering::Relaxed);
+                        main_panic = Some(payload);
+                    }
+                }
                 b_rx_done.wait();
                 if panicked.load(AtomicOrdering::Relaxed) {
                     break;
                 }
-                // Barrier B: master dynamics and air garbage collection.
-                while let Some(next) = master_dyn.peek() {
-                    if next.at >= t_end || next.at > deadline {
-                        break;
-                    }
-                    let dynamic = master_dyn.pop().expect("peeked above");
-                    match dynamic.action {
-                        DynAction::Move { node, to } => master.set_position(node, to),
-                        DynAction::SetAlive { node, alive } => master.set_alive(node, alive),
-                    }
-                }
-                let horizon =
-                    SimTime::from_micros(t_end.as_micros().saturating_sub(slack.as_micros()));
-                air_lock
-                    .write()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .prune(horizon);
             }
             done.store(true, AtomicOrdering::Relaxed);
             b_start.wait();
         });
-        assert!(
-            !panicked.load(AtomicOrdering::Relaxed),
-            "a protocol callback panicked on a shard worker thread"
-        );
+        if let Some(payload) = main_panic.or_else(|| {
+            worker_panic
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        }) {
+            std::panic::resume_unwind(payload);
+        }
     }
 }
 
@@ -2383,13 +2916,161 @@ mod tests {
     #[test]
     fn parallel_matches_forced_serial() {
         for mac in [MacConfig::aloha(), MacConfig::csma()] {
+            // The 16-node grid is far below the threading threshold, so
+            // force the worker-thread path to pin serial == threaded.
             let mut parallel = grid_run(14, mac, 4, true);
+            parallel.set_force_threads(true);
             let mut serial = grid_run(14, mac, 4, true);
             serial.set_force_serial(true);
             parallel.run_until(SimTime::from_secs(1));
             serial.run_until(SimTime::from_secs(1));
             assert_eq!(digest(&parallel), digest(&serial));
         }
+    }
+
+    /// The full invariance digest, but on the worker-thread engine
+    /// (ghost replicas, interest routing once dynamics drain).
+    #[test]
+    fn shard_count_invariance_threaded() {
+        for (seed, mac) in [(15, MacConfig::aloha()), (16, MacConfig::csma())] {
+            let reference = grid_digest(seed, mac, 1, true);
+            assert!(reference.stats.frames_sent > 0);
+            for shards in [2, 4, 8] {
+                let mut sim = grid_run(seed, mac, shards, true);
+                sim.set_force_threads(true);
+                sim.run_until(SimTime::from_millis(500));
+                sim.run_until(SimTime::from_millis(1500));
+                assert_eq!(
+                    digest(&sim),
+                    reference,
+                    "threaded {mac:?} run diverged at {shards} shards"
+                );
+            }
+        }
+    }
+
+    /// Regression test for the PR 5 `sim_fault_channel` blowup: a
+    /// testbed-sized topology sharded four ways must run the windowed
+    /// loop inline — worker threads and their per-window barriers cost
+    /// orders of magnitude more than such a simulation does.
+    #[test]
+    fn small_topologies_gate_to_the_inline_loop() {
+        let mut sim = two_node(41, MacConfig::csma(), 4);
+        assert!(
+            !sim.uses_worker_threads(),
+            "a 2-node sim must not spin up worker threads"
+        );
+        // The debugging knobs still override the cost model…
+        sim.set_force_threads(true);
+        assert!(sim.uses_worker_threads());
+        // …with force_serial winning over force_threads.
+        sim.set_force_serial(true);
+        assert!(!sim.uses_worker_threads());
+        // Single-shard sims never thread, whatever the knobs say.
+        let mut single = two_node(41, MacConfig::csma(), 1);
+        single.set_force_threads(true);
+        assert!(!single.uses_worker_threads());
+    }
+
+    /// Panics at a fixed sim time on one node.
+    struct Grenade {
+        armed: bool,
+    }
+
+    impl Protocol for Grenade {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            if self.armed {
+                ctx.set_timer(SimDuration::from_millis(7), 99);
+            }
+        }
+        fn on_frame(&mut self, _ctx: &mut Context<'_>, _frame: &Frame) {}
+        fn on_timer(&mut self, _ctx: &mut Context<'_>, _timer: Timer) {
+            panic!("protocol detonated");
+        }
+    }
+
+    /// A panic inside a protocol callback on a worker thread must
+    /// propagate to the caller with its original payload — not hang the
+    /// barrier protocol, and not surface as a generic secondhand
+    /// message.
+    #[test]
+    fn worker_panic_propagates_instead_of_hanging() {
+        let result = std::panic::catch_unwind(|| {
+            let mut sim = ShardedSimBuilder::new(43)
+                .shards(4)
+                .build(|id| Grenade { armed: id.0 == 2 });
+            for i in 0..8 {
+                sim.add_node_at(Position::new(f64::from(i) * 30.0, 0.0));
+            }
+            sim.set_force_threads(true);
+            sim.run_until(SimTime::from_secs(1));
+        });
+        let payload = result.expect_err("the protocol panic must propagate");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert_eq!(message, "protocol detonated");
+    }
+
+    /// Every placement strategy yields valid shard indexes and — the
+    /// engine's core promise — identical output.
+    #[test]
+    fn placement_strategies_never_change_output() {
+        let reference = grid_digest(17, MacConfig::csma(), 1, true);
+        let strategies: Vec<Box<dyn ShardStrategy>> = vec![
+            Box::new(GridHash),
+            Box::new(SpatialStripes),
+            Box::new(DegreeBalanced),
+        ];
+        for strategy in strategies {
+            let name = strategy.name();
+            let topo = Topology::grid(4, 4, 30.0, 45.0);
+            let assignment = strategy.assign(&topo, 45.0, 3);
+            assert_eq!(assignment.len(), 16);
+            assert!(assignment.iter().all(|&s| s < 3), "{name} out of range");
+            let mut sim = grid_run(17, MacConfig::csma(), 3, true);
+            sim.strategy = strategy;
+            sim.placement_dirty = true;
+            sim.run_until(SimTime::from_millis(500));
+            sim.run_until(SimTime::from_millis(1500));
+            assert_eq!(digest(&sim), reference, "{name} diverged");
+        }
+    }
+
+    /// SpatialStripes cuts the cell-sorted order into contiguous
+    /// near-equal chunks.
+    #[test]
+    fn spatial_stripes_are_contiguous_and_balanced() {
+        let topo = Topology::grid(8, 8, 30.0, 45.0);
+        let assignment = SpatialStripes.assign(&topo, 45.0, 4);
+        let mut sizes = [0usize; 4];
+        for &s in &assignment {
+            sizes[s as usize] += 1;
+        }
+        assert_eq!(sizes, [16, 16, 16, 16]);
+    }
+
+    /// DegreeBalanced spreads a hotspot: with one dense cluster and
+    /// isolated outliers, no shard gets the whole cluster plus extras.
+    #[test]
+    fn degree_balanced_splits_hotspots() {
+        let mut topo = Topology::new(50.0);
+        // 12 mutually in-range nodes plus 4 isolated ones.
+        for i in 0..12 {
+            topo.add(Position::new(f64::from(i) * 0.5, 0.0));
+        }
+        for i in 0..4 {
+            topo.add(Position::new(1000.0 + f64::from(i) * 500.0, 0.0));
+        }
+        let assignment = DegreeBalanced.assign(&topo, 50.0, 4);
+        let mut cluster_per_shard = [0usize; 4];
+        for node in 0..12 {
+            cluster_per_shard[assignment[node] as usize] += 1;
+        }
+        assert_eq!(cluster_per_shard, [3, 3, 3, 3]);
     }
 
     /// Arms two timers at start, cancels one of them.

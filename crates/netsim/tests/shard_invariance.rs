@@ -1,0 +1,199 @@
+//! Property-based shard-count invariance (ISSUE 6, satellite 4).
+//!
+//! The sharded engine's core contract: output is a pure function of
+//! (seed, topology, workload) and never of the shard count or the
+//! execution engine. These properties drive randomized small
+//! topologies through K ∈ {1, 2, 4, 8} shards — in the gated inline
+//! loop *and* on forced worker threads — and require byte-identical
+//! traces, stats, energy, and protocol state every time. The fault
+//! case layers a Gilbert–Elliott channel, churn, and a partition on
+//! top, exercising the per-node fault RNG streams.
+
+use proptest::prelude::*;
+use retri_netsim::prelude::*;
+use retri_netsim::radio::DutyCycle;
+use retri_netsim::trace::TraceEvent;
+
+/// Sends `to_send` staggered frames; counts receptions.
+struct Chatter {
+    to_send: u32,
+    heard: u32,
+}
+
+impl Protocol for Chatter {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        // Stagger by node id so CSMA backoff and collisions both occur.
+        let phase = SimDuration::from_micros(137 * (u64::from(ctx.node_id().0) + 1));
+        ctx.set_timer(phase, 0);
+    }
+    fn on_frame(&mut self, _ctx: &mut Context<'_>, _frame: &Frame) {
+        self.heard += 1;
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _timer: Timer) {
+        if self.to_send > 0 {
+            self.to_send -= 1;
+            let _ = ctx.send(FramePayload::from_bytes(vec![0xC3; 11]).unwrap());
+            ctx.set_timer(SimDuration::from_millis(40), 0);
+        }
+    }
+}
+
+/// Everything the engine promises to keep invariant across K.
+#[derive(Debug, PartialEq)]
+struct Digest {
+    stats: MediumStats,
+    heard: Vec<u32>,
+    energy: EnergyMeter,
+    traces: Vec<TraceEvent>,
+}
+
+/// Node positions on a jittered grid: clustered enough to interfere,
+/// spread enough that shards own distinct cells.
+fn positions(nodes: usize, jitter: u64) -> Vec<Position> {
+    (0..nodes)
+        .map(|i| {
+            let col = (i % 6) as f64;
+            let row = (i / 6) as f64;
+            // Deterministic per-node jitter, no RNG needed.
+            let j = ((i as u64).wrapping_mul(jitter | 1) % 17) as f64;
+            Position::new(col * 28.0 + j, row * 28.0 + j * 0.5)
+        })
+        .collect()
+}
+
+fn run_one(
+    seed: u64,
+    nodes: usize,
+    jitter: u64,
+    csma: bool,
+    faulty: bool,
+    shards: usize,
+    force_threads: bool,
+) -> Digest {
+    let mac = if csma {
+        MacConfig::csma()
+    } else {
+        MacConfig::aloha()
+    };
+    let mut topo = Topology::new(45.0);
+    for p in positions(nodes, jitter) {
+        topo.add(p);
+    }
+    let mut builder = ShardedSimBuilder::new(seed).mac(mac).range(45.0);
+    if faulty {
+        builder = builder.faults(
+            FaultModel::none()
+                .with_channel(GilbertElliott::bursty(
+                    ChannelState {
+                        frame_erasure: 0.03,
+                        bit_error_rate: 1e-3,
+                    },
+                    ChannelState {
+                        frame_erasure: 0.25,
+                        bit_error_rate: 1e-2,
+                    },
+                    0.08,
+                    0.35,
+                ))
+                .with_churn_event(SimTime::from_millis(120), NodeId(1), false)
+                .with_churn_event(SimTime::from_millis(400), NodeId(1), true)
+                .with_partition(PartitionWindow::new(
+                    SimTime::from_millis(150),
+                    SimTime::from_millis(450),
+                    vec![NodeId(0), NodeId(2)],
+                )),
+        );
+    }
+    let mut sim = builder
+        .shards(shards)
+        .build_with_topology(&topo, |id| Chatter {
+            to_send: 1 + id.0 % 3,
+            heard: 0,
+        });
+    if force_threads {
+        sim.set_force_threads(true);
+    }
+    sim.enable_trace(50_000);
+    // A mid-run move forces an ownership rebalance between the two
+    // run_until calls below.
+    sim.schedule_move(
+        SimTime::from_millis(200),
+        NodeId((nodes as u32) - 1),
+        Position::new(300.0, 300.0),
+    );
+    if faulty && nodes > 3 {
+        sim.set_duty_cycle(
+            NodeId(3),
+            Some(DutyCycle::new(
+                SimDuration::from_millis(30),
+                0.5,
+                SimDuration::ZERO,
+            )),
+        );
+    }
+    sim.run_until(SimTime::from_millis(350));
+    sim.run_until(SimTime::from_millis(900));
+    Digest {
+        stats: sim.stats(),
+        heard: sim.node_ids().map(|id| sim.protocol(id).heard).collect(),
+        energy: sim.total_meter(),
+        traces: sim
+            .tracer()
+            .map(|t| t.events().copied().collect())
+            .unwrap_or_default(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Gated (inline-loop) runs: identical output for every K.
+    #[test]
+    fn shard_count_never_changes_output(
+        seed in 1u64..5_000,
+        nodes in 6usize..30,
+        jitter in 0u64..1_000,
+        csma in any::<bool>(),
+    ) {
+        let reference = run_one(seed, nodes, jitter, csma, false, 1, false);
+        prop_assert!(reference.stats.frames_sent > 0);
+        for shards in [2usize, 4, 8] {
+            let got = run_one(seed, nodes, jitter, csma, false, shards, false);
+            prop_assert_eq!(&got, &reference, "diverged at {} shards", shards);
+        }
+    }
+
+    /// The fault pipeline (channel model, churn, partition, duty
+    /// cycle) draws from per-node streams, so it must be invariant
+    /// too — this is the regression class behind `sim_fault_channel`.
+    #[test]
+    fn fault_models_are_shard_count_invariant(
+        seed in 1u64..5_000,
+        nodes in 6usize..24,
+        jitter in 0u64..1_000,
+        csma in any::<bool>(),
+    ) {
+        let reference = run_one(seed, nodes, jitter, csma, true, 1, false);
+        for shards in [2usize, 4, 8] {
+            let got = run_one(seed, nodes, jitter, csma, true, shards, false);
+            prop_assert_eq!(&got, &reference, "faulty run diverged at {} shards", shards);
+        }
+    }
+
+    /// The worker-thread engine (ghost air replicas, interest
+    /// routing, window barriers) must match the inline loop exactly.
+    #[test]
+    fn threaded_engine_matches_inline_loop(
+        seed in 1u64..5_000,
+        nodes in 6usize..24,
+        jitter in 0u64..1_000,
+        csma in any::<bool>(),
+        faulty in any::<bool>(),
+    ) {
+        let reference = run_one(seed, nodes, jitter, csma, faulty, 1, false);
+        for shards in [2usize, 4] {
+            let got = run_one(seed, nodes, jitter, csma, faulty, shards, true);
+            prop_assert_eq!(&got, &reference, "threaded run diverged at {} shards", shards);
+        }
+    }
+}

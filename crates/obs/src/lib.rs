@@ -40,6 +40,8 @@ mod histogram;
 mod registry;
 mod span;
 
+use registry::{CounterCell, GaugeCell, HistogramCell};
+
 pub use export::{MetricKind, MetricValue, Snapshot};
 pub use histogram::Histogram;
 pub use registry::{CounterId, GaugeId, HistogramId, Registry};
@@ -50,11 +52,12 @@ pub use span::SpanTracker;
 /// `Obs::disabled()` (also `Default`) is the zero-cost path: handles
 /// minted from it are `None` and every operation is one branch.
 /// `Obs::enabled()` creates a fresh registry; clones share it. The
-/// handle is `Send` (an `Arc<Mutex<…>>`) so instrumented protocols can
-/// live inside the sharded simulation engine; recording itself stays
-/// effectively single-threaded (the engine serializes windows whenever
-/// obs is attached), so the lock is uncontended. Cross-process
-/// aggregation happens by moving [`Snapshot`]s, which are plain data.
+/// handle is `Send` so instrumented protocols can live inside the
+/// sharded simulation engine. The registry `Mutex` is taken only at
+/// registration and snapshot time; pre-resolved [`Counter`]/[`Gauge`]/
+/// [`HistogramHandle`]s update shared atomic cells directly, so the
+/// recording hot path never locks. Cross-process aggregation happens
+/// by moving [`Snapshot`]s, which are plain data.
 #[derive(Clone, Default, Debug)]
 pub struct Obs {
     inner: Option<Arc<Mutex<Registry>>>,
@@ -100,13 +103,10 @@ impl Obs {
     /// Pre-resolves a counter handle (no-op handle when disabled).
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
         Counter {
-            slot: self.inner.as_ref().map(|reg| {
-                (
-                    Arc::clone(reg),
-                    reg.lock()
-                        .expect("obs registry lock poisoned")
-                        .counter(name, labels),
-                )
+            cell: self.inner.as_ref().map(|reg| {
+                let mut reg = reg.lock().expect("obs registry lock poisoned");
+                let id = reg.counter(name, labels);
+                reg.counter_cell(id)
             }),
         }
     }
@@ -114,13 +114,10 @@ impl Obs {
     /// Pre-resolves a gauge handle (no-op handle when disabled).
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
         Gauge {
-            slot: self.inner.as_ref().map(|reg| {
-                (
-                    Arc::clone(reg),
-                    reg.lock()
-                        .expect("obs registry lock poisoned")
-                        .gauge(name, labels),
-                )
+            cell: self.inner.as_ref().map(|reg| {
+                let mut reg = reg.lock().expect("obs registry lock poisoned");
+                let id = reg.gauge(name, labels);
+                reg.gauge_cell(id)
             }),
         }
     }
@@ -133,23 +130,20 @@ impl Obs {
         bounds: &[f64],
     ) -> HistogramHandle {
         HistogramHandle {
-            slot: self.inner.as_ref().map(|reg| {
-                (
-                    Arc::clone(reg),
-                    reg.lock()
-                        .expect("obs registry lock poisoned")
-                        .histogram(name, labels, bounds),
-                )
+            cell: self.inner.as_ref().map(|reg| {
+                let mut reg = reg.lock().expect("obs registry lock poisoned");
+                let id = reg.histogram(name, labels, bounds);
+                reg.histogram_cell(id)
             }),
         }
     }
 }
 
 /// Pre-resolved counter: `inc`/`add` are one branch when disabled,
-/// one `Vec` index when enabled.
+/// one relaxed atomic add when enabled — never a lock.
 #[derive(Clone, Default, Debug)]
 pub struct Counter {
-    slot: Option<(Arc<Mutex<Registry>>, CounterId)>,
+    cell: Option<Arc<CounterCell>>,
 }
 
 impl Counter {
@@ -162,74 +156,60 @@ impl Counter {
     /// Adds `delta`.
     #[inline]
     pub fn add(&self, delta: u64) {
-        if let Some((reg, id)) = &self.slot {
-            reg.lock()
-                .expect("obs registry lock poisoned")
-                .add(*id, delta);
+        if let Some(cell) = &self.cell {
+            cell.add(delta);
         }
     }
 
     /// Current value (0 when disabled).
     pub fn value(&self) -> u64 {
-        self.slot.as_ref().map_or(0, |(reg, id)| {
-            reg.lock()
-                .expect("obs registry lock poisoned")
-                .counter_value(*id)
-        })
+        self.cell.as_ref().map_or(0, |cell| cell.get())
     }
 }
 
-/// Pre-resolved gauge.
+/// Pre-resolved gauge. Updates are atomic stores/CAS on the shared
+/// cell — never a lock.
 #[derive(Clone, Default, Debug)]
 pub struct Gauge {
-    slot: Option<(Arc<Mutex<Registry>>, GaugeId)>,
+    cell: Option<Arc<GaugeCell>>,
 }
 
 impl Gauge {
     /// Sets the gauge to `value`.
     #[inline]
     pub fn set(&self, value: f64) {
-        if let Some((reg, id)) = &self.slot {
-            reg.lock()
-                .expect("obs registry lock poisoned")
-                .set(*id, value);
+        if let Some(cell) = &self.cell {
+            cell.set(value);
         }
     }
 
     /// Moves the gauge by `delta` (may be negative).
     #[inline]
     pub fn shift(&self, delta: f64) {
-        if let Some((reg, id)) = &self.slot {
-            reg.lock()
-                .expect("obs registry lock poisoned")
-                .shift(*id, delta);
+        if let Some(cell) = &self.cell {
+            cell.shift(delta);
         }
     }
 
     /// Current value (0 when disabled).
     pub fn value(&self) -> f64 {
-        self.slot.as_ref().map_or(0.0, |(reg, id)| {
-            reg.lock()
-                .expect("obs registry lock poisoned")
-                .gauge_value(*id)
-        })
+        self.cell.as_ref().map_or(0.0, |cell| cell.get())
     }
 }
 
-/// Pre-resolved histogram.
+/// Pre-resolved histogram. Observation is a bounded bucket scan plus
+/// atomic adds on the shared cell — never a lock.
 #[derive(Clone, Default, Debug)]
 pub struct HistogramHandle {
-    slot: Option<(Arc<Mutex<Registry>>, HistogramId)>,
+    cell: Option<Arc<HistogramCell>>,
 }
 
 impl HistogramHandle {
     /// Records one observation.
     #[inline]
     pub fn observe(&self, value: f64) {
-        if let Some((reg, id)) = &self.slot {
-            reg.lock()
-                .expect("obs registry lock poisoned")
-                .observe(*id, value);
+        if let Some(cell) = &self.cell {
+            cell.observe(value);
         }
     }
 }

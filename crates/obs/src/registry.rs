@@ -2,14 +2,17 @@
 //! `(name, label set)`.
 //!
 //! Registration resolves a key to a dense index once, up front; the
-//! hot path then updates a metric by indexing a `Vec` — no hashing, no
-//! allocation, no formatting. All iteration orders are deterministic
+//! hot path then updates a metric through a shared atomic cell — no
+//! hashing, no allocation, no formatting, and (crucially for the
+//! sharded engine) **no lock**. All iteration orders are deterministic
 //! (insertion order internally, sorted order in [`Snapshot`]s), so two
 //! identical runs export identical bytes.
 //!
 //! [`Snapshot`]: crate::Snapshot
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::export::{MetricKind, MetricValue, Snapshot};
 use crate::histogram::Histogram;
@@ -27,11 +30,158 @@ pub struct GaugeId(pub(crate) usize);
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct HistogramId(pub(crate) usize);
 
-#[derive(Clone, Debug, PartialEq)]
+/// Shared storage for one counter. Updates are relaxed atomic adds:
+/// per-cell totals are exact regardless of interleaving, and snapshot
+/// consistency across cells is provided by the callers (the engine
+/// quiesces worker threads before any snapshot).
+#[derive(Debug, Default)]
+pub(crate) struct CounterCell(AtomicU64);
+
+impl CounterCell {
+    fn with_value(value: u64) -> Self {
+        CounterCell(AtomicU64::new(value))
+    }
+
+    #[inline]
+    pub(crate) fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared storage for one gauge: an `f64` kept as its bit pattern in
+/// an `AtomicU64`. `shift` is a CAS loop so concurrent shifts never
+/// lose updates.
+#[derive(Debug)]
+pub(crate) struct GaugeCell(AtomicU64);
+
+impl GaugeCell {
+    fn with_value(value: f64) -> Self {
+        GaugeCell(AtomicU64::new(value.to_bits()))
+    }
+
+    #[inline]
+    pub(crate) fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn shift(&self, delta: f64) {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    #[inline]
+    pub(crate) fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Shared storage for one fixed-bucket histogram: per-bucket atomic
+/// counts plus a CAS-maintained sum. Bounds are immutable after
+/// registration, exactly like [`Histogram`].
+#[derive(Debug)]
+pub(crate) struct HistogramCell {
+    bounds: Vec<f64>,
+    /// One slot per bound plus the trailing `+Inf` slot.
+    counts: Vec<AtomicU64>,
+    sum: GaugeCell,
+}
+
+impl HistogramCell {
+    fn with_bounds(bounds: &[f64]) -> Self {
+        // Reuse Histogram's bound validation (panics on bad bounds).
+        let shape = Histogram::with_bounds(bounds);
+        HistogramCell {
+            counts: (0..=shape.bounds().len())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            bounds: shape.bounds().to_vec(),
+            sum: GaugeCell::with_value(0.0),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn observe(&self, value: f64) {
+        let slot = self
+            .bounds
+            .iter()
+            .position(|bound| value <= *bound)
+            .unwrap_or(self.bounds.len());
+        self.counts[slot].fetch_add(1, Ordering::Relaxed);
+        self.sum.shift(value);
+    }
+
+    pub(crate) fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Materializes the current state as a plain [`Histogram`]. The
+    /// total count is derived from the bucket counts, so the result is
+    /// always internally consistent.
+    pub(crate) fn load(&self) -> Histogram {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let count = counts.iter().sum();
+        Histogram::from_parts(self.bounds.clone(), counts, count, self.sum.get())
+            .expect("atomic histogram state is shape-consistent by construction")
+    }
+}
+
+#[derive(Debug)]
 pub(crate) enum MetricData {
-    Counter(u64),
-    Gauge(f64),
-    Histogram(Histogram),
+    Counter(Arc<CounterCell>),
+    Gauge(Arc<GaugeCell>),
+    Histogram(Arc<HistogramCell>),
+}
+
+impl MetricData {
+    fn kind(&self) -> &'static str {
+        match self {
+            MetricData::Counter(_) => "counter",
+            MetricData::Gauge(_) => "gauge",
+            MetricData::Histogram(_) => "histogram",
+        }
+    }
+}
+
+impl Clone for MetricData {
+    /// Deep copy: a cloned registry owns fresh cells holding the same
+    /// values, preserving the value semantics the pre-atomic registry
+    /// had.
+    fn clone(&self) -> Self {
+        match self {
+            MetricData::Counter(c) => {
+                MetricData::Counter(Arc::new(CounterCell::with_value(c.get())))
+            }
+            MetricData::Gauge(g) => MetricData::Gauge(Arc::new(GaugeCell::with_value(g.get()))),
+            MetricData::Histogram(h) => {
+                let loaded = h.load();
+                let cell = HistogramCell::with_bounds(loaded.bounds());
+                for (slot, count) in loaded.counts().iter().enumerate() {
+                    cell.counts[slot].store(*count, Ordering::Relaxed);
+                }
+                cell.sum.set(loaded.sum());
+                MetricData::Histogram(Arc::new(cell))
+            }
+        }
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -70,26 +220,16 @@ impl Registry {
         self.metrics.is_empty()
     }
 
-    fn register(
-        &mut self,
-        name: &str,
-        labels: &[(&str, &str)],
-        data: MetricData,
-        kind: &'static str,
-    ) -> usize {
+    fn register(&mut self, name: &str, labels: &[(&str, &str)], data: MetricData) -> usize {
         let labels: Vec<(String, String)> = labels
             .iter()
             .map(|(k, v)| (k.to_string(), v.to_string()))
             .collect();
         let key = (name.to_string(), labels.clone());
         if let Some(&slot) = self.index.get(&key) {
-            let existing = match self.metrics[slot].data {
-                MetricData::Counter(_) => "counter",
-                MetricData::Gauge(_) => "gauge",
-                MetricData::Histogram(_) => "histogram",
-            };
             assert_eq!(
-                existing, kind,
+                self.metrics[slot].data.kind(),
+                data.kind(),
                 "metric {name:?} re-registered as a different kind"
             );
             return slot;
@@ -106,12 +246,20 @@ impl Registry {
 
     /// Registers (or finds) a monotonically increasing counter.
     pub fn counter(&mut self, name: &str, labels: &[(&str, &str)]) -> CounterId {
-        CounterId(self.register(name, labels, MetricData::Counter(0), "counter"))
+        CounterId(self.register(
+            name,
+            labels,
+            MetricData::Counter(Arc::new(CounterCell::default())),
+        ))
     }
 
     /// Registers (or finds) a gauge (a value that can move both ways).
     pub fn gauge(&mut self, name: &str, labels: &[(&str, &str)]) -> GaugeId {
-        GaugeId(self.register(name, labels, MetricData::Gauge(0.0), "gauge"))
+        GaugeId(self.register(
+            name,
+            labels,
+            MetricData::Gauge(Arc::new(GaugeCell::with_value(0.0))),
+        ))
     }
 
     /// Registers (or finds) a fixed-bucket histogram. Bounds must match
@@ -125,8 +273,7 @@ impl Registry {
         let slot = self.register(
             name,
             labels,
-            MetricData::Histogram(Histogram::with_bounds(bounds)),
-            "histogram",
+            MetricData::Histogram(Arc::new(HistogramCell::with_bounds(bounds))),
         );
         if let MetricData::Histogram(h) = &self.metrics[slot].data {
             assert_eq!(
@@ -138,19 +285,43 @@ impl Registry {
         HistogramId(slot)
     }
 
+    /// The shared cell behind a counter, for pre-resolved handles.
+    pub(crate) fn counter_cell(&self, id: CounterId) -> Arc<CounterCell> {
+        match &self.metrics[id.0].data {
+            MetricData::Counter(c) => Arc::clone(c),
+            _ => unreachable!("CounterId always points at a counter"),
+        }
+    }
+
+    /// The shared cell behind a gauge, for pre-resolved handles.
+    pub(crate) fn gauge_cell(&self, id: GaugeId) -> Arc<GaugeCell> {
+        match &self.metrics[id.0].data {
+            MetricData::Gauge(g) => Arc::clone(g),
+            _ => unreachable!("GaugeId always points at a gauge"),
+        }
+    }
+
+    /// The shared cell behind a histogram, for pre-resolved handles.
+    pub(crate) fn histogram_cell(&self, id: HistogramId) -> Arc<HistogramCell> {
+        match &self.metrics[id.0].data {
+            MetricData::Histogram(h) => Arc::clone(h),
+            _ => unreachable!("HistogramId always points at a histogram"),
+        }
+    }
+
     /// Adds `delta` to a counter.
     #[inline]
     pub fn add(&mut self, id: CounterId, delta: u64) {
-        match &mut self.metrics[id.0].data {
-            MetricData::Counter(v) => *v += delta,
+        match &self.metrics[id.0].data {
+            MetricData::Counter(c) => c.add(delta),
             _ => unreachable!("CounterId always points at a counter"),
         }
     }
 
     /// Current counter value.
     pub fn counter_value(&self, id: CounterId) -> u64 {
-        match self.metrics[id.0].data {
-            MetricData::Counter(v) => v,
+        match &self.metrics[id.0].data {
+            MetricData::Counter(c) => c.get(),
             _ => unreachable!("CounterId always points at a counter"),
         }
     }
@@ -158,8 +329,8 @@ impl Registry {
     /// Sets a gauge to an absolute value.
     #[inline]
     pub fn set(&mut self, id: GaugeId, value: f64) {
-        match &mut self.metrics[id.0].data {
-            MetricData::Gauge(v) => *v = value,
+        match &self.metrics[id.0].data {
+            MetricData::Gauge(g) => g.set(value),
             _ => unreachable!("GaugeId always points at a gauge"),
         }
     }
@@ -167,16 +338,16 @@ impl Registry {
     /// Moves a gauge by `delta` (may be negative).
     #[inline]
     pub fn shift(&mut self, id: GaugeId, delta: f64) {
-        match &mut self.metrics[id.0].data {
-            MetricData::Gauge(v) => *v += delta,
+        match &self.metrics[id.0].data {
+            MetricData::Gauge(g) => g.shift(delta),
             _ => unreachable!("GaugeId always points at a gauge"),
         }
     }
 
     /// Current gauge value.
     pub fn gauge_value(&self, id: GaugeId) -> f64 {
-        match self.metrics[id.0].data {
-            MetricData::Gauge(v) => v,
+        match &self.metrics[id.0].data {
+            MetricData::Gauge(g) => g.get(),
             _ => unreachable!("GaugeId always points at a gauge"),
         }
     }
@@ -184,16 +355,16 @@ impl Registry {
     /// Records one histogram observation.
     #[inline]
     pub fn observe(&mut self, id: HistogramId, value: f64) {
-        match &mut self.metrics[id.0].data {
+        match &self.metrics[id.0].data {
             MetricData::Histogram(h) => h.observe(value),
             _ => unreachable!("HistogramId always points at a histogram"),
         }
     }
 
-    /// Read access to a histogram.
-    pub fn histogram_value(&self, id: HistogramId) -> &Histogram {
+    /// Materializes a histogram's current state.
+    pub fn histogram_value(&self, id: HistogramId) -> Histogram {
         match &self.metrics[id.0].data {
-            MetricData::Histogram(h) => h,
+            MetricData::Histogram(h) => h.load(),
             _ => unreachable!("HistogramId always points at a histogram"),
         }
     }
@@ -209,9 +380,9 @@ impl Registry {
                 name: m.name.clone(),
                 labels: m.labels.clone(),
                 value: match &m.data {
-                    MetricData::Counter(v) => MetricKind::Counter(*v),
-                    MetricData::Gauge(v) => MetricKind::Gauge(*v),
-                    MetricData::Histogram(h) => MetricKind::Histogram(h.clone()),
+                    MetricData::Counter(c) => MetricKind::Counter(c.get()),
+                    MetricData::Gauge(g) => MetricKind::Gauge(g.get()),
+                    MetricData::Histogram(h) => MetricKind::Histogram(h.load()),
                 },
             })
             .collect();
@@ -256,6 +427,30 @@ mod tests {
         let mut reg = Registry::new();
         reg.counter("m", &[]);
         reg.gauge("m", &[]);
+    }
+
+    #[test]
+    fn cloned_registries_do_not_share_cells() {
+        let mut reg = Registry::new();
+        let c = reg.counter("x_total", &[]);
+        reg.add(c, 1);
+        let mut other = reg.clone();
+        other.add(c, 10);
+        assert_eq!(reg.counter_value(c), 1);
+        assert_eq!(other.counter_value(c), 11);
+    }
+
+    #[test]
+    fn histogram_cells_round_trip() {
+        let mut reg = Registry::new();
+        let h = reg.histogram("airtime", &[], &[1.0, 10.0]);
+        reg.observe(h, 0.5);
+        reg.observe(h, 5.0);
+        reg.observe(h, 50.0);
+        let loaded = reg.histogram_value(h);
+        assert_eq!(loaded.counts(), &[1, 1, 1]);
+        assert_eq!(loaded.count(), 3);
+        assert!((loaded.sum() - 55.5).abs() < 1e-9);
     }
 
     #[test]

@@ -9,61 +9,59 @@
 
 use std::collections::HashMap;
 
-use crate::registry::{CounterId, GaugeId, HistogramId, Registry};
+use crate::{Counter, Gauge, HistogramHandle, Obs};
 
 /// Tracks open spans and folds completed ones into registry metrics.
 ///
 /// Registering a tracker named `base` creates four metrics:
 /// `{base}_micros` (duration histogram), `{base}_active` (gauge of
 /// currently open spans), `{base}_started_total`, and
-/// `{base}_completed_total`. A span that is started twice with the
-/// same key restarts (the first start is dropped from the active set
-/// but stays counted in `_started_total`); ending an unknown key is a
-/// no-op returning `None`.
+/// `{base}_completed_total`. The metric handles are pre-resolved at
+/// registration, so recording a span never takes the registry lock. A
+/// span that is started twice with the same key restarts (the first
+/// start is dropped from the active set but stays counted in
+/// `_started_total`); ending an unknown key is a no-op returning
+/// `None`.
 #[derive(Debug)]
 pub struct SpanTracker {
     active: HashMap<u64, u64>,
-    duration: HistogramId,
-    active_gauge: GaugeId,
-    started: CounterId,
-    completed: CounterId,
+    duration: HistogramHandle,
+    active_gauge: Gauge,
+    started: Counter,
+    completed: Counter,
 }
 
 impl SpanTracker {
     /// Registers the span metrics under `base` with the given duration
-    /// histogram bounds (in simulated microseconds).
-    pub fn register(
-        registry: &mut Registry,
-        base: &str,
-        labels: &[(&str, &str)],
-        bounds_micros: &[f64],
-    ) -> Self {
+    /// histogram bounds (in simulated microseconds). With a disabled
+    /// `Obs` the tracker still tracks open spans but records nothing.
+    pub fn register(obs: &Obs, base: &str, labels: &[(&str, &str)], bounds_micros: &[f64]) -> Self {
         SpanTracker {
             active: HashMap::new(),
-            duration: registry.histogram(&format!("{base}_micros"), labels, bounds_micros),
-            active_gauge: registry.gauge(&format!("{base}_active"), labels),
-            started: registry.counter(&format!("{base}_started_total"), labels),
-            completed: registry.counter(&format!("{base}_completed_total"), labels),
+            duration: obs.histogram(&format!("{base}_micros"), labels, bounds_micros),
+            active_gauge: obs.gauge(&format!("{base}_active"), labels),
+            started: obs.counter(&format!("{base}_started_total"), labels),
+            completed: obs.counter(&format!("{base}_completed_total"), labels),
         }
     }
 
     /// Opens a span for `key` at sim-time `at_micros`.
-    pub fn start(&mut self, registry: &mut Registry, key: u64, at_micros: u64) {
-        registry.add(self.started, 1);
+    pub fn start(&mut self, key: u64, at_micros: u64) {
+        self.started.inc();
         if self.active.insert(key, at_micros).is_none() {
-            registry.shift(self.active_gauge, 1.0);
+            self.active_gauge.shift(1.0);
         }
     }
 
     /// Closes the span for `key` at sim-time `at_micros`, recording its
     /// duration. Returns the duration in micros, or `None` if no span
     /// was open for `key`.
-    pub fn end(&mut self, registry: &mut Registry, key: u64, at_micros: u64) -> Option<u64> {
+    pub fn end(&mut self, key: u64, at_micros: u64) -> Option<u64> {
         let started_at = self.active.remove(&key)?;
-        registry.shift(self.active_gauge, -1.0);
-        registry.add(self.completed, 1);
+        self.active_gauge.shift(-1.0);
+        self.completed.inc();
         let duration = at_micros.saturating_sub(started_at);
-        registry.observe(self.duration, duration as f64);
+        self.duration.observe(duration as f64);
         Some(duration)
     }
 
@@ -81,14 +79,14 @@ mod tests {
 
     #[test]
     fn spans_record_durations_and_track_active_count() {
-        let mut reg = Registry::new();
-        let mut spans = SpanTracker::register(&mut reg, "netsim_tx_airtime", &[], &[100.0, 1000.0]);
-        spans.start(&mut reg, 1, 0);
-        spans.start(&mut reg, 2, 50);
+        let obs = Obs::enabled();
+        let mut spans = SpanTracker::register(&obs, "netsim_tx_airtime", &[], &[100.0, 1000.0]);
+        spans.start(1, 0);
+        spans.start(2, 50);
         assert_eq!(spans.open(), 2);
-        assert_eq!(spans.end(&mut reg, 1, 80), Some(80));
-        assert_eq!(spans.end(&mut reg, 1, 90), None);
-        let snapshot = reg.snapshot();
+        assert_eq!(spans.end(1, 80), Some(80));
+        assert_eq!(spans.end(1, 90), None);
+        let snapshot = obs.snapshot().unwrap();
         assert_eq!(snapshot.counter("netsim_tx_airtime_started_total"), 2);
         assert_eq!(snapshot.counter("netsim_tx_airtime_completed_total"), 1);
         assert_eq!(snapshot.gauge("netsim_tx_airtime_active"), 1.0);
@@ -101,13 +99,23 @@ mod tests {
 
     #[test]
     fn restarting_a_key_keeps_the_gauge_consistent() {
-        let mut reg = Registry::new();
-        let mut spans = SpanTracker::register(&mut reg, "s", &[], &[10.0]);
-        spans.start(&mut reg, 7, 0);
-        spans.start(&mut reg, 7, 5);
+        let obs = Obs::enabled();
+        let mut spans = SpanTracker::register(&obs, "s", &[], &[10.0]);
+        spans.start(7, 0);
+        spans.start(7, 5);
         assert_eq!(spans.open(), 1);
-        assert_eq!(reg.snapshot().gauge("s_active"), 1.0);
-        assert_eq!(spans.end(&mut reg, 7, 9), Some(4));
-        assert_eq!(reg.snapshot().gauge("s_active"), 0.0);
+        assert_eq!(obs.snapshot().unwrap().gauge("s_active"), 1.0);
+        assert_eq!(spans.end(7, 9), Some(4));
+        assert_eq!(obs.snapshot().unwrap().gauge("s_active"), 0.0);
+    }
+
+    #[test]
+    fn disabled_tracker_tracks_but_records_nothing() {
+        let obs = Obs::disabled();
+        let mut spans = SpanTracker::register(&obs, "s", &[], &[10.0]);
+        spans.start(1, 0);
+        assert_eq!(spans.open(), 1);
+        assert_eq!(spans.end(1, 4), Some(4));
+        assert!(obs.snapshot().is_none());
     }
 }
