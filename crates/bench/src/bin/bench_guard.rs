@@ -6,10 +6,12 @@
 //! [--baseline <path>] [--baseline-entry <label>]`
 //!
 //! Evaluates the named entry — usually the one `bench_summary` just
-//! wrote — against the sharded-beats-serial and fault-channel-ratio
-//! rules, printing one verdict line per rule. Exits non-zero if any
-//! rule fails; skipped rules (for example sharded-vs-serial on a
-//! small CI host) are reported but never fail the run. The baseline
+//! wrote — against the sharded-beats-serial, fault-channel-ratio and
+//! 1M-vs-100k scale rules, printing one verdict line per rule. Exits
+//! non-zero if any rule fails; skipped rules (for example
+//! sharded-vs-serial on a small CI host) are reported with a count and
+//! reasons rather than passing silently, and workload-level `skipped`
+//! markers recorded in the entry are echoed as NOTE lines. The baseline
 //! defaults to the committed `BENCH_netsim.json` at its latest
 //! known-good full-effort entry (`pr6-shard-fix`); pass
 //! `--baseline-entry` to compare against an older trajectory point.
@@ -79,6 +81,7 @@ fn main() {
         )
     });
     let mut failed = false;
+    let mut skipped = 0usize;
     for (name, verdict) in guard::run_all(entry, baseline, &args.baseline_entry) {
         println!(
             "[bench_guard] {:4} {name}: {}",
@@ -86,6 +89,18 @@ fn main() {
             verdict.detail()
         );
         failed |= verdict.is_fail();
+        if matches!(verdict, guard::Verdict::Skip(_)) {
+            skipped += 1;
+        }
+    }
+    // Workload-level markers recorded by bench_summary: measurements
+    // that ran but whose usual interpretation does not hold (e.g. a
+    // sharded workload timed on a 1-core host).
+    for (workload, reason) in guard::skipped_workloads(entry) {
+        println!("[bench_guard] NOTE {workload}: {reason}");
+    }
+    if skipped > 0 {
+        println!("[bench_guard] {skipped} rule(s) skipped — reasons above, not silent passes");
     }
     if failed {
         eprintln!(

@@ -26,7 +26,8 @@
 
 use std::path::PathBuf;
 
-use retri_bench::harness::worker_count;
+use retri_bench::guard;
+use retri_bench::harness::{peak_rss_bytes, worker_count};
 use retri_bench::workloads::{self, Measurement, Workload};
 use serde_json::Value;
 
@@ -146,10 +147,16 @@ fn run_suite(args: &Args) -> Value {
 
     eprintln!("[bench_summary] serial pass ({WORKERS_ENV}=1)");
     std::env::set_var(WORKERS_ENV, "1");
-    let serial: Vec<Measurement> = set
-        .iter()
-        .map(|w| workloads::measure(w, args.quick, args.reps))
-        .collect();
+    let mut serial: Vec<Measurement> = Vec::with_capacity(set.len());
+    let mut peak_after: Vec<Option<u64>> = Vec::with_capacity(set.len());
+    for w in &set {
+        serial.push(workloads::measure(w, args.quick, args.reps));
+        // Sampled right after the workload finishes: VmHWM is a
+        // process-lifetime high-water mark, so this is exact for the
+        // scale workloads, whose footprint dwarfs everything that ran
+        // before them (see `peak_rss_bytes`).
+        peak_after.push(w.nodes.and_then(|_| peak_rss_bytes()));
+    }
 
     eprintln!("[bench_summary] parallel pass (default workers)");
     match &previous_workers {
@@ -162,11 +169,15 @@ fn run_suite(args: &Args) -> Value {
         .map(|w| workloads::measure(w, args.quick, args.reps))
         .collect();
 
+    let host_parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1) as u64;
     let workload_values: Vec<Value> = set
         .iter()
         .zip(serial.iter().zip(parallel.iter()))
-        .map(|(w, (s, p))| {
-            Value::Object(vec![
+        .zip(peak_after.iter())
+        .map(|((w, (s, p)), peak)| {
+            let mut fields = vec![
                 ("name".to_string(), Value::String(w.name.to_string())),
                 (
                     "description".to_string(),
@@ -178,7 +189,32 @@ fn run_suite(args: &Args) -> Value {
                 ("trials_per_rep".to_string(), Value::UInt(w.trials)),
                 ("serial".to_string(), measurement_value(s)),
                 ("parallel".to_string(), measurement_value(p)),
-            ])
+            ];
+            if let Some(nodes) = w.nodes {
+                fields.push(("nodes".to_string(), Value::UInt(nodes)));
+                if let Some(peak) = *peak {
+                    fields.push(("peak_rss_bytes".to_string(), Value::UInt(peak)));
+                    fields.push((
+                        "bytes_per_node".to_string(),
+                        Value::UInt(peak / nodes.max(1)),
+                    ));
+                }
+            }
+            // A sharded workload timed on a small host still records
+            // its numbers, but the sharded-vs-serial comparison they
+            // invite is not meaningful there — mark it so readers (and
+            // bench_guard) see the skip instead of a silent pass.
+            if w.sharded && host_parallelism < guard::MIN_CORES_FOR_SHARD_CHECK {
+                fields.push((
+                    "skipped".to_string(),
+                    Value::String(format!(
+                        "sharded speedup not assessable: host_parallelism \
+                         {host_parallelism} < {} cores",
+                        guard::MIN_CORES_FOR_SHARD_CHECK
+                    )),
+                ));
+            }
+            Value::Object(fields)
         })
         .collect();
     print_table(&set, &serial, &parallel);
@@ -198,11 +234,7 @@ fn run_suite(args: &Args) -> Value {
         // parallel measurement from a small-host one.
         (
             "host_parallelism".to_string(),
-            Value::UInt(
-                std::thread::available_parallelism()
-                    .map(std::num::NonZeroUsize::get)
-                    .unwrap_or(1) as u64,
-            ),
+            Value::UInt(host_parallelism),
         ),
         ("workloads".to_string(), Value::Array(workload_values)),
     ])

@@ -27,6 +27,15 @@
 //! full-effort entry rather than a pinned historical one: generous
 //! against noise and the quick/full shift, while the PR 5 regression
 //! (a 32× ratio blowup) fails it by more than an order of magnitude.
+//!
+//! **Rule 3 — scale must stay O(active work).** Within one entry, the
+//! 1M-node sharded mesh may cost at most [`SCALE_RATIO_BUDGET_FACTOR`]
+//! × the 100k-node sharded mesh, both normalized by `wire_roundtrip`.
+//! An engine that pays per-window costs proportional to topology size
+//! makes the 1M workload ~10× the 100k one on ticks alone and far more
+//! in aggregate; the O(active) engine keeps the multiple low because
+//! the 1M workload's traffic is deliberately sparse. Entries recorded
+//! before the 1M workload existed skip this rule.
 
 use serde_json::Value;
 
@@ -35,6 +44,18 @@ pub const MIN_CORES_FOR_SHARD_CHECK: u64 = 4;
 
 /// Allowed growth of the fault-channel ratio over the baseline.
 pub const FAULT_RATIO_BUDGET_FACTOR: f64 = 2.0;
+
+/// Rule 3's budget: the 1M-node mesh may cost at most this multiple of
+/// the 100k-node mesh, with both normalized by the `wire_roundtrip`
+/// anchor (serial medians, same entry). The 1M workload carries 10× the
+/// nodes but a deliberately *sparser* traffic pattern (one frame per
+/// node scattered over 10 s, so a quick run sees ~1.5% of nodes
+/// transmit), so an O(active)-work engine lands well under 10×; an
+/// engine that pays O(topology) per window blows straight past it.
+/// The measured pr7-scale point is ~1.2× — the budget leaves headroom
+/// for noise and the quick/full amortization shift without admitting
+/// a per-window topology scan.
+pub const SCALE_RATIO_BUDGET_FACTOR: f64 = 10.0;
 
 /// Outcome of one guard rule.
 #[derive(Debug, Clone, PartialEq)]
@@ -180,6 +201,71 @@ pub fn check_fault_ratio(entry: &Value, baseline: &Value, baseline_label: &str) 
     }
 }
 
+/// The anchored cost of one workload: its serial median over the
+/// `wire_roundtrip` serial median in the same entry.
+fn anchored_cost(entry: &Value, workload: &str) -> Option<f64> {
+    let cost = median_ns(entry, workload, "serial")?;
+    let wire = median_ns(entry, "wire_roundtrip", "serial")?;
+    (wire > 0).then(|| cost as f64 / wire as f64)
+}
+
+/// Rule 3: scaling from 100k to 1M nodes must stay O(active work).
+///
+/// Compares the anchored costs of `sim_mesh_1m_sharded` and
+/// `sim_mesh_100k_sharded` within the *same* entry: the 1M mesh may
+/// cost at most [`SCALE_RATIO_BUDGET_FACTOR`] × the 100k mesh. No
+/// baseline entry is involved, so trajectory entries recorded before
+/// the 1M workload existed skip rather than fail.
+#[must_use]
+pub fn check_scale_ratio(entry: &Value) -> Verdict {
+    let (Some(big), Some(small)) = (
+        anchored_cost(entry, "sim_mesh_1m_sharded"),
+        anchored_cost(entry, "sim_mesh_100k_sharded"),
+    ) else {
+        return Verdict::Skip(
+            "entry lacks the sim_mesh_100k_sharded/sim_mesh_1m_sharded pair".to_string(),
+        );
+    };
+    if small <= 0.0 {
+        return Verdict::Skip("sim_mesh_100k_sharded anchored cost is zero".to_string());
+    }
+    let multiple = big / small;
+    if multiple <= SCALE_RATIO_BUDGET_FACTOR {
+        Verdict::Pass(format!(
+            "1M mesh costs {multiple:.2}x the 100k mesh (anchored; budget \
+             {SCALE_RATIO_BUDGET_FACTOR}x)"
+        ))
+    } else {
+        Verdict::Fail(format!(
+            "1M mesh costs {multiple:.2}x the 100k mesh (anchored; budget \
+             {SCALE_RATIO_BUDGET_FACTOR}x) — per-window cost is scaling with \
+             topology size, not active work"
+        ))
+    }
+}
+
+/// Workload-level `skipped` markers recorded in the entry by
+/// `bench_summary` (e.g. sharded comparisons timed on a small host),
+/// as `(workload, reason)` pairs. `bench_guard` prints these so a
+/// recorded skip shows up in CI output instead of passing silently.
+#[must_use]
+pub fn skipped_workloads(entry: &Value) -> Vec<(String, String)> {
+    entry
+        .get("workloads")
+        .and_then(Value::as_array)
+        .map_or_else(Vec::new, |workloads| {
+            workloads
+                .iter()
+                .filter_map(|w| {
+                    Some((
+                        w.get("name")?.as_str()?.to_string(),
+                        w.get("skipped")?.as_str()?.to_string(),
+                    ))
+                })
+                .collect()
+        })
+}
+
 /// Runs every rule and returns `(name, verdict)` pairs.
 #[must_use]
 pub fn run_all(
@@ -193,6 +279,7 @@ pub fn run_all(
             "fault-channel-ratio",
             check_fault_ratio(entry, baseline, baseline_label),
         ),
+        ("scale-ratio-1m-vs-100k", check_scale_ratio(entry)),
     ]
 }
 
@@ -324,6 +411,90 @@ mod tests {
         for (_, verdict) in run_all(&empty, &empty, "empty") {
             assert!(!verdict.is_fail());
         }
+    }
+
+    #[test]
+    fn scale_ratio_passes_within_budget_and_fails_beyond_it() {
+        let lean = entry(
+            "lean",
+            1,
+            vec![
+                workload("wire_roundtrip", 1400, 1400),
+                workload("sim_mesh_100k_sharded", 2800, 2800),
+                workload("sim_mesh_1m_sharded", 5600, 5600),
+            ],
+        );
+        let verdict = check_scale_ratio(&lean);
+        assert_eq!(verdict.label(), "PASS", "{}", verdict.detail());
+
+        // O(topology)-per-window shape: 10x the nodes, ~30x the cost.
+        let bloated = entry(
+            "bloated",
+            1,
+            vec![
+                workload("wire_roundtrip", 1400, 1400),
+                workload("sim_mesh_100k_sharded", 2800, 2800),
+                workload("sim_mesh_1m_sharded", 84_000, 84_000),
+            ],
+        );
+        assert!(check_scale_ratio(&bloated).is_fail());
+    }
+
+    #[test]
+    fn scale_ratio_skips_entries_predating_the_1m_workload() {
+        let old = entry(
+            "pr6-shard-fix",
+            1,
+            vec![
+                workload("wire_roundtrip", 1400, 1400),
+                workload("sim_mesh_100k_sharded", 2800, 2800),
+            ],
+        );
+        assert_eq!(check_scale_ratio(&old).label(), "SKIP");
+        for (_, verdict) in run_all(&old, &old, "pr6-shard-fix") {
+            assert!(!verdict.is_fail());
+        }
+    }
+
+    #[test]
+    fn scale_ratio_is_machine_independent() {
+        // A host 3x slower scales every median together; the anchored
+        // multiple is unchanged.
+        let slow = entry(
+            "slow",
+            1,
+            vec![
+                workload("wire_roundtrip", 4200, 4200),
+                workload("sim_mesh_100k_sharded", 8400, 8400),
+                workload("sim_mesh_1m_sharded", 16_800, 16_800),
+            ],
+        );
+        assert_eq!(check_scale_ratio(&slow).label(), "PASS");
+    }
+
+    #[test]
+    fn skipped_markers_are_surfaced_not_swallowed() {
+        let marked = Value::Object(vec![(
+            "workloads".to_string(),
+            Value::Array(vec![
+                workload("sim_mesh_10k", 1000, 1000),
+                Value::Object(vec![
+                    (
+                        "name".to_string(),
+                        Value::String("sim_mesh_10k_sharded".to_string()),
+                    ),
+                    (
+                        "skipped".to_string(),
+                        Value::String("host_parallelism 1 < 4 cores".to_string()),
+                    ),
+                ]),
+            ]),
+        )]);
+        let skips = skipped_workloads(&marked);
+        assert_eq!(skips.len(), 1);
+        assert_eq!(skips[0].0, "sim_mesh_10k_sharded");
+        assert!(skips[0].1.contains("host_parallelism"));
+        assert!(skipped_workloads(&entry("clean", 8, vec![])).is_empty());
     }
 
     #[test]

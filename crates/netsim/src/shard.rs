@@ -562,13 +562,14 @@ impl AirReads for AirView {
 /// (and pruned) exclusively by the owning shard, so the threaded
 /// receive phase never touches a shared lock.
 ///
-/// In static runs (no scheduled dynamics) a record is replicated only
-/// to shards whose nodes occupy a grid cell within one ring of the
-/// sender's cell — every receiver and every interferable pair sits
-/// within one cell of its counterpart because the cell size equals the
-/// radio range. Runs with scheduled mobility or churn replicate every
-/// record to every shard (positions may change mid-flight, so no
-/// static interest set is safe).
+/// A record is replicated only to shards whose nodes occupy a grid
+/// cell within one ring of the sender's cell — every receiver and
+/// every interferable pair sits within one cell of its counterpart
+/// because the cell size equals the radio range. Scheduled mobility
+/// and churn are delta-routed: when a move changes which cells a
+/// shard's interest set covers, only that shard receives the in-flight
+/// records of the gained cells (a backfill), instead of every record
+/// being broadcast to every shard.
 #[derive(Debug, Default)]
 struct GhostAir {
     cell_size: f64,
@@ -591,21 +592,36 @@ impl GhostAir {
         self.by_node.clear();
     }
 
+    /// Whether the replica already holds `seq` — the dedup check for
+    /// interest-delta backfills (a cell can be lost and later regained
+    /// while a record from it is still in flight).
+    fn contains(&self, seq: u64) -> bool {
+        self.records.contains_key(&seq)
+    }
+
+    /// Inserts a record. Barrier routing appends in ascending seq order
+    /// (O(1)); interest-delta backfills may arrive out of order and pay
+    /// a sorted insert instead.
     fn insert(&mut self, record: &AirRecord) {
         debug_assert!(
-            self.order.back().is_none_or(|&last| last < record.seq),
-            "ghost records arrive in sequence order"
+            !self.contains(record.seq),
+            "ghost records are inserted at most once"
         );
-        self.order.push_back(record.seq);
-        self.cells
-            .entry(record.cell)
-            .or_default()
-            .push_back(record.seq);
-        self.by_node
-            .entry(record.sender.0)
-            .or_default()
-            .push_back(record.seq);
+        Self::ordered_push(&mut self.order, record.seq);
+        Self::ordered_push(self.cells.entry(record.cell).or_default(), record.seq);
+        Self::ordered_push(self.by_node.entry(record.sender.0).or_default(), record.seq);
         self.records.insert(record.seq, record.ghost_copy());
+    }
+
+    fn ordered_push(deque: &mut VecDeque<u64>, seq: u64) {
+        if deque.back().is_none_or(|&last| last < seq) {
+            deque.push_back(seq);
+        } else {
+            let at = deque
+                .binary_search(&seq)
+                .expect_err("seq not already present");
+            deque.insert(at, seq);
+        }
     }
 
     /// Mirrors [`AirView::prune`]: drops front records ended before
@@ -837,13 +853,22 @@ struct ShardCore<P> {
     trace_buf: Vec<(TraceKey, TraceEvent)>,
     commands: Vec<Command>,
     receiver_scratch: Vec<NodeId>,
-    /// Shard-local air replica for the threaded receive phase (empty on
-    /// serial runs, which read the global view directly).
+    /// Shard-local air replica for the threaded receive phase (serial
+    /// multi-shard windows maintain it too, so the replicas survive
+    /// engine switches without a rebuild).
     ghost: GhostAir,
     /// Grid cells within one ring of any owned node — the cells whose
-    /// air records this shard may need. Only meaningful for static runs
-    /// (see [`GhostAir`]).
-    interest: HashSet<(i64, i64)>,
+    /// air records this shard may need — refcounted by how many owned
+    /// nodes contribute each cell, so a move patches the set with a
+    /// ±1-ring delta instead of a full rebuild.
+    interest: HashMap<(i64, i64), u32>,
+    /// Windows this shard fast-forwarded through without dispatching a
+    /// single event (no queued MAC work, no pending receive events).
+    windows_skipped: u64,
+    /// Whether the MAC phase of the current window had nothing to
+    /// dispatch for this shard — combined with an idle receive phase it
+    /// counts the window into [`Self::windows_skipped`].
+    mac_was_idle: bool,
 }
 
 impl<P: Protocol> ShardCore<P> {
@@ -862,8 +887,42 @@ impl<P: Protocol> ShardCore<P> {
             commands: Vec::new(),
             receiver_scratch: Vec::new(),
             ghost: GhostAir::default(),
-            interest: HashSet::new(),
+            interest: HashMap::new(),
+            windows_skipped: 0,
+            mac_was_idle: true,
         }
+    }
+
+    /// The shard's next pending event time across both phases — the
+    /// next-activity time the epoch barrier carries so idle shards can
+    /// be fast-forwarded deterministically.
+    fn next_at(&self) -> Option<SimTime> {
+        match (self.mac_heap.peek(), self.rx_heap.peek()) {
+            (Some(m), Some(r)) => Some(m.at.min(r.at)),
+            (Some(m), None) => Some(m.at),
+            (None, Some(r)) => Some(r.at),
+            (None, None) => None,
+        }
+    }
+
+    /// Whether the MAC phase would dispatch nothing in this window.
+    /// A shard idle in both phases cannot produce or observe anything
+    /// in the window: in-flight airtime always has a pending `TxEnd`
+    /// and every ghost record that matters comes with a pending
+    /// `Deliver`, so heap emptiness is the complete skip test.
+    fn mac_idle(&self, t_end: SimTime, deadline: SimTime) -> bool {
+        !self
+            .mac_heap
+            .peek()
+            .is_some_and(|e| e.at < t_end && e.at <= deadline)
+    }
+
+    /// Whether the receive phase would dispatch nothing in this window.
+    fn rx_idle(&self, t_end: SimTime, deadline: SimTime) -> bool {
+        !self
+            .rx_heap
+            .peek()
+            .is_some_and(|e| e.at < t_end && e.at <= deadline)
     }
 
     /// Pushes a node-owned MAC event, stamped with the node's private
@@ -1652,6 +1711,9 @@ impl ShardedSimBuilder {
             force_threads: false,
             strategy: self.strategy,
             placement_dirty: false,
+            interest_valid: false,
+            ghosts_valid: false,
+            windows_executed: 0,
         };
         let churn: Vec<ChurnEvent> = sim.faults.churn().to_vec();
         for event in churn {
@@ -1720,6 +1782,18 @@ pub struct ShardedSim<P> {
     /// Whether node placement may be stale (nodes added or dynamics
     /// applied since the last rebalance).
     placement_dirty: bool,
+    /// Whether the per-shard interest refcounts match the current
+    /// placement and master positions. Scheduled moves keep them valid
+    /// incrementally; node adds and ownership rebalances invalidate
+    /// them (full rebuild at the next run).
+    interest_valid: bool,
+    /// Whether the per-shard ghost replicas hold exactly the retained
+    /// records their interest sets select. Invalidated together with
+    /// the interest sets.
+    ghosts_valid: bool,
+    /// Windows actually executed (a window runs only when some shard
+    /// has an event in it — fully idle stretches are skipped in O(1)).
+    windows_executed: u64,
 }
 
 impl<P> core::fmt::Debug for ShardedSim<P> {
@@ -1771,6 +1845,7 @@ impl<P: Protocol> ShardedSim<P> {
     fn admit(&mut self, id: NodeId, protocol: P) -> NodeId {
         debug_assert_eq!(id.index(), self.owner.len());
         self.placement_dirty = true;
+        self.interest_valid = false;
         let shard = self.shard_of(self.master.position(id));
         let local = self.cores[shard].nodes.len() as u32;
         self.owner.push((shard as u32, local));
@@ -1859,6 +1934,25 @@ impl<P: Protocol> ShardedSim<P> {
     #[must_use]
     pub fn lookahead(&self) -> SimDuration {
         self.lookahead
+    }
+
+    /// How many `[T, T+L)` windows the engine actually executed. A
+    /// window runs only when some shard has a pending event in it, so
+    /// fully idle stretches of simulated time cost zero windows — the
+    /// O(active) contract the scaling regression tests pin down.
+    #[must_use]
+    pub fn windows_executed(&self) -> u64 {
+        self.windows_executed
+    }
+
+    /// How many executed windows individual shards fast-forwarded
+    /// through without dispatching any event (summed over shards):
+    /// the per-shard half of the O(active) contract — a shard with no
+    /// queued MAC work and no pending receive events skips the window
+    /// instead of walking it.
+    #[must_use]
+    pub fn shard_windows_skipped(&self) -> u64 {
+        self.cores.iter().map(|c| c.windows_skipped).sum()
     }
 
     /// Medium-level counters, summed across shards.
@@ -2044,6 +2138,10 @@ impl<P: Protocol> ShardedSim<P> {
         {
             return;
         }
+        // Ownership actually moves: interest refcounts and ghost
+        // replicas reflect the old placement, so both rebuild at the
+        // start of the run.
+        self.interest_valid = false;
         let mut slots: Vec<Option<LocalNode<P>>> = (0..self.owner.len()).map(|_| None).collect();
         let mut mac_orphans: Vec<MacEvent> = Vec::new();
         let mut rx_orphans: Vec<RxEvent> = Vec::new();
@@ -2131,11 +2229,14 @@ impl<P: Protocol> ShardedSim<P> {
         self.trace_main = all;
     }
 
-    /// Rebuilds every shard's interest set: the grid cells within one
-    /// ring of any owned node. A record whose origin cell is outside a
-    /// shard's interest can neither be received by nor interfere at any
-    /// node the shard owns (cell size = radio range), so barrier fan-out
-    /// and ghost replication are filtered by it on static runs.
+    /// Rebuilds every shard's interest set from scratch: the grid cells
+    /// within one ring of any owned node, refcounted per contributing
+    /// node. A record whose origin cell is outside a shard's interest
+    /// can neither be received by nor interfere at any node the shard
+    /// owns (cell size = radio range), so barrier fan-out and ghost
+    /// replication are filtered by it. Only placement changes (node
+    /// adds, ownership rebalances) pay this full rebuild; scheduled
+    /// moves patch the refcounts incrementally as they execute.
     fn build_interest(&mut self) {
         for core in &mut self.cores {
             core.interest.clear();
@@ -2146,7 +2247,28 @@ impl<P: Protocol> ShardedSim<P> {
             let (cx, cy) = self.air.cell_of(self.master.position(node));
             for dx in -1..=1 {
                 for dy in -1..=1 {
-                    self.cores[shard].interest.insert((cx + dx, cy + dy));
+                    *self.cores[shard]
+                        .interest
+                        .entry((cx + dx, cy + dy))
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+    }
+
+    /// Rebuilds every shard's ghost replica from the retained global
+    /// records, filtered by the (freshly rebuilt) interest sets. Paid
+    /// only when placement changed; steady-state windows maintain the
+    /// replicas incrementally at the barrier and prune them by airtime
+    /// horizon.
+    fn rebuild_ghosts(&mut self) {
+        for core in &mut self.cores {
+            core.ghost.clear(self.air.cell_size);
+        }
+        for record in &self.air.records {
+            for core in &mut self.cores {
+                if core.interest.contains_key(&record.cell) {
+                    core.ghost.insert(record);
                 }
             }
         }
@@ -2184,16 +2306,181 @@ fn window_end(at: SimTime, lookahead: SimDuration) -> SimTime {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum FanOut {
     /// Every core gets every delivery event and (when ghosts are on)
-    /// every air record. Required whenever scheduled dynamics may move
-    /// or kill nodes mid-run — no static interest set is safe then.
+    /// every air record. Only used for single-shard runs, where there
+    /// is nothing to filter.
     Broadcast,
     /// Only cores whose interest set contains the record's origin grid
-    /// cell. Safe for static runs: the cell size equals the radio
-    /// range, so every receiver and every interferable pair sits within
-    /// one cell ring of its counterpart, and a delivery event routed to
-    /// a non-interested core would be a no-op (it owns no neighbor of
-    /// the sender).
+    /// cell. The cell size equals the radio range, so every receiver
+    /// and every interferable pair sits within one cell ring of its
+    /// counterpart, and a delivery event routed to a non-interested
+    /// core would be a no-op (it owns no neighbor of the sender).
+    /// Scheduled dynamics stay safe because every move patches the
+    /// owning shard's interest refcounts as it executes and backfills
+    /// the in-flight records of any cell the set gains — see
+    /// [`apply_master_dynamics`].
     Interest,
+}
+
+/// Applies master-topology dynamics scheduled inside the window
+/// (`at < t_end`) at the window's *start*, delta-routing their
+/// consequences when interest routing is on:
+///
+/// - a move patches the owning shard's ±1-ring interest refcounts —
+///   the new ring's increments land immediately (cells going 0→1 get a
+///   backfill of their in-flight records), while the old ring's
+///   decrements are deferred to just after this window's barrier, so
+///   the barrier routes this window's publications with the union of
+///   pre- and post-move interest (conservative, hence safe for frames
+///   that start before and end after the move);
+/// - the mover's own in-flight records are routed to every shard
+///   interested in the destination cell, because a relocating sender
+///   keeps its records indexed under their origin cells.
+///
+/// Returns the deferred interest decrements, to be applied by
+/// [`apply_interest_decrements`] after the window's barrier.
+#[allow(clippy::too_many_arguments)]
+fn apply_master_dynamics<P: Protocol>(
+    master_dyn: &mut BinaryHeap<MasterDyn>,
+    master: &mut Topology,
+    cores: &mut [&mut ShardCore<P>],
+    air: &AirView,
+    owner: &[(u32, u32)],
+    t_end: SimTime,
+    deadline: SimTime,
+    interest_routing: bool,
+) -> Vec<(usize, (i64, i64))> {
+    let mut deferred: Vec<(usize, (i64, i64))> = Vec::new();
+    while let Some(next) = master_dyn.peek() {
+        if next.at >= t_end || next.at > deadline {
+            break;
+        }
+        let dynamic = master_dyn.pop().expect("peeked above");
+        match dynamic.action {
+            DynAction::Move { node, to } => {
+                let (old_cell, new_cell) = master.set_position_tracked(node, to);
+                if !interest_routing || old_cell == new_cell {
+                    continue;
+                }
+                let shard = owner[node.index()].0 as usize;
+                for dx in -1..=1 {
+                    for dy in -1..=1 {
+                        deferred.push((shard, (old_cell.0 + dx, old_cell.1 + dy)));
+                    }
+                }
+                for dx in -1..=1 {
+                    for dy in -1..=1 {
+                        let cell = (new_cell.0 + dx, new_cell.1 + dy);
+                        let count = cores[shard].interest.entry(cell).or_insert(0);
+                        *count += 1;
+                        if *count == 1 {
+                            backfill_gained_cell(cores[shard], air, master, cell, dynamic.at);
+                        }
+                    }
+                }
+                route_mover_records(cores, air, node, new_cell, dynamic.at);
+            }
+            DynAction::SetAlive { node, alive } => master.set_alive(node, alive),
+        }
+    }
+    deferred
+}
+
+/// Routes the retained records a shard newly needs because its
+/// interest set gained `cell`: records *originating* in the cell, plus
+/// in-flight records of senders *currently located* in it (a sender
+/// that relocated mid-flight keeps its record indexed under the origin
+/// cell, so the origin scan alone would miss it). Each record arrives
+/// with its pending delivery event; records already delivered before
+/// the move instant are skipped — they were judged at the pre-move
+/// position, which the pre-move interest covered.
+fn backfill_gained_cell<P: Protocol>(
+    core: &mut ShardCore<P>,
+    air: &AirView,
+    master: &Topology,
+    cell: (i64, i64),
+    since: SimTime,
+) {
+    if let Some(seqs) = air.cells.get(&cell) {
+        for &seq in seqs {
+            ghost_route(core, air, seq, since);
+        }
+    }
+    for node in master.nodes_in(cell) {
+        if let Some(seqs) = air.by_node.get(node.index()) {
+            for &seq in seqs {
+                ghost_route(core, air, seq, since);
+            }
+        }
+    }
+}
+
+/// Routes the mover's in-flight records to every shard interested in
+/// its destination cell (receivers near the destination can hear the
+/// remainder of a transmission begun elsewhere).
+fn route_mover_records<P: Protocol>(
+    cores: &mut [&mut ShardCore<P>],
+    air: &AirView,
+    node: NodeId,
+    new_cell: (i64, i64),
+    since: SimTime,
+) {
+    let Some(seqs) = air.by_node.get(node.index()) else {
+        return;
+    };
+    if seqs.is_empty() {
+        return;
+    }
+    let seqs: Vec<u64> = seqs.iter().copied().collect();
+    for core in cores.iter_mut() {
+        if !core.interest.contains_key(&new_cell) {
+            continue;
+        }
+        for &seq in &seqs {
+            ghost_route(core, air, seq, since);
+        }
+    }
+}
+
+/// Copies one retained record into a shard's ghost replica together
+/// with its pending delivery event, unless the record already ended
+/// before `since` or the replica already holds it (ghost membership
+/// and the pending event always travel together, so the membership
+/// test also dedups the event).
+fn ghost_route<P: Protocol>(core: &mut ShardCore<P>, air: &AirView, seq: u64, since: SimTime) {
+    let record = air.get(seq).expect("indexed record retained");
+    if record.end < since || core.ghost.contains(seq) {
+        return;
+    }
+    core.ghost.insert(record);
+    core.rx_heap.push(RxEvent {
+        at: record.end,
+        lane: LANE_R_DELIVER,
+        a: seq,
+        b: 0,
+        kind: RxKind::Deliver {
+            seq,
+            sender: record.sender,
+        },
+    });
+}
+
+/// Applies the interest decrements a window's dynamics deferred (see
+/// [`apply_master_dynamics`]), dropping cells whose refcount reaches
+/// zero. Runs after the window's barrier has routed with the
+/// conservative union.
+fn apply_interest_decrements<P: Protocol>(
+    cores: &mut [&mut ShardCore<P>],
+    deferred: &[(usize, (i64, i64))],
+) {
+    for &(shard, cell) in deferred {
+        match cores[shard].interest.get_mut(&cell) {
+            Some(count) if *count > 1 => *count -= 1,
+            Some(_) => {
+                cores[shard].interest.remove(&cell);
+            }
+            None => debug_assert!(false, "decrement of an untracked interest cell"),
+        }
+    }
 }
 
 /// The globally ordered MAC phase of carrier-sense runs: a cross-shard
@@ -2217,9 +2504,11 @@ fn run_phase1_csma<P: Protocol>(
 ) {
     let in_window = |ev: &MacEvent| ev.at < t_end && ev.at <= ctx.deadline;
     let mut cursors: BinaryHeap<MergeCursor> = BinaryHeap::with_capacity(cores.len());
-    for (i, core) in cores.iter().enumerate() {
+    for (i, core) in cores.iter_mut().enumerate() {
+        core.mac_was_idle = true;
         if let Some(ev) = core.mac_heap.peek() {
             if in_window(ev) {
+                core.mac_was_idle = false;
                 cursors.push(Reverse((ev.key(), i)));
             }
         }
@@ -2319,7 +2608,7 @@ fn assign_and_broadcast<P: Protocol>(
         // ones just above — either way the record is published now.
         let record = air.get(seq).expect("record published at this barrier");
         for core in cores.iter_mut() {
-            if fan_out == FanOut::Interest && !core.interest.contains(&record.cell) {
+            if fan_out == FanOut::Interest && !core.interest.contains_key(&record.cell) {
                 continue;
             }
             if ghosts {
@@ -2385,11 +2674,23 @@ impl<P: Protocol + Send> ShardedSim<P> {
     /// re-raised on the caller).
     pub fn run_until(&mut self, deadline: SimTime) {
         self.rebalance_ownership();
-        // With no scheduled dynamics left, node positions are frozen
-        // for the whole run, so barrier products route by the static
-        // interest sets; otherwise everything is broadcast.
-        let fan_out = if self.cores.len() > 1 && self.master_dyn.is_empty() {
-            self.build_interest();
+        // Multi-shard runs always route barrier products by interest:
+        // scheduled dynamics patch the refcounted sets incrementally as
+        // they execute (see `apply_master_dynamics`), so only placement
+        // changes pay a full rebuild. The ghost replicas are likewise
+        // maintained across runs — serial multi-shard windows keep them
+        // warm so an engine switch (threads toggling on or off between
+        // calls) never observes a stale replica.
+        let fan_out = if self.cores.len() > 1 {
+            if !self.interest_valid {
+                self.build_interest();
+                self.interest_valid = true;
+                self.ghosts_valid = false;
+            }
+            if !self.ghosts_valid {
+                self.rebuild_ghosts();
+                self.ghosts_valid = true;
+            }
             FanOut::Interest
         } else {
             FanOut::Broadcast
@@ -2424,6 +2725,7 @@ impl<P: Protocol + Send> ShardedSim<P> {
             lookahead,
             master,
             master_dyn,
+            windows_executed,
             ..
         } = self;
         let ctx = EngineCtx {
@@ -2437,16 +2739,29 @@ impl<P: Protocol + Send> ShardedSim<P> {
         };
         let slack = radio.airtime(radio.max_frame_bytes as u32 * 8) * 2;
         let mut refs: Vec<&mut ShardCore<P>> = cores.iter_mut().collect();
+        let multi = refs.len() > 1;
         loop {
             let t_end = match global_min(&refs) {
                 Some(min) if min <= deadline => window_end(min, *lookahead),
                 _ => break,
             };
+            *windows_executed += 1;
+            // Window start: master dynamics scheduled inside this
+            // window execute now, patching interest refcounts and
+            // backfilling ghosts as they go. Nothing in the window body
+            // reads the master topology, so start-of-window application
+            // is equivalent to the phases' own in-order replays.
+            let deferred = apply_master_dynamics(
+                master_dyn, master, &mut refs, air, owner, t_end, deadline, multi,
+            );
             if mac.carrier_sense {
                 run_phase1_csma(&mut refs, air, next_seq, &ctx, t_end, obs.as_ref());
             } else {
                 for core in refs.iter_mut() {
-                    core.run_phase1(&ctx, t_end, obs.as_ref());
+                    core.mac_was_idle = core.mac_idle(t_end, deadline);
+                    if !core.mac_was_idle {
+                        core.run_phase1(&ctx, t_end, obs.as_ref());
+                    }
                 }
             }
             assign_and_broadcast(
@@ -2461,44 +2776,33 @@ impl<P: Protocol + Send> ShardedSim<P> {
                 ctx.tracing,
                 radio.energy.tx_nj_per_bit,
                 fan_out,
-                false,
+                multi,
             );
-            for core in refs.iter_mut() {
-                core.run_phase2(&ctx, t_end, air, obs.as_ref());
-            }
-            // Barrier B: master dynamics and air garbage collection.
-            while let Some(next) = master_dyn.peek() {
-                if next.at >= t_end || next.at > deadline {
-                    break;
-                }
-                let dynamic = master_dyn.pop().expect("peeked above");
-                match dynamic.action {
-                    DynAction::Move { node, to } => master.set_position(node, to),
-                    DynAction::SetAlive { node, alive } => master.set_alive(node, alive),
-                }
-            }
+            apply_interest_decrements(&mut refs, &deferred);
             let horizon = SimTime::from_micros(t_end.as_micros().saturating_sub(slack.as_micros()));
+            for core in refs.iter_mut() {
+                let rx_was_idle = core.rx_idle(t_end, deadline);
+                if !rx_was_idle {
+                    core.run_phase2(&ctx, t_end, air, obs.as_ref());
+                }
+                if core.mac_was_idle && rx_was_idle {
+                    core.windows_skipped += 1;
+                }
+                if multi {
+                    core.ghost.prune(horizon);
+                }
+            }
+            // Barrier B: air garbage collection (master dynamics moved
+            // to the window start, where their routing is delta-based).
             air.prune(horizon);
         }
     }
 
     fn run_windows_parallel(&mut self, deadline: SimTime, fan_out: FanOut) {
         let shards = self.cores.len();
-        // Rebuild the per-shard ghost replicas from the retained global
-        // records: transmissions can span `run_until` calls (a delivery
-        // past the previous deadline), and the prior run may have been
-        // serial (no ghosts) or differently rebalanced.
-        for core in &mut self.cores {
-            core.ghost.clear(self.air.cell_size);
-        }
-        for record in &self.air.records {
-            for core in &mut self.cores {
-                if fan_out == FanOut::Interest && !core.interest.contains(&record.cell) {
-                    continue;
-                }
-                core.ghost.insert(record);
-            }
-        }
+        // The ghost replicas are maintained across runs (and across
+        // serial/parallel engine switches) — `run_until` rebuilt them
+        // already if placement changed, so nothing to do here.
         let ShardedSim {
             cores,
             air,
@@ -2514,6 +2818,7 @@ impl<P: Protocol + Send> ShardedSim<P> {
             faults,
             lookahead,
             tracer,
+            windows_executed,
             ..
         } = self;
         let ctx = EngineCtx {
@@ -2537,6 +2842,11 @@ impl<P: Protocol + Send> ShardedSim<P> {
         let b_merged = Barrier::new(shards + 1);
         let b_rx_done = Barrier::new(shards + 1);
         let t_end_micros = AtomicU64::new(0);
+        // Each shard's next-activity time, published by its worker
+        // before the window's last barrier. The main thread picks the
+        // next window from these without taking a single lock, so fully
+        // idle stretches of the timeline fast-forward in O(shards).
+        let next_slots: Vec<AtomicU64> = (0..shards).map(|_| AtomicU64::new(u64::MAX)).collect();
         let done = AtomicBool::new(false);
         let panicked = AtomicBool::new(false);
         let worker_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
@@ -2556,10 +2866,11 @@ impl<P: Protocol + Send> ShardedSim<P> {
             let b_merged = &b_merged;
             let b_rx_done = &b_rx_done;
             let t_end_micros = &t_end_micros;
+            let next_slots = &next_slots;
             let done = &done;
             let panicked = &panicked;
             let worker_panic = &worker_panic;
-            for cell in cells.iter().take(shards) {
+            for (index, cell) in cells.iter().enumerate().take(shards) {
                 scope.spawn(move || loop {
                     b_start.wait();
                     if done.load(AtomicOrdering::Relaxed) {
@@ -2574,7 +2885,10 @@ impl<P: Protocol + Send> ShardedSim<P> {
                             let mut core = cell
                                 .lock()
                                 .unwrap_or_else(std::sync::PoisonError::into_inner);
-                            core.run_phase1(ctx, t_end, None);
+                            core.mac_was_idle = core.mac_idle(t_end, ctx.deadline);
+                            if !core.mac_was_idle {
+                                core.run_phase1(ctx, t_end, None);
+                            }
                         }
                     }));
                     if let Err(payload) = result {
@@ -2591,11 +2905,26 @@ impl<P: Protocol + Send> ShardedSim<P> {
                             let mut core = cell
                                 .lock()
                                 .unwrap_or_else(std::sync::PoisonError::into_inner);
-                            core.run_phase2_ghost(ctx, t_end, None);
+                            let rx_was_idle = core.rx_idle(t_end, ctx.deadline);
+                            if !rx_was_idle {
+                                core.run_phase2_ghost(ctx, t_end, None);
+                            }
+                            if core.mac_was_idle && rx_was_idle {
+                                core.windows_skipped += 1;
+                            }
                             let horizon = SimTime::from_micros(
                                 t_end.as_micros().saturating_sub(slack.as_micros()),
                             );
                             core.ghost.prune(horizon);
+                            // Publish this shard's next-activity time:
+                            // every event the merge or the phases could
+                            // push for this window is in by now, so the
+                            // main thread can pick the next window from
+                            // the slots alone.
+                            next_slots[index].store(
+                                core.next_at().map_or(u64::MAX, |t| t.as_micros()),
+                                AtomicOrdering::Release,
+                            );
                         }
                     }));
                     if let Err(payload) = result {
@@ -2615,25 +2944,53 @@ impl<P: Protocol + Send> ShardedSim<P> {
                     .map(|c| c.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
                     .collect()
             };
+            // Seed the next-activity slots: the workers have not run a
+            // window yet, so nothing has been published. The locks are
+            // uncontended — everyone is parked at the start barrier.
+            {
+                let guards = lock_all();
+                for (slot, guard) in next_slots.iter().zip(guards.iter()) {
+                    slot.store(
+                        guard.next_at().map_or(u64::MAX, |t| t.as_micros()),
+                        AtomicOrdering::Relaxed,
+                    );
+                }
+            }
             loop {
-                // Between windows the workers are parked, so the locks
-                // are uncontended.
-                let t_end = match catch_unwind(AssertUnwindSafe(|| {
-                    let mut guards = lock_all();
-                    let refs: Vec<&mut ShardCore<P>> =
-                        guards.iter_mut().map(|g| &mut ***g).collect();
-                    global_min(&refs)
-                        .filter(|&min| min <= deadline)
-                        .map(|min| window_end(min, *lookahead))
-                })) {
-                    Ok(Some(t_end)) => t_end,
-                    Ok(None) => break,
-                    Err(payload) => {
-                        panicked.store(true, AtomicOrdering::Relaxed);
-                        main_panic = Some(payload);
-                        break;
+                // Pick the next window from the published next-activity
+                // times: no locks, no heap walks, and fully idle
+                // stretches of the timeline are skipped in one step.
+                let mut min = u64::MAX;
+                for slot in next_slots {
+                    min = min.min(slot.load(AtomicOrdering::Acquire));
+                }
+                if min == u64::MAX || min > deadline.as_micros() {
+                    break;
+                }
+                let t_end = window_end(SimTime::from_micros(min), *lookahead);
+                *windows_executed += 1;
+                // Window-start master dynamics: the locks are taken only
+                // when an entry actually falls inside this window.
+                let mut deferred: Vec<(usize, (i64, i64))> = Vec::new();
+                if master_dyn
+                    .peek()
+                    .is_some_and(|d| d.at < t_end && d.at <= deadline)
+                {
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        let mut guards = lock_all();
+                        let mut refs: Vec<&mut ShardCore<P>> =
+                            guards.iter_mut().map(|g| &mut ***g).collect();
+                        apply_master_dynamics(
+                            master_dyn, master, &mut refs, air, owner, t_end, deadline, true,
+                        )
+                    })) {
+                        Ok(d) => deferred = d,
+                        Err(payload) => {
+                            panicked.store(true, AtomicOrdering::Relaxed);
+                            main_panic = Some(payload);
+                        }
                     }
-                };
+                }
                 t_end_micros.store(t_end.as_micros(), AtomicOrdering::Relaxed);
                 b_start.wait();
                 if csma && !panicked.load(AtomicOrdering::Relaxed) {
@@ -2670,6 +3027,10 @@ impl<P: Protocol + Send> ShardedSim<P> {
                             fan_out,
                             true,
                         );
+                        // The barrier routed this window's publications
+                        // with the conservative pre-move ∪ post-move
+                        // interest; the pre-move halves retire now.
+                        apply_interest_decrements(&mut refs, &deferred);
                     }));
                     if let Err(payload) = result {
                         panicked.store(true, AtomicOrdering::Relaxed);
@@ -2679,22 +3040,9 @@ impl<P: Protocol + Send> ShardedSim<P> {
                 b_merged.wait();
                 // The workers run the receive phase against their own
                 // ghosts; the global view is exclusively ours here, so
-                // barrier B (master dynamics + air garbage collection)
-                // overlaps with it.
+                // barrier B (air garbage collection) overlaps with it.
                 if !panicked.load(AtomicOrdering::Relaxed) {
                     let result = catch_unwind(AssertUnwindSafe(|| {
-                        while let Some(next) = master_dyn.peek() {
-                            if next.at >= t_end || next.at > deadline {
-                                break;
-                            }
-                            let dynamic = master_dyn.pop().expect("peeked above");
-                            match dynamic.action {
-                                DynAction::Move { node, to } => master.set_position(node, to),
-                                DynAction::SetAlive { node, alive } => {
-                                    master.set_alive(node, alive);
-                                }
-                            }
-                        }
                         let horizon = SimTime::from_micros(
                             t_end.as_micros().saturating_sub(slack.as_micros()),
                         );
@@ -2769,6 +3117,53 @@ mod tests {
         assert_eq!(sim.protocol(NodeId(1)).heard, 3);
         assert_eq!(sim.stats().frames_sent, 3);
         assert_eq!(sim.stats().deliveries, 3);
+    }
+
+    /// The O(active) contract, global half (ISSUE 7): advancing the
+    /// clock across a fully idle stretch must execute zero windows —
+    /// a naive engine would walk ~200k empty lookahead windows here,
+    /// scanning every shard in each.
+    #[test]
+    fn fully_idle_stretches_execute_zero_windows() {
+        let mut sim = two_node(7, MacConfig::aloha(), 2);
+        sim.run_until(SimTime::from_secs(1));
+        let active = sim.windows_executed();
+        assert!(active > 0, "the chatter phase must execute windows");
+        assert_eq!(sim.protocol(NodeId(1)).heard, 3);
+        sim.run_until(SimTime::from_secs(101));
+        assert_eq!(
+            sim.windows_executed(),
+            active,
+            "idle time must be skipped, not walked window by window"
+        );
+    }
+
+    /// The O(active) contract, per-shard half: a shard owning only
+    /// silent nodes fast-forwards through windows its busy siblings
+    /// execute, without perturbing their deliveries.
+    #[test]
+    fn idle_shards_skip_windows_inside_active_ones() {
+        let mut sim = ShardedSimBuilder::new(9)
+            .mac(MacConfig::aloha())
+            .shards(2)
+            .build(|id| Chatter {
+                to_send: if id.0 == 0 { 2 } else { 0 },
+                heard: 0,
+                payload_bytes: 10,
+            });
+        // Two clusters far apart: the default spatial-stripe placement
+        // gives the silent right-hand pair its own shard.
+        sim.add_node_at(Position::new(0.0, 0.0));
+        sim.add_node_at(Position::new(10.0, 0.0));
+        sim.add_node_at(Position::new(1000.0, 0.0));
+        sim.add_node_at(Position::new(1010.0, 0.0));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.protocol(NodeId(1)).heard, 2);
+        assert_eq!(sim.protocol(NodeId(2)).heard, 0);
+        assert!(
+            sim.shard_windows_skipped() > 0,
+            "the silent shard must skip, not walk, the busy windows"
+        );
     }
 
     #[test]

@@ -15,17 +15,29 @@
 //! id-sorted `Vec<NodeId>`. Queries never touch coordinates —
 //! [`Topology::in_range`] is a binary search and
 //! [`Topology::neighbors`] walks the cached list. Only the *dynamics*
-//! pay for geometry: [`Topology::add`], [`Topology::set_position`], and
-//! [`Topology::set_alive`] rebuild the affected node's links in
-//! O(n), which is exactly when the unit-disk graph actually changes.
+//! pay for geometry, and even they are local: the topology keeps a
+//! spatial cell index with pitch equal to the radio range, so any node
+//! within range of a position lies in the 3×3 block of cells around
+//! it. [`Topology::add`], [`Topology::set_position`], and
+//! [`Topology::set_alive`] patch the affected node's links by scanning
+//! only that neighborhood — O(occupancy of 9 cells), not O(n) — which
+//! is what lets a million-node sparse mesh absorb churn at cost
+//! proportional to local density.
 //!
 //! Distance tests compare squared distances (`d² ≤ range²`), avoiding
 //! the square root on the hot path. The boundary case `d == range` is
 //! still in range, matching [`Position::distance_to`]` <= range`.
 
 use core::fmt;
+use std::collections::HashMap;
 
 use crate::node::NodeId;
+
+/// A spatial cell key: `floor(coordinate / range)` per axis. The pitch
+/// equals the radio range, so in-range pairs are never more than one
+/// cell apart on either axis. This is the same grid the sharded
+/// engine's air index and interest sets use.
+pub type Cell = (i64, i64);
 
 /// A node position in meters on a 2-D plane.
 ///
@@ -78,6 +90,9 @@ impl fmt::Display for Position {
 struct NodeSite {
     position: Position,
     alive: bool,
+    /// The cell index key for `position`, cached so a move can drop the
+    /// node from its old bucket without recomputing the old cell.
+    cell: Cell,
     /// Live in-range neighbors, sorted by id. Empty while the node is
     /// dead. The invariant is symmetric: `b ∈ neighbors(a)` iff
     /// `a ∈ neighbors(b)`.
@@ -111,6 +126,11 @@ pub struct Topology {
     range: f64,
     range_sq: f64,
     sites: Vec<NodeSite>,
+    /// Every node (alive or dead) bucketed by the cell containing its
+    /// position. Bucket order is arbitrary — dynamics sort the scanned
+    /// candidates before installing them, so query results never depend
+    /// on it.
+    cells: HashMap<Cell, Vec<NodeId>>,
 }
 
 impl Topology {
@@ -129,6 +149,7 @@ impl Topology {
             range,
             range_sq: range * range,
             sites: Vec::new(),
+            cells: HashMap::new(),
         }
     }
 
@@ -150,26 +171,76 @@ impl Topology {
         self.sites.is_empty()
     }
 
+    /// The cell containing `position` on this topology's range-pitched
+    /// grid.
+    #[must_use]
+    pub fn cell_of(&self, position: Position) -> Cell {
+        (
+            (position.x / self.range).floor() as i64,
+            (position.y / self.range).floor() as i64,
+        )
+    }
+
+    /// The cell currently containing `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was never added.
+    #[must_use]
+    pub fn cell(&self, node: NodeId) -> Cell {
+        self.site(node).cell
+    }
+
+    /// The nodes (alive or dead) currently positioned in `cell`, in
+    /// arbitrary bucket order. Callers needing determinism must sort.
+    pub fn nodes_in(&self, cell: Cell) -> impl Iterator<Item = NodeId> + '_ {
+        self.cells.get(&cell).into_iter().flatten().copied()
+    }
+
+    /// Live in-range candidates for `position`, sorted by id, excluding
+    /// `skip`. Scans only the 3×3 cell neighborhood of `position`.
+    fn scan_neighborhood(
+        &self,
+        position: Position,
+        cell: Cell,
+        skip: Option<NodeId>,
+    ) -> Vec<NodeId> {
+        let mut found = Vec::new();
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                let Some(bucket) = self.cells.get(&(cell.0 + dx, cell.1 + dy)) else {
+                    continue;
+                };
+                for &other in bucket {
+                    if Some(other) == skip {
+                        continue;
+                    }
+                    let site = &self.sites[other.0 as usize];
+                    if site.alive && site.position.distance_sq_to(position) <= self.range_sq {
+                        found.push(other);
+                    }
+                }
+            }
+        }
+        found.sort_unstable();
+        found
+    }
+
     /// Adds a node at `position`, returning its id.
     pub fn add(&mut self, position: Position) -> NodeId {
         let id = NodeId(self.sites.len() as u32);
-        let neighbors: Vec<NodeId> = self
-            .sites
-            .iter()
-            .enumerate()
-            .filter(|(_, site)| {
-                site.alive && site.position.distance_sq_to(position) <= self.range_sq
-            })
-            .map(|(i, _)| NodeId(i as u32))
-            .collect();
+        let cell = self.cell_of(position);
+        let neighbors = self.scan_neighborhood(position, cell, None);
         // `id` is larger than every existing id, so pushing keeps each
         // neighbor list sorted.
         for &neighbor in &neighbors {
             self.sites[neighbor.0 as usize].neighbors.push(id);
         }
+        self.cells.entry(cell).or_default().push(id);
         self.sites.push(NodeSite {
             position,
             alive: true,
+            cell,
             neighbors,
         });
         id
@@ -191,8 +262,40 @@ impl Topology {
     ///
     /// Panics if `node` was never added.
     pub fn set_position(&mut self, node: NodeId, position: Position) {
-        self.site_mut(node).position = position;
+        let _ = self.set_position_tracked(node, position);
+    }
+
+    /// Moves a node and reports `(old_cell, new_cell)` so callers that
+    /// maintain cell-keyed state of their own — the sharded engine's
+    /// per-shard interest sets — can patch it with the same delta
+    /// instead of rebuilding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was never added.
+    pub fn set_position_tracked(&mut self, node: NodeId, position: Position) -> (Cell, Cell) {
+        let new_cell = self.cell_of(position);
+        let site = self.site_mut(node);
+        let old_cell = site.cell;
+        site.position = position;
+        if new_cell != old_cell {
+            site.cell = new_cell;
+            let bucket = self
+                .cells
+                .get_mut(&old_cell)
+                .expect("moved node was indexed under its old cell");
+            let at = bucket
+                .iter()
+                .position(|&n| n == node)
+                .expect("moved node was present in its old cell bucket");
+            bucket.swap_remove(at);
+            if bucket.is_empty() {
+                self.cells.remove(&old_cell);
+            }
+            self.cells.entry(new_cell).or_default().push(node);
+        }
         self.relink(node);
+        (old_cell, new_cell)
     }
 
     /// Whether a node is alive (participating in the network).
@@ -274,9 +377,10 @@ impl Topology {
             .unwrap_or_else(|| panic!("unknown node {node}"))
     }
 
-    /// Rebuilds `node`'s adjacency after a move or liveness change:
+    /// Repairs `node`'s adjacency after a move or liveness change:
     /// detaches it from every current neighbor, then (if alive)
-    /// recomputes its neighbor set and reattaches symmetrically.
+    /// recomputes its neighbor set from the 3×3 cell neighborhood and
+    /// reattaches symmetrically. O(old degree + 9-cell occupancy).
     fn relink(&mut self, node: NodeId) {
         let index = node.0 as usize;
         let old = std::mem::take(&mut self.sites[index].neighbors);
@@ -286,18 +390,12 @@ impl Topology {
                 list.remove(at);
             }
         }
-        let mut fresh = old;
-        fresh.clear();
+        drop(old);
+        let mut fresh = Vec::new();
         if self.sites[index].alive {
             let position = self.sites[index].position;
-            for (i, site) in self.sites.iter().enumerate() {
-                if i != index
-                    && site.alive
-                    && site.position.distance_sq_to(position) <= self.range_sq
-                {
-                    fresh.push(NodeId(i as u32));
-                }
-            }
+            let cell = self.sites[index].cell;
+            fresh = self.scan_neighborhood(position, cell, Some(node));
             for neighbor in &fresh {
                 let list = &mut self.sites[neighbor.0 as usize].neighbors;
                 let at = list
@@ -469,6 +567,27 @@ mod tests {
                 assert_eq!(topo.in_range(a, b), brute_in_range(topo, a, b));
             }
         }
+        assert_cell_index_consistent(topo);
+    }
+
+    /// The spatial index must hold every node exactly once, in the
+    /// bucket matching its current position.
+    fn assert_cell_index_consistent(topo: &Topology) {
+        let indexed: usize = topo.cells.values().map(Vec::len).sum();
+        assert_eq!(indexed, topo.len(), "cell index count drifted");
+        for node in topo.node_ids() {
+            let cell = topo.cell_of(topo.position(node));
+            assert_eq!(topo.cell(node), cell, "stale cached cell for {node}");
+            let bucket = topo
+                .cells
+                .get(&cell)
+                .unwrap_or_else(|| panic!("no bucket for {node}'s cell"));
+            assert_eq!(
+                bucket.iter().filter(|&&n| n == node).count(),
+                1,
+                "{node} not indexed exactly once"
+            );
+        }
     }
 
     #[test]
@@ -491,6 +610,63 @@ mod tests {
         let d = topo.add(Position::new(10.0, 10.0)); // join late
         assert_cache_matches_brute_force(&topo);
         let _ = (a, d);
+    }
+
+    /// Randomized move/churn/add sequences (ISSUE 7): the incremental
+    /// cell-indexed adjacency must match a brute-force rebuild after
+    /// every single mutation, including exact-boundary distances
+    /// (3-4-5 triangles scaled to d == range) and cross-cell moves.
+    mod incremental_vs_brute_force {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            #[test]
+            fn randomized_dynamics_never_desync_the_cache(
+                ops in proptest::collection::vec(
+                    (0u8..4, any::<u16>(), 0u64..32, 0u64..32),
+                    1..40,
+                ),
+            ) {
+                let mut topo = Topology::new(50.0);
+                // Seed row crossing several 50 m cells.
+                for i in 0..6 {
+                    topo.add(Position::new(i as f64 * 30.0, 0.0));
+                }
+                for (op, pick, gx, gy) in ops {
+                    // 10 m lattice under a 50 m range: boundary-exact
+                    // pairs (30-40-50 triangles) arise naturally.
+                    let pos = Position::new(gx as f64 * 10.0, gy as f64 * 10.0);
+                    let node = NodeId(u32::from(pick) % topo.len() as u32);
+                    match op {
+                        0 => topo.set_position(node, pos),
+                        1 => topo.set_alive(node, false),
+                        2 => topo.set_alive(node, true),
+                        _ => {
+                            topo.add(pos);
+                        }
+                    }
+                    assert_cache_matches_brute_force(&topo);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn set_position_tracked_reports_the_cell_delta() {
+        let mut topo = Topology::new(50.0);
+        let a = topo.add(Position::new(10.0, 10.0));
+        assert_eq!(topo.cell(a), (0, 0));
+        let (from, to) = topo.set_position_tracked(a, Position::new(120.0, -10.0));
+        assert_eq!(from, (0, 0));
+        assert_eq!(to, (2, -1));
+        assert_eq!(topo.cell(a), (2, -1));
+        // A move inside one cell reports an empty delta.
+        let (from, to) = topo.set_position_tracked(a, Position::new(130.0, -20.0));
+        assert_eq!(from, to);
+        assert_cache_matches_brute_force(&topo);
     }
 
     #[test]

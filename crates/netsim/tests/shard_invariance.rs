@@ -144,6 +144,75 @@ fn run_one(
     }
 }
 
+/// Like [`run_one`], but stressing the O(active) machinery (ISSUE 7):
+/// randomized mid-run moves — including one that brings a distant node
+/// into the cluster, forcing interest-set gains and ghost backfills —
+/// followed by a long fully-idle tail the engine must fast-forward
+/// through without changing an output byte. Returns the digest plus
+/// the number of synchronization windows actually executed.
+fn run_dynamic(
+    seed: u64,
+    nodes: usize,
+    jitter: u64,
+    csma: bool,
+    moves: &[(u16, u8, u8, u8)],
+    shards: usize,
+    force_threads: bool,
+) -> (Digest, u64) {
+    let mac = if csma {
+        MacConfig::csma()
+    } else {
+        MacConfig::aloha()
+    };
+    let mut topo = Topology::new(45.0);
+    for p in positions(nodes, jitter) {
+        topo.add(p);
+    }
+    // A distant loner: it transmits unheard until a scheduled move
+    // drops it into the cluster, mid-flight frames and all.
+    topo.add(Position::new(400.0, 400.0));
+    let mut sim = ShardedSimBuilder::new(seed)
+        .mac(mac)
+        .range(45.0)
+        .shards(shards)
+        .build_with_topology(&topo, |id| Chatter {
+            to_send: 1 + id.0 % 3,
+            heard: 0,
+        });
+    if force_threads {
+        sim.set_force_threads(true);
+    }
+    sim.enable_trace(50_000);
+    sim.schedule_move(
+        SimTime::from_millis(230),
+        NodeId(nodes as u32),
+        Position::new(30.0, 30.0),
+    );
+    // Randomized cell-crossing moves on a 9 m lattice (cell pitch is
+    // the 45 m range, so these hop interest cells constantly).
+    for &(ms, sel, col, row) in moves {
+        sim.schedule_move(
+            SimTime::from_micros(5_000 + u64::from(ms) * 997),
+            NodeId(u32::from(sel) % (nodes as u32 + 1)),
+            Position::new(f64::from(col % 20) * 9.0, f64::from(row % 20) * 9.0),
+        );
+    }
+    sim.run_until(SimTime::from_millis(350));
+    // All traffic dies out well before 30 s; the tail is pure idle
+    // time that window skipping must cross without executing windows.
+    sim.run_until(SimTime::from_secs(30));
+    let digest = Digest {
+        stats: sim.stats(),
+        heard: sim.node_ids().map(|id| sim.protocol(id).heard).collect(),
+        energy: sim.total_meter(),
+        traces: sim
+            .tracer()
+            .map(|t| t.events().copied().collect())
+            .unwrap_or_default(),
+    };
+    (digest, sim.windows_executed())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -178,6 +247,39 @@ proptest! {
             let got = run_one(seed, nodes, jitter, csma, true, shards, false);
             prop_assert_eq!(&got, &reference, "faulty run diverged at {} shards", shards);
         }
+    }
+
+    /// Delta-routed ghost maintenance and O(active) window skipping
+    /// (ISSUE 7): randomized cell-crossing moves — inbound, outbound,
+    /// mid-flight — plus a ~29 s fully-idle tail must leave the output
+    /// byte-identical for every shard count and both engines, and the
+    /// idle tail must cost zero executed windows (the window count is
+    /// itself invariant, because the window sequence is a function of
+    /// the global event set alone).
+    #[test]
+    fn dynamics_and_window_skipping_never_change_output(
+        seed in 1u64..5_000,
+        nodes in 6usize..20,
+        jitter in 0u64..1_000,
+        csma in any::<bool>(),
+        moves in proptest::collection::vec(
+            (0u16..900, any::<u8>(), any::<u8>(), any::<u8>()),
+            0..6,
+        ),
+    ) {
+        let (reference, windows) = run_dynamic(seed, nodes, jitter, csma, &moves, 1, false);
+        prop_assert!(reference.stats.frames_sent > 0);
+        // 30 s of timeline is 60k lookahead windows; activity spans at
+        // most ~1.3 s of it. The rest must be skipped, not walked.
+        prop_assert!(windows < 4_000, "idle tail was walked: {} windows", windows);
+        for shards in [2usize, 4, 8] {
+            let (got, w) = run_dynamic(seed, nodes, jitter, csma, &moves, shards, false);
+            prop_assert_eq!(&got, &reference, "diverged at {} shards", shards);
+            prop_assert_eq!(w, windows, "window count diverged at {} shards", shards);
+        }
+        let (got, w) = run_dynamic(seed, nodes, jitter, csma, &moves, 4, true);
+        prop_assert_eq!(&got, &reference, "threaded dynamic run diverged");
+        prop_assert_eq!(w, windows, "threaded window count diverged");
     }
 
     /// The worker-thread engine (ghost air replicas, interest
