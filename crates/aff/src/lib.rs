@@ -27,7 +27,10 @@
 //! - [`sender`]/[`receiver`] — ready-made [`retri_netsim`] protocols
 //!   that reproduce the paper's testbed workload (saturating streams of
 //!   fixed-size packets) with pluggable identifier-selection policies
-//!   and Section 5.1 instrumentation.
+//!   and Section 5.1 instrumentation;
+//! - [`adversary`] — the wire-format codec that arms netsim's
+//!   identifier-predicting eavesdropper with conflicting-introduction
+//!   forgeries (the security axis of the selector taxonomy).
 //!
 //! # Quick start: fragment and reassemble in memory
 //!
@@ -66,6 +69,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod bitio;
 pub mod crc;
 pub mod frag;
@@ -77,6 +81,7 @@ pub mod sender;
 pub mod service;
 pub mod wire;
 
+pub use adversary::AffForgeCodec;
 pub use frag::Fragmenter;
 pub use reassembly::Reassembler;
 pub use receiver::AffReceiver;

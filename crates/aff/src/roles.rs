@@ -9,10 +9,12 @@
 //! scales wall-clock without changing a single output byte.
 
 use retri::IdentifierSpace;
+use retri_netsim::adversary::adversary_stream_seed;
 use retri_netsim::prelude::*;
 use retri_netsim::trace::TraceEvent;
 use retri_obs::{Obs, Snapshot};
 
+use crate::adversary::AffForgeCodec;
 use crate::reassembly::ReassemblyStats;
 use crate::receiver::{AffReceiver, ReceiverStats};
 use crate::sender::{AffSender, SelectorPolicy, SenderStats, Workload};
@@ -28,6 +30,9 @@ pub enum AffNode {
     Sender(AffSender),
     /// The designated receiving node.
     Receiver(AffReceiver),
+    /// An identifier-predicting eavesdropper (the selector taxonomy's
+    /// security axis; absent from every clean testbed).
+    Adversary(Eavesdropper<AffForgeCodec>),
 }
 
 impl AffNode {
@@ -36,7 +41,7 @@ impl AffNode {
     pub fn as_sender(&self) -> Option<&AffSender> {
         match self {
             AffNode::Sender(sender) => Some(sender),
-            AffNode::Receiver(_) => None,
+            _ => None,
         }
     }
 
@@ -45,7 +50,16 @@ impl AffNode {
     pub fn as_receiver(&self) -> Option<&AffReceiver> {
         match self {
             AffNode::Receiver(receiver) => Some(receiver),
-            AffNode::Sender(_) => None,
+            _ => None,
+        }
+    }
+
+    /// The eavesdropper inside, if this node attacks.
+    #[must_use]
+    pub fn as_adversary(&self) -> Option<&Eavesdropper<AffForgeCodec>> {
+        match self {
+            AffNode::Adversary(adversary) => Some(adversary),
+            _ => None,
         }
     }
 }
@@ -55,6 +69,7 @@ impl Protocol for AffNode {
         match self {
             AffNode::Sender(sender) => sender.on_start(ctx),
             AffNode::Receiver(receiver) => receiver.on_start(ctx),
+            AffNode::Adversary(adversary) => adversary.on_start(ctx),
         }
     }
 
@@ -62,6 +77,7 @@ impl Protocol for AffNode {
         match self {
             AffNode::Sender(sender) => sender.on_frame(ctx, frame),
             AffNode::Receiver(receiver) => receiver.on_frame(ctx, frame),
+            AffNode::Adversary(adversary) => adversary.on_frame(ctx, frame),
         }
     }
 
@@ -69,6 +85,7 @@ impl Protocol for AffNode {
         match self {
             AffNode::Sender(sender) => sender.on_timer(ctx, timer),
             AffNode::Receiver(receiver) => receiver.on_timer(ctx, timer),
+            AffNode::Adversary(adversary) => adversary.on_timer(ctx, timer),
         }
     }
 }
@@ -104,6 +121,12 @@ pub struct Testbed {
     /// partitions). Defaults to [`FaultModel::none`], which leaves the
     /// trial byte-identical to a fault-unaware build.
     pub faults: FaultModel,
+    /// When `Some`, one extra eavesdropper node joins the mesh after
+    /// the receiver and runs the identifier-prediction attack. Its
+    /// randomness comes from the dedicated
+    /// [`adversary_stream_seed`] stream, so `None` leaves the trial
+    /// byte-identical to an adversary-unaware build.
+    pub adversary: Option<EavesdropperConfig>,
     /// Spatial shards for the simulation engine. Trial output is
     /// invariant in this knob (the sharded engine's event stream is
     /// shard-count-independent by construction); it only selects how
@@ -137,8 +160,18 @@ impl Testbed {
             notifications: false,
             sender_duty: None,
             faults: FaultModel::none(),
+            adversary: None,
             shards: crate::default_shards(),
         }
+    }
+
+    /// Returns a copy with the standard next-id-probing eavesdropper
+    /// enabled over this testbed's identifier space.
+    #[must_use]
+    pub fn with_adversary(mut self) -> Self {
+        let space = IdentifierSpace::new(self.id_bits).expect("valid identifier width");
+        self.adversary = Some(EavesdropperConfig::stride_probe(space.mask()));
+        self
     }
 
     /// Returns a copy with collision notifications enabled.
@@ -249,6 +282,10 @@ impl Testbed {
         let ttl = self.reassembly_ttl_micros;
         let wire_for_factory = wire.clone();
         let obs_for_factory = obs.cloned();
+        let adversary_config = self.adversary;
+        // Derived even when unused so the factory closure stays cheap;
+        // the main RNG stream is never involved.
+        let adversary_seed = adversary_stream_seed(seed);
         let mut sim = ShardedSimBuilder::new(seed)
             .radio(radio)
             .mac(self.mac)
@@ -267,12 +304,21 @@ impl Testbed {
                         )
                         .expect("testbed wire fits the radio"),
                     )
-                } else {
+                } else if id.index() == transmitters {
                     let mut receiver = AffReceiver::new(wire_for_factory.clone(), ttl);
                     if let Some(obs) = &obs_for_factory {
                         receiver.enable_obs(obs);
                     }
                     AffNode::Receiver(receiver)
+                } else {
+                    let config = adversary_config.expect(
+                        "nodes past the receiver exist only when an adversary is configured",
+                    );
+                    AffNode::Adversary(Eavesdropper::new(
+                        AffForgeCodec::new(wire_for_factory.clone()),
+                        config,
+                        adversary_seed,
+                    ))
                 }
             });
         if let Some(obs) = obs {
@@ -281,8 +327,12 @@ impl Testbed {
         if let Some(capacity) = trace_capacity {
             sim.enable_trace(capacity);
         }
-        // Fully connected ring: transmitters first, then the receiver.
-        let topo = Topology::full_mesh(transmitters + 1, 100.0);
+        // Fully connected ring: transmitters first, then the receiver,
+        // then (only when configured) the eavesdropper — appending it
+        // keeps every pre-existing node's id, position, and RNG stream
+        // exactly as in an adversary-free run.
+        let extra = usize::from(self.adversary.is_some());
+        let topo = Topology::full_mesh(transmitters + 1 + extra, 100.0);
         for id in topo.node_ids() {
             sim.add_node_at(topo.position(id));
         }
@@ -344,10 +394,17 @@ impl Testbed {
         let sender_energy: f64 = (0..transmitters)
             .map(|i| sim.energy_nj(NodeId(i as u32)))
             .sum();
+        let adversary = self.adversary.map(|_| {
+            sim.protocol(NodeId((transmitters + 1) as u32))
+                .as_adversary()
+                .expect("adversary node sits after the receiver")
+                .stats()
+        });
         EnergyTrialResult {
             trial,
             mean_sender_energy_nj: sender_energy / transmitters.max(1) as f64,
             receiver_energy_nj: sim.energy_nj(receiver),
+            adversary,
         }
     }
 }
@@ -387,6 +444,9 @@ pub struct EnergyTrialResult {
     pub mean_sender_energy_nj: f64,
     /// The designated receiver's radio energy, nanojoules.
     pub receiver_energy_nj: f64,
+    /// What the eavesdropper heard and injected (`None` in clean
+    /// testbeds).
+    pub adversary: Option<AdversaryStats>,
 }
 
 /// Outcome of one testbed trial.
@@ -655,6 +715,63 @@ mod tests {
             result.truth_delivered > 0,
             "a 0.2% BER must not kill the channel: {result:?}"
         );
+    }
+
+    #[test]
+    fn adversary_off_trials_match_the_adversary_unaware_shape() {
+        // `adversary: None` must be a pure no-op: same node count, same
+        // RNG draws, same result as a testbed that never mentions it.
+        let mut with_none = quick_testbed(6, SelectorPolicy::Uniform);
+        with_none.adversary = None;
+        let base = quick_testbed(6, SelectorPolicy::Uniform).run(9);
+        assert_eq!(base, with_none.run(9));
+    }
+
+    #[test]
+    fn adversary_cripples_the_sequential_selector() {
+        let clean = quick_testbed(12, SelectorPolicy::Sequential).run(30);
+        let attacked = quick_testbed(12, SelectorPolicy::Sequential)
+            .with_adversary()
+            .run_with_energy(30);
+        let stats = attacked.adversary.expect("adversary was configured");
+        assert!(stats.frames_heard > 0, "{stats:?}");
+        assert!(stats.frames_injected > 0, "{stats:?}");
+        assert!(
+            attacked.trial.collision_loss_rate > clean.collision_loss_rate + 0.05,
+            "predicted-id spray must force losses: attacked {:?} vs clean {:?}",
+            attacked.trial,
+            clean
+        );
+        assert!(
+            attacked.trial.truth_delivered > 0,
+            "the spray contends for airtime but cannot silence the channel"
+        );
+    }
+
+    #[test]
+    fn adversary_barely_dents_unpredictable_selectors() {
+        for policy in [SelectorPolicy::Uniform, SelectorPolicy::Permutation] {
+            let attacked = quick_testbed(12, policy).with_adversary().run(31);
+            assert!(
+                attacked.collision_loss_rate < 0.05,
+                "blind guessing in a 4096-id pool is harmless: {policy:?} {attacked:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn adversarial_trials_are_reproducible() {
+        let testbed = quick_testbed(12, SelectorPolicy::Sequential).with_adversary();
+        assert_eq!(testbed.run_with_energy(33), testbed.run_with_energy(33));
+    }
+
+    #[test]
+    fn structured_selectors_deliver_end_to_end() {
+        for policy in [SelectorPolicy::Permutation, SelectorPolicy::Sequential] {
+            let result = quick_testbed(8, policy).run(34);
+            assert!(result.truth_delivered > 20, "{policy:?}: {result:?}");
+            assert!(result.aff_delivered > 0, "{policy:?}: {result:?}");
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! packet rate, which the load-sweep ablations use.
 
 use rand::{Rng, RngCore};
+use retri::permutation::{PermutationSelector, SequentialSelector};
 use retri::select::{AdaptiveListeningSelector, IdSelector, ListeningSelector, UniformSelector};
 use retri::TransactionId;
 use retri_netsim::{Context, Frame, Protocol, SimDuration, SimTime, Timer};
@@ -35,6 +36,14 @@ pub enum SelectorPolicy {
         /// How long (µs) a heard transaction counts as concurrent.
         concurrency_ttl_micros: u64,
     },
+    /// PERIDOT-style keyed-permutation walk: collision-free within any
+    /// window of `2^H` draws, unpredictable without the key (drawn from
+    /// the node's RNG stream on first use).
+    Permutation,
+    /// A counter from a random start — the IPv4-ID taxonomy's
+    /// predictable policy, used as the adversarial harness's attack
+    /// target.
+    Sequential,
 }
 
 /// A selector instantiated from a [`SelectorPolicy`].
@@ -43,6 +52,8 @@ pub(crate) enum PolicySelector {
     Uniform(UniformSelector),
     Listening(ListeningSelector),
     Adaptive(AdaptiveListeningSelector),
+    Permutation(PermutationSelector),
+    Sequential(SequentialSelector),
 }
 
 impl PolicySelector {
@@ -58,6 +69,12 @@ impl PolicySelector {
                 space,
                 concurrency_ttl_micros,
             )),
+            SelectorPolicy::Permutation => {
+                PolicySelector::Permutation(PermutationSelector::new(space))
+            }
+            SelectorPolicy::Sequential => {
+                PolicySelector::Sequential(SequentialSelector::new(space))
+            }
         }
     }
 
@@ -66,6 +83,8 @@ impl PolicySelector {
             PolicySelector::Uniform(s) => s.select(rng),
             PolicySelector::Listening(s) => s.select(rng),
             PolicySelector::Adaptive(s) => s.select_at(rng, now_micros),
+            PolicySelector::Permutation(s) => s.select(rng),
+            PolicySelector::Sequential(s) => s.select(rng),
         }
     }
 
@@ -74,6 +93,9 @@ impl PolicySelector {
             PolicySelector::Uniform(s) => s.observe(id),
             PolicySelector::Listening(s) => s.observe(id),
             PolicySelector::Adaptive(s) => s.observe_at(id, now_micros),
+            // Structured policies ignore the air by design.
+            PolicySelector::Permutation(s) => s.observe(id),
+            PolicySelector::Sequential(s) => s.observe(id),
         }
     }
 }

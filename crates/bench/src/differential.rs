@@ -38,6 +38,10 @@
 //! identifier/bounds conflicts — never as silently delivered wrong
 //! bytes.
 //!
+//! [`crate::taxonomy`] extends this harness adversarially: the same
+//! Wilson-verdict rules (including [`SERIALIZATION_BIAS_ALLOWANCE`])
+//! score every selector family across clean *and* attacked cells.
+//!
 //! Calibration note: Eq. 4 counts `2(T-1)` collision exposures as if
 //! every concurrent transaction overlapped destructively, but the CSMA
 //! testbed serializes transmissions, so two transactions sharing an

@@ -17,6 +17,10 @@
 //!   single seed-derivation function ([`harness::trial_seed`]), and the
 //!   `--json` provenance document every binary emits.
 //! - [`table`] — plain-text table formatting shared by the binaries.
+//! - [`taxonomy`] — the selector-taxonomy scorecard behind the
+//!   `selector_taxonomy` binary: every identifier-selection family
+//!   scored on correctness (Eq. 4 containment), security
+//!   (attacker-forced collision uplift), and performance.
 //! - [`workloads`] — the fixed wall-clock workload set behind the
 //!   `bench_summary` binary and the `BENCH_netsim.json` trajectory.
 //!
@@ -34,6 +38,7 @@ pub mod figures;
 pub mod guard;
 pub mod harness;
 pub mod table;
+pub mod taxonomy;
 pub mod workloads;
 
 /// How much simulation to spend per experiment point.

@@ -18,6 +18,12 @@
 //!   [`select::ListeningSelector`] heuristic of Section 3.2 that avoids
 //!   recently heard identifiers (including the paper's adaptive `2T`
 //!   window via [`select::AdaptiveListeningSelector`]).
+//! - [`permutation`] — structured selector families from the related
+//!   work: the PERIDOT-style [`permutation::PermutationSelector`]
+//!   (keyed pseudorandom permutation walk — collision-free within a
+//!   window of `space` draws) and the deliberately weak
+//!   [`permutation::SequentialSelector`] (the IPv4-ID taxonomy's
+//!   predictable policy, the attack target of the adversarial harness).
 //! - [`density`] — [`density::DensityEstimator`]: a node's running
 //!   estimate of the transaction density `T` it observes, used to size
 //!   adaptive listening windows.
@@ -63,6 +69,7 @@
 pub mod codebook;
 pub mod density;
 pub mod id;
+pub mod permutation;
 pub mod seed;
 pub mod select;
 pub mod track;

@@ -319,6 +319,18 @@ impl AdaptiveListeningSelector {
         self.inner.window()
     }
 
+    /// Whether the selector is currently avoiding `id`.
+    #[must_use]
+    pub fn avoids(&self, id: TransactionId) -> bool {
+        self.inner.avoids(id)
+    }
+
+    /// Number of *distinct* identifiers currently avoided.
+    #[must_use]
+    pub fn avoided_len(&self) -> usize {
+        self.inner.avoided_len()
+    }
+
     /// This node's current density estimate `T̂` (includes itself).
     #[must_use]
     pub fn estimated_density(&mut self, now: u64) -> u64 {

@@ -1,13 +1,69 @@
 //! Property-based tests of the RETRI core invariants.
 
+use std::collections::HashSet;
+
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use retri::select::{IdSelector, ListeningSelector, UniformSelector};
+use retri::permutation::PermutationSelector;
+use retri::select::{AdaptiveListeningSelector, IdSelector, ListeningSelector, UniformSelector};
 use retri::track::{PacketOutcome, SourceId, TransactionTracker};
 use retri::IdentifierSpace;
 
 proptest! {
+    /// A permutation selector never repeats an identifier within any
+    /// window of `space.len()` consecutive draws — not just the first
+    /// window: after an arbitrary burn-in prefix, the next full window
+    /// is still repeat-free, for every key and width.
+    #[test]
+    fn permutation_never_repeats_within_a_window(
+        bits in 1u8..=10,
+        key in any::<u64>(),
+        burn in 0usize..100,
+    ) {
+        let space = IdentifierSpace::new(bits).unwrap();
+        let window = space.len() as usize;
+        let mut selector = PermutationSelector::with_key(space, key);
+        let mut rng = StdRng::seed_from_u64(0); // ignored once keyed
+        for _ in 0..burn {
+            selector.select(&mut rng);
+        }
+        let mut seen = HashSet::with_capacity(window);
+        for _ in 0..window {
+            let id = selector.select(&mut rng);
+            prop_assert!(space.contains(id));
+            prop_assert!(seen.insert(id.value()), "repeat inside the window");
+        }
+    }
+
+    /// An adaptive listening selector never returns an identifier it is
+    /// currently avoiding while free identifiers remain; once the
+    /// avoided set saturates the space it falls back to a plain
+    /// uniform draw, which must still land in the space. (The plain
+    /// listening selector's version of this invariant is
+    /// `listening_never_picks_avoided` below.)
+    #[test]
+    fn adaptive_never_picks_avoided_until_saturated(
+        bits in 2u8..=8,
+        seed in any::<u64>(),
+        observed in proptest::collection::vec((any::<u64>(), 0u64..1_000_000), 0..300),
+    ) {
+        let space = IdentifierSpace::new(bits).unwrap();
+        let mut selector = AdaptiveListeningSelector::new(space, 2_000_000);
+        for (raw, at) in &observed {
+            selector.observe_at(space.id(raw & space.mask()).unwrap(), *at);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let free_exists = (selector.avoided_len() as u128) < space.len();
+        for _ in 0..50 {
+            let picked = selector.select_at(&mut rng, 1_000_000);
+            prop_assert!(space.contains(picked));
+            if free_exists {
+                prop_assert!(!selector.avoids(picked));
+            }
+        }
+    }
+
     /// Every selected identifier fits its space, for every width and
     /// seed.
     #[test]

@@ -15,7 +15,10 @@
 //! - **per-bit energy metering**, because in sensor networks *every bit
 //!   transmitted reduces the lifetime of the network* ([`energy`]);
 //! - **network dynamics**: scheduled node movement, death, and birth
-//!   ([`topology`], [`sim`]).
+//!   ([`topology`], [`sim`]);
+//! - **adversarial nodes**: an identifier-predicting eavesdropper that
+//!   injects forged frames through a protocol-supplied codec
+//!   ([`adversary`]).
 //!
 //! Everything is driven by a single seeded RNG, so a whole experiment is
 //! reproducible from `(seed, configuration)` — which is what lets the
@@ -56,6 +59,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod energy;
 pub mod fault;
 pub mod frame;
@@ -72,6 +76,7 @@ pub mod trace;
 
 /// Commonly used simulator types, importable in one line.
 pub mod prelude {
+    pub use crate::adversary::{AdversaryStats, Eavesdropper, EavesdropperConfig, InjectionCodec};
     pub use crate::energy::EnergyMeter;
     pub use crate::fault::{ChannelState, FaultModel, GilbertElliott, PartitionWindow};
     pub use crate::frame::{Frame, FramePayload};
@@ -86,6 +91,7 @@ pub mod prelude {
     pub use crate::topology::{Position, Topology};
 }
 
+pub use adversary::{AdversaryStats, Eavesdropper, EavesdropperConfig, InjectionCodec};
 pub use fault::{ChannelState, FaultModel, GilbertElliott, PartitionWindow};
 pub use frame::{Frame, FramePayload};
 pub use node::{Context, NodeId, Protocol, Timer};

@@ -12,6 +12,7 @@
 //! `all_experiments --quick --json` and `diff -r`s the whole
 //! directory against the golden capture.
 
+use retri_aff::{SelectorPolicy, Testbed};
 use retri_bench::harness::Provenance;
 use retri_bench::{ablations, figures, EffortLevel};
 
@@ -32,6 +33,62 @@ fn analytic_fig1_is_byte_identical_to_golden() {
         serde_json::to_string_pretty(&document).unwrap(),
         golden("fig1"),
         "fig1 provenance drifted from the golden capture"
+    );
+}
+
+#[test]
+fn golden_sweeps_run_with_the_adversary_disabled() {
+    // The golden capture predates the adversary subsystem and the
+    // structured selector families. Both byte-identity tests in this
+    // file re-verify the capture *with the new code compiled in*, so
+    // they prove the additions are inert when unused — but only
+    // because the defaults keep them unused. Pin those defaults: a
+    // paper testbed must come up with no adversary (and the capture's
+    // sweeps never select the permutation or sequential policies).
+    let testbed = Testbed::paper(8, SelectorPolicy::Uniform);
+    assert!(
+        testbed.adversary.is_none(),
+        "Testbed::paper grew a default adversary; the golden capture \
+         is no longer measuring the documented configuration"
+    );
+}
+
+#[test]
+fn the_golden_capture_is_untouched() {
+    // The byte-identity tests cover two representative documents; this
+    // pins the capture's *shape* so a new experiment can't silently
+    // overwrite or drop a golden artifact without updating this list.
+    let dir = format!("{}/golden/quick-provenance", env!("CARGO_MANIFEST_DIR"));
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|err| panic!("cannot read {dir}: {err}"))
+        .map(|entry| {
+            entry
+                .expect("readable entry")
+                .file_name()
+                .into_string()
+                .expect("utf-8")
+        })
+        .collect();
+    names.sort();
+    assert_eq!(
+        names,
+        [
+            "ablation_density.json",
+            "ablation_duty_cycle.json",
+            "ablation_dynamic_addr.json",
+            "ablation_energy.json",
+            "ablation_hidden.json",
+            "ablation_lengths.json",
+            "ablation_listening.json",
+            "ablation_mac.json",
+            "ablation_notification.json",
+            "ablation_scaling.json",
+            "efficiency_measured.json",
+            "fig1.json",
+            "fig2.json",
+            "fig3.json",
+            "fig4.json",
+        ]
     );
 }
 

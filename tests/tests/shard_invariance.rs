@@ -106,6 +106,31 @@ fn testbed_trial_is_identical_across_shard_counts() {
 }
 
 #[test]
+fn adversarial_trial_is_identical_across_shard_counts() {
+    // The eavesdropper is an ordinary protocol node on its own labelled
+    // RNG stream, so an attacked trial must be just as shard-invariant
+    // as a clean one: observations, predictions, and injected forgeries
+    // all ride the same deterministic merged event stream.
+    let mut testbed = Testbed::paper(16, SelectorPolicy::Sequential).with_adversary();
+    testbed.workload.stop = SimTime::from_secs(5);
+    testbed.shards = 1;
+    let baseline = testbed.run_with_energy(41);
+    let stats = baseline.adversary.expect("adversary stats recorded");
+    assert!(
+        stats.frames_injected > 0 && stats.predictions_made > 0,
+        "scenario must actually exercise the attack: {stats:?}"
+    );
+    for shards in [2, 4, 8] {
+        testbed.shards = shards;
+        assert_eq!(
+            testbed.run_with_energy(41),
+            baseline,
+            "adversarial trial diverged at {shards} shards"
+        );
+    }
+}
+
+#[test]
 fn provenance_json_bytes_are_identical_across_shard_counts() {
     // The same sweep the golden capture pins, emitted from one and from
     // four shards: the serialized provenance must agree byte for byte,
