@@ -200,6 +200,26 @@ fn run_suite(args: &Args) -> Value {
                     ));
                 }
             }
+            // Service workloads carry their throughput/latency detail
+            // next to the batch wall-clock: the trajectory is where
+            // "allocations per second at what p99" is recorded, and
+            // the bench_guard svc rule reads these fields.
+            if let Some(detail) = workloads::svc_detail(w.name) {
+                fields.push(("svc_allocs".to_string(), Value::UInt(detail.allocs)));
+                fields.push(("svc_busy".to_string(), Value::UInt(detail.busy)));
+                fields.push((
+                    "svc_p50_latency_ns".to_string(),
+                    Value::UInt(detail.p50_latency_ns),
+                ));
+                fields.push((
+                    "svc_p99_latency_ns".to_string(),
+                    Value::UInt(detail.p99_latency_ns),
+                ));
+                fields.push((
+                    "svc_allocs_per_sec".to_string(),
+                    Value::Float(detail.allocs_per_sec),
+                ));
+            }
             // A sharded workload timed on a small host still records
             // its numbers, but the sharded-vs-serial comparison they
             // invite is not meaningful there — mark it so readers (and

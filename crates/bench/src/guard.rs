@@ -36,6 +36,19 @@
 //! in aggregate; the O(active) engine keeps the multiple low because
 //! the 1M workload's traffic is deliberately sparse. Entries recorded
 //! before the 1M workload existed skip this rule.
+//!
+//! **Rule 4 — the allocator service must mint a million cheaply.** The
+//! `svc_alloc_1m` workload must have recorded at least one million
+//! identifier allocations (`svc_allocs`, written by `bench_summary`
+//! from the load report — the acceptance property, not an inference
+//! from timings), and its anchored cost — serial median over
+//! `wire_roundtrip`'s, same entry — must stay within
+//! [`SVC_ALLOC_RATIO_BUDGET`]. The workload runs at full size even
+//! under `--quick` while the anchor shrinks, so the measured quick
+//! ratio (~0.4) is the *worst* case the budget must admit; 1.5 leaves
+//! ~4× headroom there and far more on full-effort entries without
+//! admitting an allocator whose hot path grew a lock or an allocation
+//! per mint. Entries predating the service workloads skip.
 
 use serde_json::Value;
 
@@ -56,6 +69,16 @@ pub const FAULT_RATIO_BUDGET_FACTOR: f64 = 2.0;
 /// for noise and the quick/full amortization shift without admitting
 /// a per-window topology scan.
 pub const SCALE_RATIO_BUDGET_FACTOR: f64 = 10.0;
+
+/// Rule 4's budget: `svc_alloc_1m` (one million in-process
+/// allocations, never shrunk by `--quick`) may cost at most this
+/// multiple of the `wire_roundtrip` anchor. Calibrated against the
+/// quick-effort anchor, where the ratio is largest (~0.4 measured).
+pub const SVC_ALLOC_RATIO_BUDGET: f64 = 1.5;
+
+/// The allocation floor rule 4 enforces: the recorded run must have
+/// minted at least this many identifiers.
+pub const SVC_ALLOC_FLOOR: u64 = 1_000_000;
 
 /// Outcome of one guard rule.
 #[derive(Debug, Clone, PartialEq)]
@@ -244,6 +267,49 @@ pub fn check_scale_ratio(entry: &Value) -> Verdict {
     }
 }
 
+/// A `svc_*` detail field (`svc_allocs`, `svc_busy`, …) recorded next
+/// to a service workload's timings by `bench_summary`.
+#[must_use]
+pub fn svc_field(entry: &Value, workload: &str, field: &str) -> Option<u64> {
+    entry
+        .get("workloads")?
+        .as_array()?
+        .iter()
+        .find(|w| w.get("name").and_then(Value::as_str) == Some(workload))?
+        .get(field)?
+        .as_u64()
+}
+
+/// Rule 4: the `retrid` allocator service must have minted at least
+/// [`SVC_ALLOC_FLOOR`] identifiers in the recorded `svc_alloc_1m` run,
+/// at an anchored cost within [`SVC_ALLOC_RATIO_BUDGET`] of the
+/// `wire_roundtrip` anchor.
+#[must_use]
+pub fn check_svc_alloc(entry: &Value) -> Verdict {
+    let Some(allocs) = svc_field(entry, "svc_alloc_1m", "svc_allocs") else {
+        return Verdict::Skip("entry predates the svc_alloc_1m workload".to_string());
+    };
+    if allocs < SVC_ALLOC_FLOOR {
+        return Verdict::Fail(format!(
+            "svc_alloc_1m recorded only {allocs} allocations (floor {SVC_ALLOC_FLOOR})"
+        ));
+    }
+    let Some(cost) = anchored_cost(entry, "svc_alloc_1m") else {
+        return Verdict::Skip("entry lacks the svc_alloc_1m/wire_roundtrip pair".to_string());
+    };
+    if cost <= SVC_ALLOC_RATIO_BUDGET {
+        Verdict::Pass(format!(
+            "svc_alloc_1m minted {allocs} ids at {cost:.2}x wire_roundtrip \
+             (budget {SVC_ALLOC_RATIO_BUDGET}x)"
+        ))
+    } else {
+        Verdict::Fail(format!(
+            "svc_alloc_1m costs {cost:.2}x wire_roundtrip (budget \
+             {SVC_ALLOC_RATIO_BUDGET}x) — the allocator hot path has regressed"
+        ))
+    }
+}
+
 /// Workload-level `skipped` markers recorded in the entry by
 /// `bench_summary` (e.g. sharded comparisons timed on a small host),
 /// as `(workload, reason)` pairs. `bench_guard` prints these so a
@@ -280,6 +346,7 @@ pub fn run_all(
             check_fault_ratio(entry, baseline, baseline_label),
         ),
         ("scale-ratio-1m-vs-100k", check_scale_ratio(entry)),
+        ("svc-allocation-run", check_svc_alloc(entry)),
     ]
 }
 
@@ -470,6 +537,76 @@ mod tests {
             ],
         );
         assert_eq!(check_scale_ratio(&slow).label(), "PASS");
+    }
+
+    fn svc_workload(name: &str, serial_ms: u64, allocs: u64) -> Value {
+        let Value::Object(mut fields) = workload(name, serial_ms, serial_ms) else {
+            unreachable!("workload() builds an object");
+        };
+        fields.push(("svc_allocs".to_string(), Value::UInt(allocs)));
+        fields.push(("svc_busy".to_string(), Value::UInt(0)));
+        Value::Object(fields)
+    }
+
+    #[test]
+    fn svc_rule_passes_a_cheap_million_and_fails_a_slow_or_short_one() {
+        let good = entry(
+            "good",
+            1,
+            vec![
+                workload("wire_roundtrip", 370, 370),
+                svc_workload("svc_alloc_1m", 150, 1_000_000),
+            ],
+        );
+        let verdict = check_svc_alloc(&good);
+        assert_eq!(verdict.label(), "PASS", "{}", verdict.detail());
+
+        // A lock or allocation on the mint hot path: 1M ids now cost
+        // multiples of the anchor.
+        let slow = entry(
+            "slow",
+            1,
+            vec![
+                workload("wire_roundtrip", 370, 370),
+                svc_workload("svc_alloc_1m", 1_200, 1_000_000),
+            ],
+        );
+        assert!(check_svc_alloc(&slow).is_fail());
+
+        // A run that silently minted less than the floor.
+        let short = entry(
+            "short",
+            1,
+            vec![
+                workload("wire_roundtrip", 370, 370),
+                svc_workload("svc_alloc_1m", 20, 40_000),
+            ],
+        );
+        assert!(check_svc_alloc(&short).is_fail());
+    }
+
+    #[test]
+    fn svc_rule_skips_entries_predating_the_service() {
+        let old = entry("pr7-scale", 1, vec![workload("wire_roundtrip", 370, 370)]);
+        assert_eq!(check_svc_alloc(&old).label(), "SKIP");
+        for (_, verdict) in run_all(&old, &old, "pr7-scale") {
+            assert!(!verdict.is_fail());
+        }
+    }
+
+    #[test]
+    fn svc_fields_read_back_from_the_entry() {
+        let e = entry(
+            "x",
+            1,
+            vec![svc_workload("svc_alloc_contended", 30, 200_000)],
+        );
+        assert_eq!(
+            svc_field(&e, "svc_alloc_contended", "svc_allocs"),
+            Some(200_000)
+        );
+        assert_eq!(svc_field(&e, "svc_alloc_contended", "svc_busy"), Some(0));
+        assert_eq!(svc_field(&e, "svc_alloc_1m", "svc_allocs"), None);
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! `retrid_load` — the load generator closing the benchmark loop.
+//!
+//! Usage:
+//! `retrid_load [--mode inproc|tcp] [--addr <host:port>] [--seed <n>]
+//! [--allocs <n>] [--batch <n>] [--shards <k>] [--bits <h>] [--clients <n>]`
+//!
+//! - `inproc` (default) builds the service in-process and drives the
+//!   deterministic [`retri_service::ServiceHandle`]; prints the
+//!   allocation-stream digest so two runs (or two transports) can be
+//!   diffed.
+//! - `tcp` starts a server on `--addr` (default an ephemeral local
+//!   port), drives it over `--clients` concurrent connections, and
+//!   shuts it down gracefully.
+//!
+//! Exit status is non-zero if the run allocates fewer identifiers than
+//! requested.
+
+use retri_service::{
+    run_load, LoadPlan, LoadReport, Server, ServiceConfig, ServiceHandle, TcpClient,
+};
+
+struct Args {
+    mode: String,
+    addr: String,
+    allocs: u64,
+    clients: usize,
+    plan_batch: u32,
+    config: ServiceConfig,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        mode: "inproc".to_string(),
+        addr: "127.0.0.1:0".to_string(),
+        allocs: 1_000_000,
+        clients: 2,
+        plan_batch: 256,
+        config: ServiceConfig::new(0),
+    };
+    let mut argv = std::env::args().skip(1);
+    let value = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
+        argv.next()
+            .unwrap_or_else(|| panic!("{flag} needs a value"))
+    };
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--mode" => args.mode = value(&mut argv, "--mode"),
+            "--addr" => args.addr = value(&mut argv, "--addr"),
+            "--seed" => args.config.seed = value(&mut argv, "--seed").parse().expect("--seed: u64"),
+            "--allocs" => {
+                args.allocs = value(&mut argv, "--allocs").parse().expect("--allocs: u64")
+            }
+            "--batch" => {
+                args.plan_batch = value(&mut argv, "--batch").parse().expect("--batch: u32");
+            }
+            "--shards" => {
+                args.config.shards = value(&mut argv, "--shards").parse().expect("--shards: u16");
+            }
+            "--bits" => args.config.bits = value(&mut argv, "--bits").parse().expect("--bits: u8"),
+            "--clients" => {
+                args.clients = value(&mut argv, "--clients")
+                    .parse()
+                    .expect("--clients: usize");
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    args
+}
+
+fn plan(args: &Args, allocs: u64) -> LoadPlan {
+    let mut plan = LoadPlan::new(allocs);
+    plan.batch = args.plan_batch;
+    plan.shards = args.config.shards;
+    plan
+}
+
+fn print_report(label: &str, report: &LoadReport) {
+    println!(
+        "{label}: allocs={} requests={} busy={} elapsed_ms={:.1} \
+         allocs_per_sec={:.0} p50_us={:.1} p99_us={:.1} digest={:#018x}",
+        report.allocs,
+        report.requests,
+        report.busy,
+        report.elapsed_ns as f64 / 1e6,
+        report.allocs_per_sec(),
+        report.p50_latency_ns as f64 / 1e3,
+        report.p99_latency_ns as f64 / 1e3,
+        report.digest,
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    match args.mode.as_str() {
+        "inproc" => {
+            let mut handle = ServiceHandle::new(&args.config);
+            let report =
+                run_load(&mut handle, &plan(&args, args.allocs)).expect("in-process load run");
+            print_report("inproc", &report);
+            assert_eq!(report.allocs, args.allocs, "short allocation run");
+        }
+        "tcp" => {
+            let server = Server::start(&args.config, args.addr.as_str())
+                .unwrap_or_else(|err| panic!("cannot bind {}: {err}", args.addr));
+            let addr = server.addr();
+            eprintln!(
+                "[retrid_load] serving on {addr}, {} client(s)",
+                args.clients
+            );
+            let per_client = args.allocs / args.clients.max(1) as u64;
+            let reports: Vec<LoadReport> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..args.clients.max(1))
+                    .map(|_| {
+                        let plan = plan(&args, per_client);
+                        scope.spawn(move || {
+                            let mut client =
+                                TcpClient::connect(addr).expect("connect to own server");
+                            run_load(&mut client, &plan).expect("tcp load run")
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("client thread"))
+                    .collect()
+            });
+            server.shutdown();
+            let mut total = 0;
+            for (i, report) in reports.iter().enumerate() {
+                print_report(&format!("tcp[{i}]"), report);
+                total += report.allocs;
+            }
+            let expected = per_client * args.clients.max(1) as u64;
+            assert_eq!(total, expected, "short allocation run");
+        }
+        other => panic!("unknown --mode {other:?} (expected inproc or tcp)"),
+    }
+}

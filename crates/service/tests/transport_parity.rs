@@ -1,0 +1,145 @@
+//! Transport parity: the in-process handle and the TCP transport are
+//! two front doors to the same allocator, so for one [`ServiceConfig`]
+//! seed and one request sequence they must produce *identical*
+//! allocation streams — the acceptance property of the `retrid`
+//! service.
+
+use retri_service::proto::{Reply, Request, ALL_SHARDS};
+use retri_service::{
+    run_load, LoadPlan, Server, ServiceConfig, ServiceHandle, StrategyKind, TcpClient, Transport,
+};
+
+fn config(seed: u64) -> ServiceConfig {
+    let mut config = ServiceConfig::new(seed);
+    config.shards = 3;
+    config.bits = 14;
+    config
+}
+
+/// Drives the same explicit request sequence through any transport and
+/// returns every reply.
+fn drive(transport: &mut dyn Transport) -> Vec<Reply> {
+    let mut replies = Vec::new();
+    let mut minted: Vec<(u16, StrategyKind, Vec<u128>)> = Vec::new();
+    for round in 0..6u32 {
+        for shard in 0..3u16 {
+            for strategy in StrategyKind::ALL {
+                let reply = transport
+                    .request(&Request::Alloc {
+                        shard,
+                        strategy,
+                        count: 32 + round,
+                    })
+                    .expect("transport alloc");
+                if let Reply::Ids(ids) = &reply {
+                    minted.push((shard, strategy, ids.clone()));
+                }
+                replies.push(reply);
+            }
+        }
+        // Release the oldest batch per round to exercise the release
+        // path in the same order on both transports.
+        if round >= 2 {
+            let (shard, strategy, ids) = minted.remove(0);
+            replies.push(
+                transport
+                    .request(&Request::Release {
+                        shard,
+                        strategy,
+                        ids,
+                    })
+                    .expect("transport release"),
+            );
+        }
+    }
+    replies.push(
+        transport
+            .request(&Request::Stats { shard: ALL_SHARDS })
+            .expect("transport stats"),
+    );
+    replies
+}
+
+#[test]
+fn same_seed_same_replies_across_transports() {
+    let config = config(20260808);
+    let mut handle = ServiceHandle::new(&config);
+    let inproc = drive(&mut handle);
+
+    let server = Server::start(&config, "127.0.0.1:0").expect("bind");
+    let mut client = TcpClient::connect(server.addr()).expect("connect");
+    let tcp = drive(&mut client);
+    drop(client);
+    server.shutdown();
+
+    assert_eq!(inproc.len(), tcp.len());
+    for (i, (a, b)) in inproc.iter().zip(&tcp).enumerate() {
+        assert_eq!(a, b, "reply {i} diverged between transports");
+    }
+}
+
+#[test]
+fn load_run_digests_match_across_transports() {
+    let config = config(7);
+    let mut plan = LoadPlan::new(30_000);
+    plan.shards = config.shards;
+    plan.batch = 128;
+
+    let mut handle = ServiceHandle::new(&config);
+    let inproc = run_load(&mut handle, &plan).expect("in-process run");
+
+    let server = Server::start(&config, "127.0.0.1:0").expect("bind");
+    let mut client = TcpClient::connect(server.addr()).expect("connect");
+    let tcp = run_load(&mut client, &plan).expect("tcp run");
+    drop(client);
+    server.shutdown();
+
+    assert_eq!(inproc.allocs, tcp.allocs);
+    assert_eq!(
+        inproc.digest, tcp.digest,
+        "allocation streams diverged between transports"
+    );
+}
+
+#[test]
+fn all_shard_stats_fan_out_in_the_same_order() {
+    let config = config(99);
+    let mut handle = ServiceHandle::new(&config);
+    let server = Server::start(&config, "127.0.0.1:0").expect("bind");
+    let mut client = TcpClient::connect(server.addr()).expect("connect");
+
+    for shard in 0..config.shards {
+        let req = Request::Alloc {
+            shard,
+            strategy: StrategyKind::Uniform,
+            count: 10 * (u32::from(shard) + 1),
+        };
+        let a = Transport::request(&mut handle, &req).unwrap();
+        let b = client.request(&req).expect("tcp alloc");
+        assert_eq!(a, b);
+    }
+    let req = Request::Stats { shard: ALL_SHARDS };
+    let a = Transport::request(&mut handle, &req).unwrap();
+    let b = client.request(&req).expect("tcp stats");
+    assert_eq!(a, b, "aggregated stats must agree entry-for-entry");
+
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_joins_with_a_live_idle_connection() {
+    let config = config(1);
+    let server = Server::start(&config, "127.0.0.1:0").expect("bind");
+    let mut client = TcpClient::connect(server.addr()).expect("connect");
+    assert_eq!(client.request(&Request::Ping).expect("ping"), Reply::Pong);
+    // The client stays connected and silent; shutdown must still
+    // return promptly (connection threads notice the stop flag within
+    // one poll interval).
+    let started = std::time::Instant::now();
+    server.shutdown();
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(5),
+        "shutdown hung on an idle connection"
+    );
+}
