@@ -6,8 +6,9 @@
 //! [--baseline <path>] [--baseline-entry <label>]`
 //!
 //! Evaluates the named entry — usually the one `bench_summary` just
-//! wrote — against the sharded-beats-serial, fault-channel-ratio and
-//! 1M-vs-100k scale rules, printing one verdict line per rule. Exits
+//! wrote — against the sharded-beats-serial, fault-channel-ratio,
+//! 1M-vs-100k scale, svc-allocation and adaptive-MAC rules, printing
+//! one verdict line per rule. Exits
 //! non-zero if any rule fails; skipped rules (for example
 //! sharded-vs-serial on a small CI host) are reported with a count and
 //! reasons rather than passing silently, and workload-level `skipped`

@@ -220,6 +220,50 @@ fn run_suite(args: &Args) -> Value {
                     Value::Float(detail.allocs_per_sec),
                 ));
             }
+            // The adaptive-MAC workload likewise records its detail:
+            // known-N vs density-estimated DFA success counts and the
+            // Wilson verdict against the closed form, read back by the
+            // bench_guard adaptive-MAC rule.
+            if w.name == "sim_dfa_saturated" {
+                if let Some(detail) = workloads::dfa_detail() {
+                    fields.push((
+                        "dfa_known_attempts".to_string(),
+                        Value::UInt(detail.known_attempts),
+                    ));
+                    fields.push((
+                        "dfa_known_successes".to_string(),
+                        Value::UInt(detail.known_successes),
+                    ));
+                    fields.push((
+                        "dfa_estimated_attempts".to_string(),
+                        Value::UInt(detail.estimated_attempts),
+                    ));
+                    fields.push((
+                        "dfa_estimated_successes".to_string(),
+                        Value::UInt(detail.estimated_successes),
+                    ));
+                    fields.push((
+                        "dfa_wilson_ok".to_string(),
+                        Value::UInt(u64::from(detail.wilson_ok)),
+                    ));
+                    fields.push((
+                        "dfa_known_deliveries".to_string(),
+                        Value::UInt(detail.known_deliveries),
+                    ));
+                    fields.push((
+                        "dfa_estimated_deliveries".to_string(),
+                        Value::UInt(detail.estimated_deliveries),
+                    ));
+                    fields.push((
+                        "dfa_csma_deliveries".to_string(),
+                        Value::UInt(detail.csma_deliveries),
+                    ));
+                    fields.push((
+                        "dfa_aloha_deliveries".to_string(),
+                        Value::UInt(detail.aloha_deliveries),
+                    ));
+                }
+            }
             // A sharded workload timed on a small host still records
             // its numbers, but the sharded-vs-serial comparison they
             // invite is not meaningful there — mark it so readers (and

@@ -49,6 +49,14 @@
 //! ~4× headroom there and far more on full-effort entries without
 //! admitting an allocator whose hot path grew a lock or an allocation
 //! per mint. Entries predating the service workloads skip.
+//!
+//! **Rule 5 — the adaptive MAC must close the RETRI loop.** The
+//! `sim_dfa_saturated` workload records its Dynamic-Frame Aloha detail
+//! into the entry; the rule requires the known-population run's
+//! success rate to have contained the closed-form prediction (Wilson,
+//! 99%), the density-estimated run to reach
+//! [`DFA_ESTIMATED_FLOOR_PCT`]% of the known-N successes, and the
+//! workload's anchored cost to stay within [`DFA_RATIO_BUDGET`].
 
 use serde_json::Value;
 
@@ -79,6 +87,24 @@ pub const SVC_ALLOC_RATIO_BUDGET: f64 = 1.5;
 /// The allocation floor rule 4 enforces: the recorded run must have
 /// minted at least this many identifiers.
 pub const SVC_ALLOC_FLOOR: u64 = 1_000_000;
+
+/// Rule 5's throughput floor, in percent: Dynamic-Frame Aloha sizing
+/// its frames from the density estimator must keep at least this share
+/// of the known-population throughput over the same horizon. The
+/// estimator's only handicaps are the warm-up at the configured frame
+/// floor and identifier-rotation overshoot, both small against a full
+/// run; a converged estimate lands ~97-99% measured, so 90% catches a
+/// broken loop (estimate stuck at the floor, or wildly inflated)
+/// without flagging estimator noise.
+pub const DFA_ESTIMATED_FLOOR_PCT: u64 = 90;
+
+/// Rule 5's anchored-cost budget: `sim_dfa_saturated` (four saturated
+/// 16-node clique runs: DFA known-N, DFA estimated, CSMA, ALOHA) may
+/// cost at most this multiple of the `wire_roundtrip` anchor, serial
+/// medians in the same entry. Measured ~0.6x at both efforts; 2.0
+/// leaves >3x headroom without admitting per-slot work creeping into
+/// the frame-step hot path.
+pub const DFA_RATIO_BUDGET: f64 = 2.0;
 
 /// Outcome of one guard rule.
 #[derive(Debug, Clone, PartialEq)]
@@ -310,6 +336,56 @@ pub fn check_svc_alloc(entry: &Value) -> Verdict {
     }
 }
 
+/// Rule 5: the adaptive MAC must close the RETRI loop.
+///
+/// Reads the `dfa_*` fields `bench_summary` records next to the
+/// `sim_dfa_saturated` timings. Three checks: the known-N run's
+/// observed per-attempt success rate must have contained the
+/// closed-form prediction (the recorded Wilson verdict), the
+/// density-estimated run must have kept at least
+/// [`DFA_ESTIMATED_FLOOR_PCT`]% of the known-N successes, and the
+/// workload's anchored cost must stay within [`DFA_RATIO_BUDGET`].
+/// Entries predating the workload skip.
+#[must_use]
+pub fn check_dfa_adaptive(entry: &Value) -> Verdict {
+    const WORKLOAD: &str = "sim_dfa_saturated";
+    let Some(known) = svc_field(entry, WORKLOAD, "dfa_known_successes") else {
+        return Verdict::Skip(format!("entry predates the {WORKLOAD} workload"));
+    };
+    if svc_field(entry, WORKLOAD, "dfa_wilson_ok") != Some(1) {
+        return Verdict::Fail(
+            "known-N DFA success rate no longer contains the closed-form \
+             (1 - 1/L)^(N-1) prediction (dfa_wilson_ok != 1)"
+                .to_string(),
+        );
+    }
+    let Some(estimated) = svc_field(entry, WORKLOAD, "dfa_estimated_successes") else {
+        return Verdict::Skip("entry lacks dfa_estimated_successes".to_string());
+    };
+    if estimated * 100 < known * DFA_ESTIMATED_FLOOR_PCT {
+        return Verdict::Fail(format!(
+            "density-estimated DFA recorded {estimated} successes vs known-N \
+             {known} — below the {DFA_ESTIMATED_FLOOR_PCT}% floor; the \
+             estimator-to-frame-size loop has regressed"
+        ));
+    }
+    let Some(cost) = anchored_cost(entry, WORKLOAD) else {
+        return Verdict::Skip(format!("entry lacks the {WORKLOAD}/wire_roundtrip pair"));
+    };
+    if cost <= DFA_RATIO_BUDGET {
+        Verdict::Pass(format!(
+            "estimated DFA at {:.1}% of known-N throughput, Wilson verdict \
+             holds, cost {cost:.2}x wire_roundtrip (budget {DFA_RATIO_BUDGET}x)",
+            estimated as f64 * 100.0 / known.max(1) as f64
+        ))
+    } else {
+        Verdict::Fail(format!(
+            "{WORKLOAD} costs {cost:.2}x wire_roundtrip (budget \
+             {DFA_RATIO_BUDGET}x) — the DFA frame-step hot path has regressed"
+        ))
+    }
+}
+
 /// Workload-level `skipped` markers recorded in the entry by
 /// `bench_summary` (e.g. sharded comparisons timed on a small host),
 /// as `(workload, reason)` pairs. `bench_guard` prints these so a
@@ -347,6 +423,7 @@ pub fn run_all(
         ),
         ("scale-ratio-1m-vs-100k", check_scale_ratio(entry)),
         ("svc-allocation-run", check_svc_alloc(entry)),
+        ("dfa-adaptive-mac", check_dfa_adaptive(entry)),
     ]
 }
 
@@ -607,6 +684,61 @@ mod tests {
         );
         assert_eq!(svc_field(&e, "svc_alloc_contended", "svc_busy"), Some(0));
         assert_eq!(svc_field(&e, "svc_alloc_1m", "svc_allocs"), None);
+    }
+
+    fn dfa_workload(serial_ms: u64, known: u64, estimated: u64, wilson_ok: u64) -> Value {
+        let Value::Object(mut fields) = workload("sim_dfa_saturated", serial_ms, serial_ms) else {
+            unreachable!("workload() builds an object");
+        };
+        fields.push(("dfa_known_successes".to_string(), Value::UInt(known)));
+        fields.push((
+            "dfa_estimated_successes".to_string(),
+            Value::UInt(estimated),
+        ));
+        fields.push(("dfa_wilson_ok".to_string(), Value::UInt(wilson_ok)));
+        Value::Object(fields)
+    }
+
+    #[test]
+    fn dfa_rule_passes_a_converged_loop_and_fails_each_regression() {
+        let anchor = workload("wire_roundtrip", 370, 370);
+        let good = entry(
+            "good",
+            1,
+            vec![anchor.clone(), dfa_workload(230, 5700, 5500, 1)],
+        );
+        let verdict = check_dfa_adaptive(&good);
+        assert_eq!(verdict.label(), "PASS", "{}", verdict.detail());
+
+        // The estimator loop breaks: frames stuck at the warm-up floor.
+        let stuck = entry(
+            "stuck",
+            1,
+            vec![anchor.clone(), dfa_workload(230, 5700, 2400, 1)],
+        );
+        assert!(check_dfa_adaptive(&stuck).is_fail());
+
+        // The engine drifts off the closed form.
+        let skewed = entry(
+            "skewed",
+            1,
+            vec![anchor.clone(), dfa_workload(230, 5700, 5500, 0)],
+        );
+        assert!(check_dfa_adaptive(&skewed).is_fail());
+
+        // Per-slot work creeps into the frame step: anchored cost blows
+        // past the budget.
+        let slow = entry("slow", 1, vec![anchor, dfa_workload(2_000, 5700, 5500, 1)]);
+        assert!(check_dfa_adaptive(&slow).is_fail());
+    }
+
+    #[test]
+    fn dfa_rule_skips_entries_predating_the_workload() {
+        let old = entry("pr9-service", 1, vec![workload("wire_roundtrip", 370, 370)]);
+        assert_eq!(check_dfa_adaptive(&old).label(), "SKIP");
+        for (_, verdict) in run_all(&old, &old, "pr9-service") {
+            assert!(!verdict.is_fail());
+        }
     }
 
     #[test]

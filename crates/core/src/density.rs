@@ -8,6 +8,14 @@
 //! transaction identifiers heard within a sliding time horizon and
 //! optionally smooths the count with an exponentially weighted moving
 //! average.
+//!
+//! Reads are **pure**: [`DensityEstimator::estimated_density`] and
+//! [`DensityEstimator::active_count`] take `&self` and may be called
+//! any number of times at the same instant without changing the
+//! estimate — a property the Dynamic-Frame Aloha controller, which
+//! queries density every frame, depends on. Between observations the
+//! smoothed estimate decays toward the live count as a function of
+//! *elapsed time* (time constant `ttl`), not of how often anyone asked.
 
 use std::collections::HashMap;
 
@@ -33,6 +41,9 @@ use retri_model::Density;
 /// // Two concurrent foreign transactions plus this node itself.
 /// assert_eq!(est.estimated_density(800).get(), 3);
 ///
+/// // Reads are pure: asking again changes nothing.
+/// assert_eq!(est.estimated_density(800).get(), 3);
+///
 /// // After the horizon passes, the estimate relaxes to just this node.
 /// assert_eq!(est.estimated_density(10_000).get(), 1);
 /// ```
@@ -41,7 +52,12 @@ pub struct DensityEstimator {
     ttl: u64,
     alpha: f64,
     last_seen: HashMap<u64, u64>,
+    /// The smoothed count as of `last_update`; `None` before the first
+    /// observation.
     smoothed: Option<f64>,
+    /// The instant of the most recent observation (the checkpoint the
+    /// time-based decay in [`Self::smoothed_at`] measures from).
+    last_update: u64,
 }
 
 impl DensityEstimator {
@@ -54,11 +70,19 @@ impl DensityEstimator {
             alpha: 1.0,
             last_seen: HashMap::new(),
             smoothed: None,
+            last_update: 0,
         }
     }
 
-    /// Creates an estimator that smooths the concurrent count with an
-    /// EWMA: `estimate ← alpha · count + (1 - alpha) · estimate`.
+    /// Creates an estimator that smooths the concurrent count.
+    ///
+    /// Each observation applies one EWMA step,
+    /// `estimate ← alpha · count + (1 - alpha) · estimate`; between
+    /// observations the estimate decays toward the live count with time
+    /// constant `ttl` (after `ttl` silent time units the memory of the
+    /// old estimate has faded by a factor `1 - alpha`). Decay depends
+    /// only on elapsed time — never on how many times the estimate was
+    /// read.
     ///
     /// # Panics
     ///
@@ -74,6 +98,7 @@ impl DensityEstimator {
             alpha,
             last_seen: HashMap::new(),
             smoothed: None,
+            last_update: 0,
         }
     }
 
@@ -84,43 +109,75 @@ impl DensityEstimator {
     }
 
     /// Records that transaction identifier `key` was heard at `now`.
+    ///
+    /// This is the only path that advances the smoothing state; reads
+    /// never do.
     pub fn observe(&mut self, key: u64, now: u64) {
+        // Decay the previous estimate up to `now` *before* this
+        // observation lands, so the EWMA step blends against the value
+        // a pure read would have returned a moment earlier.
+        let decayed = self.smoothed_at(now);
         self.last_seen
             .entry(key)
             .and_modify(|t| *t = (*t).max(now))
             .or_insert(now);
-        let count = self.active_count(now) as f64;
+        self.prune(now);
+        let count = self.last_seen.len() as f64;
         self.smoothed = Some(match self.smoothed {
-            Some(prev) => self.alpha * count + (1.0 - self.alpha) * prev,
+            Some(_) => self.alpha * count + (1.0 - self.alpha) * decayed,
             None => count,
         });
+        self.last_update = now;
     }
 
-    /// Number of distinct foreign transactions heard within the horizon,
-    /// pruning expired entries.
-    pub fn active_count(&mut self, now: u64) -> usize {
+    /// Drops entries that expired before `now`. Optional: expired
+    /// entries are already invisible to every read; this only releases
+    /// their memory.
+    pub fn advance(&mut self, now: u64) {
+        self.prune(now);
+    }
+
+    fn prune(&mut self, now: u64) {
         let ttl = self.ttl;
         self.last_seen
             .retain(|_, &mut seen| now.saturating_sub(seen) <= ttl);
-        self.last_seen.len()
+    }
+
+    /// Number of distinct foreign transactions heard within the horizon.
+    /// Pure: expired entries are skipped, not pruned.
+    #[must_use]
+    pub fn active_count(&self, now: u64) -> usize {
+        self.last_seen
+            .values()
+            .filter(|&&seen| now.saturating_sub(seen) <= self.ttl)
+            .count()
+    }
+
+    /// The smoothed count as it stands at `now`: the checkpointed EWMA
+    /// value relaxed toward the live count by `(1 - alpha)^(Δt / ttl)`.
+    fn smoothed_at(&self, now: u64) -> f64 {
+        let count = self.active_count(now) as f64;
+        let Some(prev) = self.smoothed else {
+            return count;
+        };
+        let dt = now.saturating_sub(self.last_update);
+        if dt == 0 {
+            return prev;
+        }
+        // ttl == 0 makes the exponent infinite and the weight zero: an
+        // estimator with no horizon holds no memory.
+        let weight = (1.0 - self.alpha).powf(dt as f64 / self.ttl.max(1) as f64);
+        count + (prev - count) * weight
     }
 
     /// The density estimate `T̂`: concurrent foreign transactions plus
     /// one for this node's own transaction. Always at least one.
-    pub fn estimated_density(&mut self, now: u64) -> Density {
-        let current = self.active_count(now) as f64;
-        let smoothed = match self.smoothed {
-            // The smoothed value can lag a quiet period; never report
-            // more than the live count plus the smoothing memory allows,
-            // and decay toward the live count.
-            Some(prev) => {
-                let blended = self.alpha * current + (1.0 - self.alpha) * prev;
-                self.smoothed = Some(blended);
-                blended
-            }
-            None => current,
-        };
-        let t = smoothed.round() as u64 + 1;
+    ///
+    /// Pure: calling this any number of times at the same `now` returns
+    /// the same value and leaves the estimator unchanged.
+    #[must_use]
+    pub fn estimated_density(&self, now: u64) -> Density {
+        let t = self.smoothed_at(now).round() as u64 + 1;
         Density::new(t.max(1)).expect("t >= 1 by construction")
     }
 }
@@ -131,7 +188,7 @@ mod tests {
 
     #[test]
     fn lone_node_estimates_density_one() {
-        let mut est = DensityEstimator::new(100);
+        let est = DensityEstimator::new(100);
         assert_eq!(est.estimated_density(0).get(), 1);
     }
 
@@ -199,18 +256,60 @@ mod tests {
 
     #[test]
     fn smoothed_estimate_decays_during_silence() {
+        // Decay is a function of elapsed time, not of query count: a
+        // single read after a long silence already sees the relaxed
+        // estimate.
         let mut est = DensityEstimator::with_smoothing(100, 0.5);
         for key in 0..8u64 {
             est.observe(key, 0);
         }
         let busy = est.estimated_density(50).get();
-        // Long silence: repeated queries decay toward 1.
-        let mut quiet = 0;
-        for step in 0..20 {
-            quiet = est.estimated_density(1_000 + step).get();
-        }
+        let quiet = est.estimated_density(10_000).get();
         assert!(quiet < busy);
         assert_eq!(quiet, 1);
+        // Partial silence decays partially: past the ttl horizon the
+        // live count is 0, and each further ttl shrinks the memory of
+        // the busy estimate by (1 - alpha).
+        let partial = est.estimated_density(300).get();
+        assert!(quiet <= partial && partial <= busy);
+    }
+
+    #[test]
+    fn reads_are_pure() {
+        // Two estimators fed identically; one is read hundreds of times
+        // in between. Every subsequent value must match the unread twin.
+        let mut hammered = DensityEstimator::with_smoothing(100, 0.3);
+        let mut pristine = DensityEstimator::with_smoothing(100, 0.3);
+        for key in 0..6u64 {
+            hammered.observe(key, key);
+            pristine.observe(key, key);
+        }
+        let first = hammered.estimated_density(50);
+        for _ in 0..100 {
+            assert_eq!(hammered.estimated_density(50), first);
+            let _ = hammered.active_count(50);
+        }
+        assert_eq!(pristine.estimated_density(50), first);
+        // Reads do not perturb future observations either.
+        hammered.observe(99, 120);
+        pristine.observe(99, 120);
+        assert_eq!(
+            hammered.estimated_density(150),
+            pristine.estimated_density(150)
+        );
+    }
+
+    #[test]
+    fn advance_releases_memory_without_changing_reads() {
+        let mut est = DensityEstimator::with_smoothing(50, 0.4);
+        for key in 0..5u64 {
+            est.observe(key, 0);
+        }
+        est.observe(9, 200); // the only entry still alive at 200
+        let before = est.estimated_density(220);
+        est.advance(220);
+        assert_eq!(est.active_count(220), 1);
+        assert_eq!(est.estimated_density(220), before);
     }
 
     #[test]

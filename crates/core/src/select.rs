@@ -301,7 +301,8 @@ impl AdaptiveListeningSelector {
         self.last_now = self.last_now.max(now);
         self.estimator.observe(id.value(), now);
         // Resize *after* feeding the estimator so the window already
-        // accounts for the newest observation.
+        // accounts for the newest observation. Density reads are pure,
+        // so this applies no second smoothing step.
         self.resize_window(now);
         self.inner.observe(id);
     }
@@ -332,20 +333,30 @@ impl AdaptiveListeningSelector {
     }
 
     /// This node's current density estimate `T̂` (includes itself).
+    ///
+    /// Pure: reading the estimate never changes it, nor the avoidance
+    /// window the next [`select_at`](Self::select_at) uses.
     #[must_use]
-    pub fn estimated_density(&mut self, now: u64) -> u64 {
+    pub fn estimated_density(&self, now: u64) -> u64 {
         self.estimator.estimated_density(now).get()
     }
 
-    fn window_target(&mut self, now: u64) -> usize {
-        let density = self.estimator.estimated_density(now).get();
-        usize::try_from(2 * density).unwrap_or(usize::MAX)
+    fn window_target(&self, now: u64) -> usize {
+        window_for_density(self.estimated_density(now))
     }
 
     fn resize_window(&mut self, now: u64) {
         let target = self.window_target(now);
         self.inner.set_window(target);
     }
+}
+
+/// The paper's `2T` window rule, saturating instead of wrapping for
+/// adversarially large density estimates (`2 * u64::MAX` would wrap in
+/// `u64` before the `usize` conversion could catch it).
+#[must_use]
+fn window_for_density(density: u64) -> usize {
+    usize::try_from(density.saturating_mul(2)).unwrap_or(usize::MAX)
 }
 
 impl IdSelector for AdaptiveListeningSelector {
@@ -542,6 +553,44 @@ mod tests {
             let got = IdSelector::select(&mut selector, &mut rng);
             assert_ne!(got, heard);
         }
+    }
+
+    #[test]
+    fn density_reads_do_not_perturb_selection() {
+        // Regression: `estimated_density` used to apply an EWMA step per
+        // read, so merely *asking* changed the next window and thus the
+        // next draw. Two identically-fed selectors must keep selecting
+        // identically no matter how often one of them is queried.
+        let s = space(8);
+        let mut queried = AdaptiveListeningSelector::new(s, 100);
+        let mut untouched = AdaptiveListeningSelector::new(s, 100);
+        for v in 0..6u64 {
+            queried.observe_at(s.id(v).unwrap(), v * 5);
+            untouched.observe_at(s.id(v).unwrap(), v * 5);
+        }
+        let first = queried.estimated_density(40);
+        for _ in 0..50 {
+            assert_eq!(queried.estimated_density(40), first);
+        }
+        assert_eq!(untouched.estimated_density(40), first);
+        let mut rng_a = StdRng::seed_from_u64(11);
+        let mut rng_b = StdRng::seed_from_u64(11);
+        assert_eq!(
+            queried.select_at(&mut rng_a, 40),
+            untouched.select_at(&mut rng_b, 40)
+        );
+        assert_eq!(queried.window(), untouched.window());
+    }
+
+    #[test]
+    fn window_rule_saturates_for_adversarial_density() {
+        assert_eq!(window_for_density(0), 0);
+        assert_eq!(window_for_density(5), 10);
+        // 2 * (2^63) wraps to 0 in u64; the rule must saturate instead.
+        assert_eq!(window_for_density(u64::MAX / 2 + 1), usize::MAX);
+        assert_eq!(window_for_density(u64::MAX), usize::MAX);
+        #[cfg(target_pointer_width = "64")]
+        assert_eq!(window_for_density(u64::MAX / 2), usize::MAX - 1);
     }
 
     #[test]

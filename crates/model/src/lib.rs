@@ -69,6 +69,9 @@
 //!   lifetime under the Section 4.4 linear radio-energy model.
 //! - [`continuous`] — real-valued identifier widths, used to study the
 //!   shape of the efficiency curve analytically.
+//! - [`dfa`] — extension: Dynamic-Frame Aloha closed forms (optimal
+//!   frame setting `L* = N` and throughput predictions, after Barletta,
+//!   Borgonovo & Cesana) backing the netsim adaptive MAC.
 //! - [`stats`] — small summary-statistics helpers shared by the
 //!   experiment harness (means, standard deviations, model-vs-measured
 //!   agreement checks).
@@ -78,6 +81,7 @@
 
 pub mod codebook;
 pub mod continuous;
+pub mod dfa;
 pub mod efficiency;
 pub mod exact;
 pub mod lengths;

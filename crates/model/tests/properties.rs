@@ -130,6 +130,28 @@ proptest! {
         }
     }
 
+    /// The closed-form optimal DFA frame length (`L* = N`, Barletta et
+    /// al.) matches brute-force maximization of the per-slot throughput
+    /// over frame lengths, for every population up to 64. The scan runs
+    /// well past `N` so the maximum is interior, not an endpoint.
+    #[test]
+    fn dfa_optimal_frame_matches_brute_force(n in 1u64..=64) {
+        let closed = retri_model::dfa::optimal_frame_length(n);
+        let brute = (1..=4 * n.max(1))
+            .max_by(|&a, &b| {
+                retri_model::dfa::slot_throughput(n, a)
+                    .partial_cmp(&retri_model::dfa::slot_throughput(n, b))
+                    .expect("throughputs are finite")
+            })
+            .expect("non-empty scan range");
+        prop_assert_eq!(closed, brute);
+        // And nothing in the scan beats the closed-form optimum.
+        let best = retri_model::dfa::slot_throughput(n, closed);
+        for l in 1..=4 * n {
+            prop_assert!(retri_model::dfa::slot_throughput(n, l) <= best + 1e-12);
+        }
+    }
+
     /// Welford summaries match naive two-pass statistics.
     #[test]
     fn summary_matches_naive(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {

@@ -80,7 +80,7 @@ pub mod prelude {
     pub use crate::energy::EnergyMeter;
     pub use crate::fault::{ChannelState, FaultModel, GilbertElliott, PartitionWindow};
     pub use crate::frame::{Frame, FramePayload};
-    pub use crate::mac::MacConfig;
+    pub use crate::mac::{DfaStats, FrameSizing, MacConfig, MacMode};
     pub use crate::node::{Context, NodeId, Protocol, Timer};
     pub use crate::radio::RadioConfig;
     pub use crate::shard::{
@@ -94,6 +94,7 @@ pub mod prelude {
 pub use adversary::{AdversaryStats, Eavesdropper, EavesdropperConfig, InjectionCodec};
 pub use fault::{ChannelState, FaultModel, GilbertElliott, PartitionWindow};
 pub use frame::{Frame, FramePayload};
+pub use mac::{DfaConfig, DfaStats, FrameSizing, MacConfig, MacMode};
 pub use node::{Context, NodeId, Protocol, Timer};
 pub use radio::RadioConfig;
 pub use shard::{

@@ -239,7 +239,11 @@ impl Medium {
 
     /// Whether any foreign transmission audible at `receiver` overlaps
     /// `[start, end)` other than `exclude_seq`.
-    fn interference_at(
+    ///
+    /// Also serves as the DFA sender-side collision feedback: a frame
+    /// slot collided iff some other audible transmission overlapped the
+    /// sender's airtime.
+    pub fn interference_at(
         &self,
         receiver: NodeId,
         start: SimTime,

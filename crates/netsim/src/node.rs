@@ -69,6 +69,20 @@ pub trait Protocol {
 
     /// Called when a timer armed through [`Context::set_timer`] fires.
     fn on_timer(&mut self, ctx: &mut Context<'_>, timer: Timer);
+
+    /// This node's live estimate of the contending population, read by
+    /// the Dynamic-Frame Aloha MAC at each frame boundary to size the
+    /// next frame ([`crate::mac::FrameSizing::Estimated`]).
+    ///
+    /// Must be a **pure read**: the MAC may query it any number of
+    /// times. Protocols that track density (e.g. through a
+    /// `DensityEstimator` fed by the listening window) return their
+    /// current `T̂`; the default `None` makes the MAC fall back to its
+    /// configured frame floor.
+    fn population_estimate(&self, now: SimTime) -> Option<u64> {
+        let _ = now;
+        None
+    }
 }
 
 /// Effects a protocol requested during a callback.

@@ -66,12 +66,12 @@ use retri_obs::Obs;
 use crate::energy::EnergyMeter;
 use crate::fault::{ChurnEvent, FaultModel};
 use crate::frame::{Frame, FramePayload};
-use crate::mac::MacConfig;
+use crate::mac::{DfaConfig, DfaStats, FrameSizing, MacConfig};
 use crate::medium::{DeliveryFailure, Verdict};
 use crate::node::{Command, Context, NodeId, Protocol, Timer, TimerHandle};
 use crate::obs::NetsimObs;
 use crate::radio::{DutyCycle, RadioConfig};
-use crate::sim::MediumStats;
+use crate::sim::{align_up, MediumStats};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{Position, Topology};
 use crate::trace::{LossReason, TraceEvent, Tracer};
@@ -120,6 +120,10 @@ const LANE_R_DYN: u8 = 0;
 const LANE_R_START: u8 = 1;
 const LANE_R_DELIVER: u8 = 2;
 const LANE_R_TIMER: u8 = 3;
+/// DFA sender-side slot feedback, judged after every same-instant
+/// delivery so the sender's verdict reads the same air state its
+/// receivers did.
+const LANE_R_FEEDBACK: u8 = 4;
 
 /// Minimum owned nodes per shard before worker threads pay for their
 /// per-window barrier traffic; below this the windowed loop runs
@@ -210,6 +214,11 @@ enum RxKind {
     Deliver { seq: u64, sender: NodeId },
     /// Fire a protocol timer.
     Timer { node: NodeId, timer: Timer },
+    /// Judge Dynamic-Frame Aloha slot feedback for `sender`'s own
+    /// transmission `seq` (routed only to the sender's owner shard):
+    /// collision requeues the payload, and either way the sender
+    /// re-contends at its frame boundary.
+    DfaFeedback { seq: u64, sender: NodeId },
 }
 
 /// A receive-phase event, ordered by `(at, lane, a, b)`.
@@ -229,6 +238,9 @@ impl RxEvent {
     fn node(&self) -> Option<NodeId> {
         match self.kind {
             RxKind::Start { node } | RxKind::Timer { node, .. } => Some(node),
+            // Feedback lives on the sender's owner shard, so it follows
+            // the sender across rebalances.
+            RxKind::DfaFeedback { sender, .. } => Some(sender),
             RxKind::Dynamics { .. } | RxKind::Deliver { .. } => None,
         }
     }
@@ -776,6 +788,12 @@ struct LocalNode<P> {
     /// `(tx_idx, seq)` pairs of in-flight transmissions whose global
     /// sequence number is known; consumed by `TxEnd`.
     assigned: VecDeque<(u64, u64)>,
+    /// DFA only: the slot this node committed to transmit in within its
+    /// current frame (the `MacTry` wakeup is on the heap).
+    dfa_slot_at: Option<SimTime>,
+    /// DFA only: where this node's current frame ends; the next frame
+    /// starts at the first slot boundary at or after it.
+    dfa_frame_end: SimTime,
 }
 
 impl<P> LocalNode<P> {
@@ -797,6 +815,8 @@ impl<P> LocalNode<P> {
             mac_seq: 0,
             tx_count: 0,
             assigned: VecDeque::new(),
+            dfa_slot_at: None,
+            dfa_frame_end: SimTime::ZERO,
         }
     }
 
@@ -850,6 +870,9 @@ struct ShardCore<P> {
     outbox: Vec<PendingTx>,
     span_ends: Vec<SpanEnd>,
     stats: MediumStats,
+    /// Dynamic-Frame Aloha counters for this shard's owned nodes
+    /// (frames/slots counted at the draw, outcomes at the feedback).
+    dfa: DfaStats,
     trace_buf: Vec<(TraceKey, TraceEvent)>,
     commands: Vec<Command>,
     receiver_scratch: Vec<NodeId>,
@@ -883,6 +906,7 @@ impl<P: Protocol> ShardCore<P> {
             outbox: Vec::new(),
             span_ends: Vec::new(),
             stats: MediumStats::default(),
+            dfa: DfaStats::default(),
             trace_buf: Vec::new(),
             commands: Vec::new(),
             receiver_scratch: Vec::new(),
@@ -971,6 +995,8 @@ impl<P: Protocol> ShardCore<P> {
                             let state = &mut self.nodes[local as usize];
                             state.queue.clear();
                             state.transmitting = false;
+                            state.dfa_slot_at = None;
+                            state.dfa_frame_end = SimTime::ZERO;
                         }
                     }
                 }
@@ -1005,11 +1031,56 @@ impl<P: Protocol> ShardCore<P> {
                         },
                     });
                 }
-                let retry = at + ctx.mac.ifs;
-                self.push_mac(retry, LANE_M_TRY, node, local, MacKind::Try { node });
+                if ctx.mac.dfa_config().is_none() {
+                    // Next frame, after the inter-frame space. Under DFA
+                    // the slot feedback (receive phase) schedules the
+                    // re-contention at the frame boundary instead.
+                    let retry = at + ctx.mac.ifs;
+                    self.push_mac(retry, LANE_M_TRY, node, local, MacKind::Try { node });
+                }
             }
             MacKind::Try { node } => self.mac_try(at, node, ctx, csma, obs),
         }
+    }
+
+    /// DFA framing on the sharded engine: commits the node to one
+    /// uniformly drawn slot of its next frame (drawn from the node's
+    /// private MAC stream, so the draw is shard-placement invariant)
+    /// and schedules the wakeup. Returns `true` when `mac_try` should
+    /// transmit right now — the committed slot has arrived.
+    fn dfa_frame_step(&mut self, at: SimTime, node: NodeId, local: usize, dfa: DfaConfig) -> bool {
+        if let Some(slot_at) = self.nodes[local].dfa_slot_at {
+            if at == slot_at {
+                return true;
+            }
+            if at < slot_at {
+                // An early try (e.g. a freshly queued frame); the slot
+                // wakeup is already on the heap.
+                return false;
+            }
+            // A stale commitment from before the node's queue drained
+            // or the node died; fall through and draw a fresh frame.
+        }
+        let estimate = match dfa.sizing {
+            FrameSizing::Estimated => self.nodes[local].protocol.population_estimate(at),
+            _ => None,
+        };
+        let slots = u64::from(dfa.frame_length(estimate));
+        // The frame starts at the next slot boundary after both `at`
+        // and the previous frame's end, on the absolute slot grid every
+        // node shares.
+        let begin = at.max(self.nodes[local].dfa_frame_end);
+        let frame_start = align_up(begin, dfa.slot);
+        let slot_index = self.nodes[local].mac_rng.gen_range(0..slots);
+        let slot_at = frame_start + dfa.slot * slot_index;
+        let frame_end = frame_start + dfa.slot * slots;
+        let state = &mut self.nodes[local];
+        state.dfa_slot_at = Some(slot_at);
+        state.dfa_frame_end = frame_end;
+        self.dfa.frames += 1;
+        self.dfa.slots += slots;
+        self.push_mac(slot_at, LANE_M_TRY, node, local, MacKind::Try { node });
+        false
     }
 
     fn mac_try(
@@ -1029,6 +1100,12 @@ impl<P: Protocol> ShardCore<P> {
             if state.transmitting || state.queue.is_empty() {
                 return;
             }
+        }
+        if let Some(&dfa) = ctx.mac.dfa_config() {
+            if !self.dfa_frame_step(at, node, local, dfa) {
+                return;
+            }
+            self.nodes[local].dfa_slot_at = None;
         }
         let pos = self.topo_mac.position(node);
         if let Some(cs) = csma.as_mut() {
@@ -1186,7 +1263,55 @@ impl<P: Protocol> ShardCore<P> {
                 }
             }
             RxKind::Deliver { seq, sender } => self.deliver(at, seq, sender, ctx, air, obs),
+            RxKind::DfaFeedback { seq, sender } => self.dfa_feedback(at, seq, sender, ctx, air),
         }
+    }
+
+    /// Sender-side DFA slot feedback, mirroring the serial engine's
+    /// `tx_end`: the transmission collided iff a foreign audible
+    /// transmission overlapped its airtime. A collided frame is
+    /// requeued, and either way the sender re-contends at its frame
+    /// boundary — pushed past the current window so the retry never
+    /// lands behind this window's already-run MAC phase (the boundary
+    /// `window_end(at, lookahead)` depends only on the lookahead, so
+    /// the deferral is shard-count invariant).
+    fn dfa_feedback<A: AirReads>(
+        &mut self,
+        at: SimTime,
+        seq: u64,
+        sender: NodeId,
+        ctx: &EngineCtx<'_>,
+        air: &A,
+    ) {
+        let record = air.get(seq).expect("feedback record retained");
+        let position = self.topo_rx.position(sender);
+        let collided = air.interference_at(
+            sender,
+            position,
+            record.start,
+            record.end,
+            seq,
+            &self.topo_rx,
+        );
+        let local = ctx.local(self.index, sender);
+        if collided {
+            self.dfa.collisions += 1;
+            if self.topo_rx.is_alive(sender) {
+                let payload = record.frame.payload.clone();
+                self.nodes[local].queue.push_front(payload);
+            }
+        } else {
+            self.dfa.successes += 1;
+        }
+        let frame_end = self.nodes[local].dfa_frame_end;
+        let retry = frame_end.max(window_end(at, ctx.lookahead));
+        self.push_mac(
+            retry,
+            LANE_M_TRY,
+            sender,
+            local,
+            MacKind::Try { node: sender },
+        );
     }
 
     /// Judges delivery of transmission `seq` to every owned neighbor of
@@ -1977,6 +2102,17 @@ impl<P: Protocol> ShardedSim<P> {
         total
     }
 
+    /// Dynamic-Frame Aloha counters, summed across shards (all zero
+    /// unless the MAC runs DFA).
+    #[must_use]
+    pub fn dfa_stats(&self) -> DfaStats {
+        let mut total = DfaStats::default();
+        for core in &self.cores {
+            total.merge(&core.dfa);
+        }
+        total
+    }
+
     /// Number of nodes added so far.
     #[must_use]
     pub fn node_count(&self) -> usize {
@@ -2546,6 +2682,7 @@ fn assign_and_broadcast<P: Protocol>(
     tx_nj_per_bit: f64,
     fan_out: FanOut,
     ghosts: bool,
+    dfa: bool,
 ) {
     merge.clear();
     let mut have_span_ends = false;
@@ -2620,6 +2757,24 @@ fn assign_and_broadcast<P: Protocol>(
                 a: seq,
                 b: 0,
                 kind: RxKind::Deliver {
+                    seq,
+                    sender: p.node,
+                },
+            });
+        }
+        if dfa {
+            // Sender-side slot feedback, routed only to the sender's
+            // owner shard. Its ghost always holds the record: the
+            // owner's interest set covers the sender's own cell (the
+            // window's conservative pre-move ∪ post-move union when the
+            // sender relocated mid-window).
+            let (shard, _) = owner[p.node.index()];
+            cores[shard as usize].rx_heap.push(RxEvent {
+                at: p.end,
+                lane: LANE_R_FEEDBACK,
+                a: seq,
+                b: 0,
+                kind: RxKind::DfaFeedback {
                     seq,
                     sender: p.node,
                 },
@@ -2777,6 +2932,7 @@ impl<P: Protocol + Send> ShardedSim<P> {
                 radio.energy.tx_nj_per_bit,
                 fan_out,
                 multi,
+                mac.dfa_config().is_some(),
             );
             apply_interest_decrements(&mut refs, &deferred);
             let horizon = SimTime::from_micros(t_end.as_micros().saturating_sub(slack.as_micros()));
@@ -3026,6 +3182,7 @@ impl<P: Protocol + Send> ShardedSim<P> {
                             radio.energy.tx_nj_per_bit,
                             fan_out,
                             true,
+                            ctx.mac.dfa_config().is_some(),
                         );
                         // The barrier routed this window's publications
                         // with the conservative pre-move ∪ post-move
@@ -3172,6 +3329,93 @@ mod tests {
         sim.run_until(SimTime::from_secs(2));
         assert_eq!(sim.protocol(NodeId(1)).heard, 3);
         assert_eq!(sim.stats().deliveries, 3);
+    }
+
+    /// An uncontended DFA sender: every slot transmission succeeds,
+    /// every transmission gets exactly one feedback verdict, and the
+    /// frame/slot accounting holds.
+    #[test]
+    fn dfa_two_node_delivery() {
+        let mac = MacConfig::dfa_known(SimDuration::from_millis(8), 2);
+        let mut sim = two_node(1, mac, 2);
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(sim.protocol(NodeId(1)).heard, 3);
+        assert_eq!(sim.stats().frames_sent, 3);
+        assert_eq!(sim.stats().deliveries, 3);
+        let dfa = sim.dfa_stats();
+        assert_eq!(dfa.successes, 3);
+        assert_eq!(dfa.collisions, 0);
+        assert_eq!(dfa.attempts(), sim.stats().frames_sent);
+        assert!(dfa.frames >= 3, "one frame draw per attempt at least");
+        assert_eq!(
+            dfa.slots,
+            dfa.frames * 2,
+            "known N=2 sizes every frame at 2"
+        );
+    }
+
+    /// A saturated DFA clique: collided frames are requeued and
+    /// re-contend in later frames until every payload is through —
+    /// the engine must drain completely, with exactly one feedback
+    /// verdict per transmission.
+    #[test]
+    fn dfa_clique_requeues_collisions_until_drained() {
+        let mac = MacConfig::dfa_known(SimDuration::from_millis(8), 4);
+        let mut sim = ShardedSimBuilder::new(3)
+            .mac(mac)
+            .shards(2)
+            .build(|_| Chatter {
+                to_send: 3,
+                heard: 0,
+                payload_bytes: 10,
+            });
+        sim.add_node_at(Position::new(0.0, 0.0));
+        sim.add_node_at(Position::new(10.0, 0.0));
+        sim.add_node_at(Position::new(0.0, 10.0));
+        sim.add_node_at(Position::new(10.0, 10.0));
+        sim.run_until(SimTime::from_secs(30));
+        for id in sim.node_ids() {
+            assert_eq!(
+                sim.protocol(id).heard,
+                9,
+                "{id} must hear all 3 frames of its 3 peers"
+            );
+        }
+        let dfa = sim.dfa_stats();
+        assert_eq!(
+            dfa.successes, 12,
+            "12 distinct payloads eventually got through"
+        );
+        assert_eq!(
+            dfa.attempts(),
+            sim.stats().frames_sent,
+            "one verdict per transmission"
+        );
+        assert_eq!(
+            sim.stats().frames_sent,
+            12 + dfa.collisions,
+            "every extra transmission is a requeued collision"
+        );
+    }
+
+    /// DFA digests — including the DFA counters — are shard-count
+    /// invariant (the deterministic cousin of the proptests in
+    /// `tests/shard_invariance.rs`).
+    #[test]
+    fn dfa_is_shard_count_invariant() {
+        let mac = MacConfig::dfa_known(SimDuration::from_millis(8), 16);
+        let mut reference = grid_run(11, mac, 1, false);
+        reference.run_until(SimTime::from_secs(20));
+        let want = (digest(&reference), reference.dfa_stats());
+        for shards in [2usize, 4] {
+            let mut sim = grid_run(11, mac, shards, false);
+            sim.run_until(SimTime::from_secs(20));
+            assert_eq!(
+                (digest(&sim), sim.dfa_stats()),
+                want,
+                "diverged at {shards} shards"
+            );
+        }
     }
 
     /// The condensed output of one run: everything the engine promises

@@ -17,7 +17,7 @@ use retri_obs::Obs;
 use crate::energy::EnergyMeter;
 use crate::fault::{fault_stream_seed, ChurnEvent, FaultModel};
 use crate::frame::{Frame, FramePayload};
-use crate::mac::MacConfig;
+use crate::mac::{DfaConfig, DfaStats, MacConfig};
 use crate::medium::{DeliveryFailure, Medium, Verdict};
 use crate::node::{Command, Context, NodeId, Protocol, Timer, TimerHandle};
 use crate::obs::NetsimObs;
@@ -120,6 +120,12 @@ struct NodeState<P> {
     queue: VecDeque<FramePayload>,
     transmitting: bool,
     duty_cycle: Option<crate::radio::DutyCycle>,
+    /// DFA only: the slot this node committed to transmit in within its
+    /// current frame; `None` when no frame is in progress.
+    dfa_slot_at: Option<SimTime>,
+    /// DFA only: where this node's current frame ends; the next frame
+    /// starts no earlier.
+    dfa_frame_end: SimTime,
 }
 
 /// Configures and constructs a [`Simulator`].
@@ -226,6 +232,7 @@ impl SimBuilder {
             next_timer_handle: 0,
             cancelled: HashSet::new(),
             stats: MediumStats::default(),
+            dfa_stats: DfaStats::default(),
             commands: Vec::new(),
             receiver_scratch: Vec::new(),
             tracer: None,
@@ -257,6 +264,7 @@ pub struct Simulator<P> {
     next_timer_handle: u64,
     cancelled: HashSet<TimerHandle>,
     stats: MediumStats,
+    dfa_stats: DfaStats,
     commands: Vec<Command>,
     /// Reused per-transmission receiver list; kept empty between
     /// `tx_end` calls so the steady state allocates nothing.
@@ -306,6 +314,8 @@ impl<P: Protocol> Simulator<P> {
             queue: VecDeque::new(),
             transmitting: false,
             duty_cycle: None,
+            dfa_slot_at: None,
+            dfa_frame_end: SimTime::ZERO,
         });
         self.fault_bad.push(false);
         let at = self.now;
@@ -347,6 +357,12 @@ impl<P: Protocol> Simulator<P> {
     #[must_use]
     pub fn stats(&self) -> MediumStats {
         self.stats
+    }
+
+    /// Dynamic-Frame Aloha counters (all zero unless the MAC runs DFA).
+    #[must_use]
+    pub fn dfa_stats(&self) -> DfaStats {
+        self.dfa_stats
     }
 
     /// Number of nodes added so far.
@@ -530,6 +546,8 @@ impl<P: Protocol> Simulator<P> {
                     let state = &mut self.nodes[node.index()];
                     state.queue.clear();
                     state.transmitting = false;
+                    state.dfa_slot_at = None;
+                    state.dfa_frame_end = SimTime::ZERO;
                 } else {
                     // A reborn node boots afresh.
                     let at = self.now;
@@ -583,6 +601,49 @@ impl<P: Protocol> Simulator<P> {
         }
     }
 
+    /// DFA framing: commits the node to one uniformly drawn slot of its
+    /// next frame (sized by the config, for `Estimated` from the
+    /// protocol's live population estimate) and schedules the wakeup.
+    /// Returns `true` when `mac_try` should transmit right now — the
+    /// committed slot has arrived.
+    fn dfa_frame_step(&mut self, node: NodeId, dfa: DfaConfig) -> bool {
+        if let Some(slot_at) = self.nodes[node.index()].dfa_slot_at {
+            if self.now == slot_at {
+                return true;
+            }
+            if self.now < slot_at {
+                // An early try (e.g. a freshly queued frame); the slot
+                // wakeup is already on the heap.
+                return false;
+            }
+            // A stale commitment from before the node's queue drained
+            // or the node died; fall through and draw a fresh frame.
+        }
+        let estimate = match dfa.sizing {
+            crate::mac::FrameSizing::Estimated => self.nodes[node.index()]
+                .protocol
+                .population_estimate(self.now),
+            _ => None,
+        };
+        let slots = u64::from(dfa.frame_length(estimate));
+        let state = &self.nodes[node.index()];
+        // The frame starts at the next slot boundary after both `now`
+        // and the previous frame's end, on the absolute slot grid every
+        // node shares.
+        let begin = self.now.max(state.dfa_frame_end);
+        let frame_start = align_up(begin, dfa.slot);
+        let slot_index = self.rng.gen_range(0..slots);
+        let slot_at = frame_start + dfa.slot * slot_index;
+        let frame_end = frame_start + dfa.slot * slots;
+        let state = &mut self.nodes[node.index()];
+        state.dfa_slot_at = Some(slot_at);
+        state.dfa_frame_end = frame_end;
+        self.dfa_stats.frames += 1;
+        self.dfa_stats.slots += slots;
+        self.schedule(slot_at, EventKind::MacTry(node));
+        false
+    }
+
     fn mac_try(&mut self, node: NodeId) {
         if !self.topology.is_alive(node) {
             return;
@@ -593,7 +654,12 @@ impl<P: Protocol> Simulator<P> {
                 return;
             }
         }
-        if self.mac.carrier_sense && self.medium.busy_for(node, self.now, &self.topology) {
+        if let Some(&dfa) = self.mac.dfa_config() {
+            if !self.dfa_frame_step(node, dfa) {
+                return;
+            }
+            self.nodes[node.index()].dfa_slot_at = None;
+        } else if self.mac.carrier_sense && self.medium.busy_for(node, self.now, &self.topology) {
             let slots = u64::from(self.rng.gen_range(1..=self.mac.max_backoff_slots));
             if let Some(o) = &self.obs {
                 o.mac_backoffs.inc();
@@ -802,15 +868,45 @@ impl<P: Protocol> Simulator<P> {
         }
         receivers.clear();
         self.receiver_scratch = receivers;
-        // Next frame, after the inter-frame space.
-        let at = self.now + self.mac.ifs;
-        self.schedule(at, EventKind::MacTry(node));
+        if self.mac.dfa_config().is_some() {
+            // Sender-side DFA slot feedback: the transmission collided
+            // iff a foreign audible transmission overlapped its airtime
+            // (judged before pruning below can drop the evidence). A
+            // collided frame re-contends in the node's next frame.
+            let collided =
+                self.medium
+                    .interference_at(node, tx_start, tx_end_at, seq, &self.topology);
+            if collided {
+                self.dfa_stats.collisions += 1;
+                if self.topology.is_alive(node) {
+                    self.nodes[node.index()].queue.push_front(frame.payload);
+                }
+            } else {
+                self.dfa_stats.successes += 1;
+            }
+            // Re-contend at the frame boundary, not after an ifs: DFA
+            // paces itself by frames.
+            let at = self.nodes[node.index()].dfa_frame_end.max(self.now);
+            self.schedule(at, EventKind::MacTry(node));
+        } else {
+            // Next frame, after the inter-frame space.
+            let at = self.now + self.mac.ifs;
+            self.schedule(at, EventKind::MacTry(node));
+        }
         // Garbage-collect records that can no longer affect judgments:
         // anything that ended more than two max-size airtimes ago.
         let slack = self.radio.airtime(self.radio.max_frame_bytes as u32 * 8) * 2;
         let horizon = SimTime::from_micros(self.now.as_micros().saturating_sub(slack.as_micros()));
         self.medium.prune(horizon);
     }
+}
+
+/// The next multiple of `slot` at or after `t` — the absolute slot grid
+/// every DFA node aligns its frames to.
+pub(crate) fn align_up(t: SimTime, slot: crate::time::SimDuration) -> SimTime {
+    let step = slot.as_micros();
+    debug_assert!(step > 0, "validated by MacConfig::validate");
+    SimTime::from_micros(t.as_micros().div_ceil(step) * step)
 }
 
 #[cfg(test)]

@@ -42,9 +42,38 @@ impl Protocol for Chatter {
 #[derive(Debug, PartialEq)]
 struct Digest {
     stats: MediumStats,
+    dfa: DfaStats,
     heard: Vec<u32>,
     energy: EnergyMeter,
     traces: Vec<TraceEvent>,
+}
+
+/// The three MACs the engine ships; all of them must be shard-count
+/// invariant (DFA exercises the feedback path through the receive
+/// phase and the per-node slot draws).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MacKind {
+    Aloha,
+    Csma,
+    Dfa,
+}
+
+fn mac_kind() -> impl Strategy<Value = MacKind> {
+    (0u8..3).prop_map(|k| match k {
+        0 => MacKind::Aloha,
+        1 => MacKind::Csma,
+        _ => MacKind::Dfa,
+    })
+}
+
+fn mac_for(kind: MacKind, nodes: usize) -> MacConfig {
+    match kind {
+        MacKind::Aloha => MacConfig::aloha(),
+        MacKind::Csma => MacConfig::csma(),
+        // A slot comfortably covering the 11-byte test payload's
+        // airtime on the default radio.
+        MacKind::Dfa => MacConfig::dfa_known(SimDuration::from_millis(8), nodes as u32),
+    }
 }
 
 /// Node positions on a jittered grid: clustered enough to interfere,
@@ -65,16 +94,12 @@ fn run_one(
     seed: u64,
     nodes: usize,
     jitter: u64,
-    csma: bool,
+    kind: MacKind,
     faulty: bool,
     shards: usize,
     force_threads: bool,
 ) -> Digest {
-    let mac = if csma {
-        MacConfig::csma()
-    } else {
-        MacConfig::aloha()
-    };
+    let mac = mac_for(kind, nodes);
     let mut topo = Topology::new(45.0);
     for p in positions(nodes, jitter) {
         topo.add(p);
@@ -135,6 +160,7 @@ fn run_one(
     sim.run_until(SimTime::from_millis(900));
     Digest {
         stats: sim.stats(),
+        dfa: sim.dfa_stats(),
         heard: sim.node_ids().map(|id| sim.protocol(id).heard).collect(),
         energy: sim.total_meter(),
         traces: sim
@@ -154,16 +180,12 @@ fn run_dynamic(
     seed: u64,
     nodes: usize,
     jitter: u64,
-    csma: bool,
+    kind: MacKind,
     moves: &[(u16, u8, u8, u8)],
     shards: usize,
     force_threads: bool,
 ) -> (Digest, u64) {
-    let mac = if csma {
-        MacConfig::csma()
-    } else {
-        MacConfig::aloha()
-    };
+    let mac = mac_for(kind, nodes);
     let mut topo = Topology::new(45.0);
     for p in positions(nodes, jitter) {
         topo.add(p);
@@ -203,6 +225,7 @@ fn run_dynamic(
     sim.run_until(SimTime::from_secs(30));
     let digest = Digest {
         stats: sim.stats(),
+        dfa: sim.dfa_stats(),
         heard: sim.node_ids().map(|id| sim.protocol(id).heard).collect(),
         energy: sim.total_meter(),
         traces: sim
@@ -222,12 +245,22 @@ proptest! {
         seed in 1u64..5_000,
         nodes in 6usize..30,
         jitter in 0u64..1_000,
-        csma in any::<bool>(),
+        mac in mac_kind(),
     ) {
-        let reference = run_one(seed, nodes, jitter, csma, false, 1, false);
+        let reference = run_one(seed, nodes, jitter, mac, false, 1, false);
         prop_assert!(reference.stats.frames_sent > 0);
+        if mac == MacKind::Dfa {
+            // The DFA path actually ran, and no transmission got more
+            // than one feedback verdict (frames still in flight at the
+            // deadline have none yet).
+            prop_assert!(reference.dfa.frames > 0, "no DFA frames drawn");
+            prop_assert!(
+                reference.dfa.attempts() <= reference.stats.frames_sent,
+                "more feedback verdicts than transmissions",
+            );
+        }
         for shards in [2usize, 4, 8] {
-            let got = run_one(seed, nodes, jitter, csma, false, shards, false);
+            let got = run_one(seed, nodes, jitter, mac, false, shards, false);
             prop_assert_eq!(&got, &reference, "diverged at {} shards", shards);
         }
     }
@@ -240,11 +273,11 @@ proptest! {
         seed in 1u64..5_000,
         nodes in 6usize..24,
         jitter in 0u64..1_000,
-        csma in any::<bool>(),
+        mac in mac_kind(),
     ) {
-        let reference = run_one(seed, nodes, jitter, csma, true, 1, false);
+        let reference = run_one(seed, nodes, jitter, mac, true, 1, false);
         for shards in [2usize, 4, 8] {
-            let got = run_one(seed, nodes, jitter, csma, true, shards, false);
+            let got = run_one(seed, nodes, jitter, mac, true, shards, false);
             prop_assert_eq!(&got, &reference, "faulty run diverged at {} shards", shards);
         }
     }
@@ -261,23 +294,26 @@ proptest! {
         seed in 1u64..5_000,
         nodes in 6usize..20,
         jitter in 0u64..1_000,
-        csma in any::<bool>(),
+        mac in mac_kind(),
         moves in proptest::collection::vec(
             (0u16..900, any::<u8>(), any::<u8>(), any::<u8>()),
             0..6,
         ),
     ) {
-        let (reference, windows) = run_dynamic(seed, nodes, jitter, csma, &moves, 1, false);
+        let (reference, windows) = run_dynamic(seed, nodes, jitter, mac, &moves, 1, false);
         prop_assert!(reference.stats.frames_sent > 0);
         // 30 s of timeline is 60k lookahead windows; activity spans at
-        // most ~1.3 s of it. The rest must be skipped, not walked.
-        prop_assert!(windows < 4_000, "idle tail was walked: {} windows", windows);
+        // most ~1.3 s of it (DFA paces itself by N-slot frames and
+        // re-contends collided frames, so its active span stretches to
+        // a few seconds). The rest must be skipped, not walked.
+        let cap = if mac == MacKind::Dfa { 20_000 } else { 4_000 };
+        prop_assert!(windows < cap, "idle tail was walked: {} windows", windows);
         for shards in [2usize, 4, 8] {
-            let (got, w) = run_dynamic(seed, nodes, jitter, csma, &moves, shards, false);
+            let (got, w) = run_dynamic(seed, nodes, jitter, mac, &moves, shards, false);
             prop_assert_eq!(&got, &reference, "diverged at {} shards", shards);
             prop_assert_eq!(w, windows, "window count diverged at {} shards", shards);
         }
-        let (got, w) = run_dynamic(seed, nodes, jitter, csma, &moves, 4, true);
+        let (got, w) = run_dynamic(seed, nodes, jitter, mac, &moves, 4, true);
         prop_assert_eq!(&got, &reference, "threaded dynamic run diverged");
         prop_assert_eq!(w, windows, "threaded window count diverged");
     }
@@ -289,12 +325,12 @@ proptest! {
         seed in 1u64..5_000,
         nodes in 6usize..24,
         jitter in 0u64..1_000,
-        csma in any::<bool>(),
+        mac in mac_kind(),
         faulty in any::<bool>(),
     ) {
-        let reference = run_one(seed, nodes, jitter, csma, faulty, 1, false);
+        let reference = run_one(seed, nodes, jitter, mac, faulty, 1, false);
         for shards in [2usize, 4] {
-            let got = run_one(seed, nodes, jitter, csma, faulty, shards, true);
+            let got = run_one(seed, nodes, jitter, mac, faulty, shards, true);
             prop_assert_eq!(&got, &reference, "threaded run diverged at {} shards", shards);
         }
     }
